@@ -1,0 +1,179 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. vcap EMA half-life sweep — smoothness vs responsiveness of the
+//!    capacity estimate (extends Figure 10a).
+//! 2. rwc straggler-threshold sweep — how aggressive hiding should be.
+//! 3. vtop timeout-extension on/off — misclassification risk vs probing
+//!    time (extends Table 2).
+//! 4. probed vs oracle abstraction — what guest-side probing gives up
+//!    relative to hypervisor-exported truth (the XPV/CPS comparison of the
+//!    paper's Discussion).
+
+use experiments::profiles::rcvm;
+use experiments::Scale;
+use guestos::VcpuId;
+use hostsim::{HostSpec, ScenarioBuilder, ScriptAction, VmSpec};
+use metrics::Table;
+use simcore::{SimRng, SimTime};
+use vsched::{Tunables, VschedConfig};
+use workloads::{build, work_ms, Stressor};
+
+/// EMA half-life sweep: tracking error and migration churn after a
+/// capacity step.
+fn ema_sweep(scale: Scale) {
+    println!("Ablation 1: vcap EMA half-life (capacity step at t/2)");
+    let mut t = Table::new(&["half-life (samples)", "settling samples", "final error"]);
+    for half_life in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let secs = scale.secs(16, 40);
+        let (b, vm) = ScenarioBuilder::new(HostSpec::flat(2), 9).vm(VmSpec::pinned(2, 0));
+        let mut m = b.build();
+        m.at(
+            SimTime::from_secs(secs / 2),
+            ScriptAction::SetFreq {
+                core: 0,
+                factor: 0.5,
+            },
+        );
+        let (wl, _s) = Stressor::new(2, work_ms(10.0));
+        m.set_workload(vm, Box::new(wl));
+        let mut cfg = VschedConfig::probers_only();
+        cfg.tunables = Tunables {
+            vcap_ema_half_life: half_life,
+            ..Tunables::paper()
+        };
+        m.with_vm(vm, |g, p| vsched::install(g, p, cfg));
+        m.start();
+        // Sample the estimate each second after the step.
+        let mut settled_after = None;
+        for s in (secs / 2 + 1)..=secs {
+            m.run_until(SimTime::from_secs(s));
+            let est = m.vms[vm].guest.kern.vcpus[0].cap_override.unwrap_or(1024.0);
+            if settled_after.is_none() && (est - 512.0).abs() / 512.0 < 0.1 {
+                settled_after = Some(s - secs / 2);
+            }
+        }
+        let final_est = m.vms[vm].guest.kern.vcpus[0].cap_override.unwrap_or(1024.0);
+        t.row_owned(vec![
+            format!("{half_life}"),
+            settled_after
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| ">window".into()),
+            format!("{:.1}%", 100.0 * (final_est - 512.0).abs() / 512.0),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// Straggler-threshold sweep on the rcvm with a barrier workload.
+fn straggler_sweep(scale: Scale) {
+    println!("Ablation 2: rwc straggler threshold (barnes on rcvm)");
+    let mut t = Table::new(&["threshold (x mean)", "rounds/s"]);
+    for factor in [0.0, 0.05, 0.1, 0.3, 0.5] {
+        let secs = scale.secs(6, 20);
+        let mut p = rcvm(11);
+        let (wl, h) = build("barnes", 12, SimRng::new(3));
+        p.machine.set_workload(p.vm, wl);
+        let mut cfg = VschedConfig::enhanced_cfs();
+        cfg.tunables.rwc_straggler_factor = factor;
+        let m = &mut p.machine;
+        m.with_vm(p.vm, |g, pl| vsched::install(g, pl, cfg));
+        m.start();
+        let dur = SimTime::from_secs(secs);
+        m.run_until(dur);
+        t.row_owned(vec![format!("{factor}"), format!("{:.1}", h.rate(dur))]);
+    }
+    println!("{t}");
+}
+
+/// vtop timeout extensions: probing time and stacking accuracy.
+fn vtop_extension_sweep(scale: Scale) {
+    println!("Ablation 3: vtop timeout extensions (8-vCPU topology with stacking)");
+    let mut t = Table::new(&["max extensions", "full probe", "stacking detected"]);
+    for max_ext in [0u8, 1, 3] {
+        let secs = scale.secs(5, 10);
+        let host = HostSpec::new(2, 2, 2);
+        let (b, vm) = ScenarioBuilder::new(host, 13).vm(VmSpec {
+            nr_vcpus: 8,
+            pinning: hostsim::Pinning::OneToOne(vec![0, 1, 2, 3, 4, 5, 6, 6]),
+            weight: 1024,
+            bandwidth: None,
+            guest_cfg: None,
+        });
+        let mut m = b.build();
+        let (wl, _s) = Stressor::new(4, work_ms(5.0));
+        m.set_workload(vm, Box::new(wl));
+        let mut cfg = VschedConfig::probers_only();
+        cfg.tunables.vtop_max_extensions = max_ext;
+        m.with_vm(vm, |g, p| vsched::install(g, p, cfg));
+        m.start();
+        m.run_until(SimTime::from_secs(secs));
+        let vs = vsched::instance(&mut m.vms[vm].guest).expect("installed");
+        let stacked_found = vs
+            .vtop
+            .topo
+            .as_ref()
+            .map(|t| t.is_stacked(VcpuId(6)) && t.is_stacked(VcpuId(7)))
+            .unwrap_or(false);
+        t.row_owned(vec![
+            max_ext.to_string(),
+            metrics::fmt_ns(vs.vtop.last_full_ns.unwrap_or(0)),
+            stacked_found.to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// Probed (enhanced CFS) vs oracle (paravirt-exported) abstraction.
+fn oracle_vs_probed(scale: Scale) {
+    println!("Ablation 4: probed vs oracle abstraction on the rcvm");
+    let mut t = Table::new(&["benchmark", "CFS", "enhanced CFS (probed)", "oracle"]);
+    for bench in ["barnes", "canneal", "masstree"] {
+        let secs = scale.secs(8, 25);
+        let run = |mode: u8| -> f64 {
+            let mut p = rcvm(21);
+            let (wl, h) = workloads::build_loaded(bench, 12, 0.28, SimRng::new(5));
+            p.machine.set_workload(p.vm, wl);
+            match mode {
+                1 => {
+                    let m = &mut p.machine;
+                    m.with_vm(p.vm, |g, pl| {
+                        vsched::install(g, pl, VschedConfig::enhanced_cfs())
+                    });
+                }
+                2 => experiments::oracle::install(&mut p.machine, p.vm),
+                _ => {}
+            }
+            p.machine.start();
+            let dur = SimTime::from_secs(secs);
+            p.machine.run_until(dur);
+            if workloads::is_latency_bench(bench) {
+                1e9 / h.p95_ns().unwrap_or(1).max(1) as f64
+            } else {
+                h.rate(dur)
+            }
+        };
+        let cfs = run(0);
+        let probed = run(1);
+        let oracle = run(2);
+        t.row_owned(vec![
+            bench.into(),
+            "100.0".into(),
+            format!("{:.1}", 100.0 * probed / cfs.max(1e-12)),
+            format!("{:.1}", 100.0 * oracle / cfs.max(1e-12)),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    ema_sweep(scale);
+    println!();
+    straggler_sweep(scale);
+    println!();
+    vtop_extension_sweep(scale);
+    println!();
+    oracle_vs_probed(scale);
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

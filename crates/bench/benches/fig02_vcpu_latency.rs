@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 2: impact of vCPU latency on latency-sensitive workloads.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig02_vcpu_latency`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig02, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig02::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

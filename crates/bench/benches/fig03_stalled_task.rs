@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 3: the stalled running task and proactive migration.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig03_stalled_task`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig03, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig03::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 4: deficient work conservation.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig04_work_conservation`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig04, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig04::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 10: accuracy of vcap and vtop.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig10_vprobers`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig10, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig10::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 11: impact of accurate vCPU capacity.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig11_vcap`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig11, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig11::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 12: SMT-aware scheduling with vtop.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig12_vtop_smt`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig12, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig12::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

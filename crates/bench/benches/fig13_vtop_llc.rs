@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 13: LLC-aware optimizations with vtop.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig13_vtop_llc`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig13, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig13::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 14: latency reduction with bvs.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig14_bvs`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig14, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig14::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 15: increased throughput with ivh.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig15_ivh`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig15, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig15::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

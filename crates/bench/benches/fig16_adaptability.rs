@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 16: adaptability of vSched.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig16_adaptability`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig16, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig16::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

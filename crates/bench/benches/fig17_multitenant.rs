@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 17: vSched in multi-tenant hosts.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig17_multitenant`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig17, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig17::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 18: overall improvement on the rcvm.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig18_rcvm`; set
+//! `VSCHED_SCALE=paper` for longer runs.
+
+use experiments::fig18_19::{run, ProfileKind};
+use experiments::Scale;
+
+fn main() {
+    let started = std::time::Instant::now();
+    let result = run(ProfileKind::Rcvm, 42, Scale::from_env());
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 19: overall improvement on the hpvm.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig19_hpvm`; set
+//! `VSCHED_SCALE=paper` for longer runs.
+
+use experiments::fig18_19::{run, ProfileKind};
+use experiments::Scale;
+
+fn main() {
+    let started = std::time::Instant::now();
+    let result = run(ProfileKind::Hpvm, 42, Scale::from_env());
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 20: cost of vSched.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig20_cost`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig20, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig20::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Figure 21: overhead of vSched.
+//!
+//! Run with `cargo bench -p vsched-bench --bench fig21_overhead`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{fig21, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = fig21::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

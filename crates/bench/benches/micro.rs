@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the simulator's hot paths.
+//!
+//! These guard the *wall-clock* performance of the reproduction itself:
+//! scheduler-tick handling, wake placement, the event queue, and a full
+//! machine-second of simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guestos::{GuestConfig, GuestOs, Platform, SpawnSpec, TaskAction, TaskId, Workload};
+use hostsim::{HostSpec, ScenarioBuilder, VmSpec};
+use simcore::{EventQueue, SimTime};
+use std::hint::black_box;
+
+/// Simple spinner workload reused across benches.
+struct Spin(usize);
+
+impl Workload for Spin {
+    fn start(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform) {
+        for _ in 0..self.0 {
+            let t = guest.spawn(plat, SpawnSpec::normal(guest.kern.cfg.nr_vcpus));
+            guest.wake_task(plat, t, None);
+        }
+    }
+    fn on_timer(&mut self, _g: &mut GuestOs, _p: &mut dyn Platform, _t: u64) {}
+    fn next_action(&mut self, _g: &mut GuestOs, _p: &mut dyn Platform, _t: TaskId) -> TaskAction {
+        TaskAction::Compute { work: 1.0e18 }
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_post_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1000u64 {
+                q.post(SimTime::from_ns((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += e;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_machine_second(c: &mut Criterion) {
+    c.bench_function("simulate_16vcpu_second", |b| {
+        b.iter(|| {
+            let (bld, vm) = ScenarioBuilder::new(HostSpec::flat(16), 1).vm(VmSpec::pinned(16, 0));
+            let mut m = bld.build();
+            m.set_workload(vm, Box::new(Spin(16)));
+            m.start();
+            m.run_until(SimTime::from_secs(1));
+            black_box(m.vms[vm].cycles.value())
+        })
+    });
+}
+
+fn bench_vsched_machine_second(c: &mut Criterion) {
+    c.bench_function("simulate_16vcpu_second_vsched", |b| {
+        b.iter(|| {
+            let (bld, vm) = ScenarioBuilder::new(HostSpec::flat(16), 1).vm(VmSpec::pinned(16, 0));
+            let mut m = bld.build();
+            m.set_workload(vm, Box::new(Spin(16)));
+            m.with_vm(vm, |g, p| {
+                vsched::install(g, p, vsched::VschedConfig::full())
+            });
+            m.start();
+            m.run_until(SimTime::from_secs(1));
+            black_box(m.vms[vm].cycles.value())
+        })
+    });
+}
+
+fn bench_wake_select(c: &mut Criterion) {
+    // Measure wake placement cost on a loaded 32-vCPU guest.
+    let cfg = GuestConfig::new(32);
+    c.bench_function("wake_place_32vcpu", |b| {
+        let (bld, vm) = ScenarioBuilder::new(HostSpec::new(2, 16, 1), 2).vm(VmSpec::pinned(32, 0));
+        let mut m = bld.build();
+        m.set_workload(vm, Box::new(Spin(24)));
+        m.start();
+        m.run_until(SimTime::from_ms(100));
+        let _ = &cfg;
+        b.iter(|| {
+            m.with_vm(vm, |g, p| {
+                let t = g.spawn(p, SpawnSpec::normal(32));
+                let now = p.now();
+                black_box(g.kern.select_cpu_fair(p, t, now))
+            })
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_machine_second, bench_vsched_machine_second, bench_wake_select
+);
+criterion_main!(micro);

@@ -1,0 +1,14 @@
+//! Bench target regenerating Table 2: vtop probing time.
+//!
+//! Run with `cargo bench -p vsched-bench --bench table2_vtop_time`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{table2, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = table2::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Table 3: Masstree latency breakdown.
+//!
+//! Run with `cargo bench -p vsched-bench --bench table3_masstree`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{table3, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = table3::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

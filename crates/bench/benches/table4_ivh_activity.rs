@@ -1,0 +1,14 @@
+//! Bench target regenerating Table 4: activity-aware vs unaware ivh.
+//!
+//! Run with `cargo bench -p vsched-bench --bench table4_ivh_activity`; set
+//! `VSCHED_SCALE=paper` for durations closer to the paper's.
+
+use experiments::{table4, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let started = std::time::Instant::now();
+    let result = table4::run(42, scale);
+    println!("{result}");
+    println!("[completed in {:.1?} wall time]", started.elapsed());
+}

@@ -1,0 +1,8 @@
+//! Bench crate: every target under `benches/` regenerates one table or
+//! figure of the vSched paper (see `DESIGN.md` for the experiment index),
+//! printing the same rows/series the paper reports. `micro` contains
+//! Criterion benchmarks of the simulator's own hot paths, and `ablations`
+//! sweeps the design knobs DESIGN.md calls out.
+//!
+//! Quick runs by default; set `VSCHED_SCALE=paper` for longer, tighter
+//! statistics.

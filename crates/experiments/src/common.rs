@@ -1,0 +1,110 @@
+//! Shared experiment infrastructure: scheduler configurations, scale
+//! control, and result formatting helpers.
+
+use hostsim::Machine;
+use vsched::VschedConfig;
+
+/// The three scheduler configurations the paper compares (§5.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Stock CFS with the default (inaccurate) vCPU abstraction.
+    Cfs,
+    /// CFS + vProbers + rwc: accurate abstraction feeding the *existing*
+    /// heuristics.
+    EnhancedCfs,
+    /// Full vSched: enhanced CFS plus bvs and ivh.
+    Vsched,
+}
+
+impl Mode {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Cfs => "CFS",
+            Mode::EnhancedCfs => "Enhanced CFS",
+            Mode::Vsched => "vSched",
+        }
+    }
+
+    /// Installs this configuration into a VM (no-op for stock CFS).
+    pub fn install(&self, m: &mut Machine, vm: usize) {
+        let cfg = match self {
+            Mode::Cfs => return,
+            Mode::EnhancedCfs => VschedConfig::enhanced_cfs(),
+            Mode::Vsched => VschedConfig::full(),
+        };
+        m.with_vm(vm, |g, p| vsched::install(g, p, cfg));
+    }
+
+    /// Installs a custom vSched configuration.
+    pub fn install_custom(m: &mut Machine, vm: usize, cfg: VschedConfig) {
+        m.with_vm(vm, |g, p| vsched::install(g, p, cfg));
+    }
+}
+
+/// Experiment scale: `Quick` shrinks durations for CI and `cargo bench`
+/// runs; `Paper` uses durations closer to the paper's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Short runs (seconds of simulated time).
+    Quick,
+    /// Longer runs for tighter statistics.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `VSCHED_SCALE=paper` from the environment, defaulting to
+    /// quick.
+    pub fn from_env() -> Scale {
+        match std::env::var("VSCHED_SCALE").as_deref() {
+            Ok("paper") | Ok("full") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Scales a base duration (seconds of simulated time).
+    pub fn secs(&self, quick: u64, paper: u64) -> u64 {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Formats a ratio as `xx.x%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Normalizes `value` against `base` as the paper's percentage plots do.
+pub fn norm_pct(value: f64, base: f64) -> String {
+    if base == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:.1}", 100.0 * value / base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_selects_duration() {
+        assert_eq!(Scale::Quick.secs(5, 60), 5);
+        assert_eq!(Scale::Paper.secs(5, 60), 60);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(Mode::Cfs.label(), "CFS");
+        assert_eq!(Mode::EnhancedCfs.label(), "Enhanced CFS");
+        assert_eq!(Mode::Vsched.label(), "vSched");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(norm_pct(50.0, 100.0), "50.0");
+        assert_eq!(norm_pct(1.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 21: vSched overhead when accurate abstraction cannot help.
+//!
+//! A 16-vCPU VM dedicatedly hosted on 16 cores: vCPUs are always active,
+//! symmetric, UMA — the default abstraction is already correct, so vSched
+//! can only cost. The paper measures a 0.7% average degradation.
+
+use crate::common::{Mode, Scale};
+use hostsim::{HostSpec, ScenarioBuilder, VmSpec};
+use metrics::Table;
+use simcore::{SimRng, SimTime};
+use std::fmt;
+use workloads::{build_loaded, is_latency_bench};
+
+/// Benchmarks measured (the paper's Figure 21 set).
+pub const BENCHES: [&str; 17] = [
+    "blackscholes",
+    "bodytrack",
+    "canneal",
+    "dedup",
+    "facesim",
+    "streamcluster",
+    "fft",
+    "ocean_cp",
+    "radix",
+    "img-dnn",
+    "moses",
+    "masstree",
+    "silo",
+    "shore",
+    "specjbb",
+    "sphinx",
+    "xapian",
+];
+
+/// Figure 21 result: per bench, performance degradation fraction (positive
+/// = worse under vSched).
+pub struct Fig21 {
+    /// Per-benchmark degradation.
+    pub rows: Vec<(&'static str, f64)>,
+}
+
+impl Fig21 {
+    /// Mean degradation across all benchmarks.
+    pub fn mean(&self) -> f64 {
+        self.rows.iter().map(|(_, d)| *d).sum::<f64>() / self.rows.len().max(1) as f64
+    }
+}
+
+impl fmt::Display for Fig21 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 21: vSched overhead on a dedicated symmetric VM \
+             (degradation vs CFS; positive = slower)"
+        )?;
+        let mut t = Table::new(&["benchmark", "degradation"]);
+        for (bench, d) in &self.rows {
+            t.row_owned(vec![bench.to_string(), format!("{:+.1}%", 100.0 * d)]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "mean degradation: {:+.2}% (paper: +0.7%)",
+            100.0 * self.mean()
+        )
+    }
+}
+
+fn run_cell(bench: &str, mode: Mode, secs: u64, seed: u64) -> f64 {
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(16), seed).vm(VmSpec::pinned(16, 0));
+    let mut m = b.build();
+    let (wl, handle) = build_loaded(bench, 16, 0.15, SimRng::new(seed ^ 0xDD));
+    m.set_workload(vm, wl);
+    mode.install(&mut m, vm);
+    m.start();
+    let dur = SimTime::from_secs(secs);
+    m.run_until(dur);
+    if is_latency_bench(bench) {
+        // Lower is better: return inverse so "higher = better" throughout.
+        1e12 / handle.p95_ns().unwrap_or(1).max(1) as f64
+    } else {
+        handle.rate(dur)
+    }
+}
+
+/// Runs the full figure.
+pub fn run(seed: u64, scale: Scale) -> Fig21 {
+    let secs = scale.secs(6, 25);
+    let rows = BENCHES
+        .iter()
+        .map(|&bench| {
+            let cfs = run_cell(bench, Mode::Cfs, secs, seed);
+            let vs = run_cell(bench, Mode::Vsched, secs, seed);
+            (bench, 1.0 - vs / cfs.max(1e-12))
+        })
+        .collect();
+    Fig21 { rows }
+}

@@ -1,0 +1,35 @@
+//! Experiment harness: one driver per table and figure of the vSched paper.
+//!
+//! Every module reproduces one piece of the paper's evaluation (§2.3 and
+//! §5): it builds the scenario on the simulated host, runs it under the
+//! relevant scheduler configurations, and returns a typed result whose
+//! `Display` prints the same rows/series the paper reports. The bench
+//! targets in `crates/bench` are thin wrappers over these drivers, and the
+//! integration tests assert the paper's *shape* claims (who wins, by
+//! roughly what factor).
+//!
+//! Durations honour the `VSCHED_SCALE` environment variable
+//! (`quick`/`paper`); see [`common::Scale`].
+
+pub mod common;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18_19;
+pub mod fig20;
+pub mod fig21;
+pub mod oracle;
+pub mod profiles;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+pub use common::{Mode, Scale};

@@ -1,0 +1,157 @@
+//! An oracle vCPU-abstraction provider.
+//!
+//! The paper's Discussion (§6) situates vSched against paravirtualized
+//! systems like XPV and CPS that export accurate vCPU information *from
+//! the hypervisor*. This module plays that role in the simulator: it
+//! installs ground-truth topology and capacity into a guest directly from
+//! the machine's state — no probing, no probing cost, no probing lag — and
+//! applies the same work-conservation relaxations rwc would.
+//!
+//! Comparing `oracle` against `enhanced CFS` (probed) quantifies what the
+//! guest-side approach gives up relative to hypervisor cooperation: the
+//! paper argues the gap is small and the deployability gain large.
+
+use guestos::{CpuMask, PerceivedTopology};
+use hostsim::Machine;
+
+/// Builds the ground-truth perceived topology of a VM from its pinning
+/// (exact for one-to-one pinned vCPUs; floating vCPUs fall back to the
+/// flat view, as no static topology exists for them).
+pub fn ground_truth_topology(m: &Machine, vm: usize) -> PerceivedTopology {
+    let nr = m.vms[vm].nr_vcpus;
+    let mut topo = PerceivedTopology::flat(nr);
+    let thread_of: Vec<Option<usize>> = (0..nr)
+        .map(|i| {
+            let aff = &m.vcpus[m.gv(vm, i)].affinity;
+            if aff.len() == 1 {
+                Some(aff[0])
+            } else {
+                None
+            }
+        })
+        .collect();
+    for a in 0..nr {
+        let Some(ta) = thread_of[a] else { continue };
+        let mut stacked = CpuMask::single(a);
+        let mut smt = CpuMask::single(a);
+        let mut socket = CpuMask::single(a);
+        #[allow(clippy::needless_range_loop)]
+        for b in 0..nr {
+            let Some(tb) = thread_of[b] else { continue };
+            if b != a && tb == ta {
+                stacked.set(b);
+            }
+            if m.spec.core_of(ta) == m.spec.core_of(tb) && tb != ta {
+                smt.set(b);
+            }
+            if m.spec.socket_of(ta) == m.spec.socket_of(tb) {
+                socket.set(b);
+            }
+        }
+        if stacked.count() > 1 {
+            topo.stacked[a] = stacked;
+        }
+        topo.smt[a] = smt;
+        topo.socket[a] = socket;
+    }
+    topo
+}
+
+/// Ground-truth capacity of each vCPU: the hosting thread's current
+/// capacity times the vCPU's fair share against co-runnable entities.
+pub fn ground_truth_capacities(m: &Machine, vm: usize) -> Vec<f64> {
+    let nr = m.vms[vm].nr_vcpus;
+    (0..nr)
+        .map(|i| {
+            let gv = m.gv(vm, i);
+            let aff = &m.vcpus[gv].affinity;
+            if aff.len() != 1 {
+                return 1024.0;
+            }
+            let th = aff[0];
+            let my_weight = m.vcpus[gv].weight as f64;
+            // Competing weight on the same thread: other vCPUs pinned there
+            // plus host loads.
+            let mut total = my_weight;
+            for (ogv, v) in m.vcpus.iter().enumerate() {
+                if ogv != gv && v.affinity.len() == 1 && v.affinity[0] == th {
+                    total += v.weight as f64;
+                }
+            }
+            total += m.host_load_weight_on(th) as f64;
+            m.thread_cap(th) * my_weight / total
+        })
+        .collect()
+}
+
+/// Installs the oracle abstraction: exact topology, exact capacities, and
+/// rwc-equivalent bans (one vCPU per stacking group; stragglers restricted
+/// to best-effort tasks). The paravirtualized upper bound for enhanced CFS.
+pub fn install(m: &mut Machine, vm: usize) {
+    let topo = ground_truth_topology(m, vm);
+    let caps = ground_truth_capacities(m, vm);
+    let mean = caps.iter().sum::<f64>() / caps.len().max(1) as f64;
+    let kern = &mut m.vms[vm].guest.kern;
+    kern.install_topology(&topo);
+    let mut min = f64::MAX;
+    let mut max: f64 = 0.0;
+    for (v, &cap) in caps.iter().enumerate() {
+        kern.vcpus[v].cap_override = Some(cap.max(1.0));
+        min = min.min(cap);
+        max = max.max(cap);
+    }
+    kern.asym_capacity = max / min.max(1.0) > 1.3;
+    // rwc with perfect information.
+    for (v, &cap) in caps.iter().enumerate() {
+        if topo.stacked[v].count() > 1 {
+            let keep = topo.stacked[v].first().expect("non-empty group");
+            if v != keep {
+                kern.cgroup.ban(v);
+            }
+        }
+        if cap < 0.1 * mean {
+            kern.cgroup.restrict_to_idle(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::rcvm;
+
+    #[test]
+    fn oracle_topology_matches_rcvm_ground_truth() {
+        let p = rcvm(1);
+        let topo = ground_truth_topology(&p.machine, p.vm);
+        // vCPUs 10 and 11 are stacked.
+        assert!(topo.stacked[10].contains(11));
+        // vCPUs 0 and 1 are SMT siblings (threads 0,1 share core 0).
+        assert!(topo.smt[0].contains(1));
+        // Everyone shares the single socket.
+        assert_eq!(topo.socket[5].count(), 12);
+    }
+
+    #[test]
+    fn oracle_capacities_reflect_contention() {
+        let p = rcvm(1);
+        let caps = ground_truth_capacities(&p.machine, p.vm);
+        // hchl (weight 1024 vs load 256): ~0.8 of the thread capacity.
+        assert!(caps[0] > caps[4], "hchl {} vs lchl {}", caps[0], caps[4]);
+        // Stragglers are far below the mean.
+        let mean = caps.iter().sum::<f64>() / caps.len() as f64;
+        assert!(caps[8] < 0.2 * mean, "straggler {} mean {mean}", caps[8]);
+    }
+
+    #[test]
+    fn oracle_install_bans_like_rwc() {
+        let mut p = rcvm(1);
+        install(&mut p.machine, p.vm);
+        let cg = p.machine.vms[p.vm].guest.kern.cgroup;
+        assert!(!cg.any.contains(11), "extra stacked vCPU banned");
+        assert!(cg.normal.contains(10), "kept one of the stack");
+        assert!(!cg.normal.contains(8), "straggler restricted");
+        assert!(cg.any.contains(8), "straggler still takes best-effort");
+        assert!(p.machine.vms[p.vm].guest.kern.asym_capacity);
+    }
+}

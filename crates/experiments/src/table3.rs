@@ -1,0 +1,117 @@
+//! Table 3: Masstree p95 latency breakdown under bvs.
+//!
+//! The Figure 14 setup, measured for Masstree only, decomposed into queue
+//! time (runqueue latency), service time, and end-to-end — plus the
+//! "bvs without the vCPU-state check" ablation that shows why prioritizing
+//! recently-active sched_idle vCPUs matters when best-effort tasks are
+//! present.
+
+use crate::common::Scale;
+use crate::fig14::run_cell;
+use metrics::Table;
+use std::fmt;
+use vsched::VschedConfig;
+use workloads::Handle;
+
+/// One configuration's breakdown (ns).
+#[derive(Debug, Clone, Copy)]
+pub struct Breakdown {
+    /// p95 queue time.
+    pub queue_ns: u64,
+    /// p95 service time.
+    pub service_ns: u64,
+    /// p95 end-to-end.
+    pub e2e_ns: u64,
+}
+
+impl Breakdown {
+    fn from_handle(h: &Handle) -> Breakdown {
+        match h {
+            Handle::Latency(s) => {
+                let s = s.borrow();
+                Breakdown {
+                    queue_ns: s.queue.p95(),
+                    service_ns: s.service.p95(),
+                    e2e_ns: s.e2e.p95(),
+                }
+            }
+            Handle::Throughput(_) => unreachable!("masstree is a latency benchmark"),
+        }
+    }
+}
+
+/// Table 3 result.
+pub struct Table3 {
+    /// Without best-effort tasks: (no bvs, bvs).
+    pub no_be: (Breakdown, Breakdown),
+    /// With best-effort tasks: (no bvs, bvs without state check, bvs).
+    pub with_be: (Breakdown, Breakdown, Breakdown),
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 3: Masstree p95 latency breakdown (ms)")?;
+        let ms = |ns: u64| format!("{:.2}", ns as f64 / 1e6);
+        let mut t = Table::new(&[
+            "setting",
+            "no-BE: no bvs",
+            "no-BE: bvs",
+            "BE: no bvs",
+            "BE: bvs (no state check)",
+            "BE: bvs",
+        ]);
+        t.row_owned(vec![
+            "Queue".into(),
+            ms(self.no_be.0.queue_ns),
+            ms(self.no_be.1.queue_ns),
+            ms(self.with_be.0.queue_ns),
+            ms(self.with_be.1.queue_ns),
+            ms(self.with_be.2.queue_ns),
+        ]);
+        t.row_owned(vec![
+            "Service".into(),
+            ms(self.no_be.0.service_ns),
+            ms(self.no_be.1.service_ns),
+            ms(self.with_be.0.service_ns),
+            ms(self.with_be.1.service_ns),
+            ms(self.with_be.2.service_ns),
+        ]);
+        t.row_owned(vec![
+            "End-2-end".into(),
+            ms(self.no_be.0.e2e_ns),
+            ms(self.no_be.1.e2e_ns),
+            ms(self.with_be.0.e2e_ns),
+            ms(self.with_be.1.e2e_ns),
+            ms(self.with_be.2.e2e_ns),
+        ]);
+        write!(f, "{t}")
+    }
+}
+
+fn bvs_cfg() -> VschedConfig {
+    VschedConfig {
+        ivh: false,
+        rwc: false,
+        ..VschedConfig::full()
+    }
+}
+
+/// Runs the table.
+pub fn run(seed: u64, scale: Scale) -> Table3 {
+    let secs = scale.secs(15, 60);
+    let cell = |be: bool, cfg: VschedConfig| -> Breakdown {
+        let h = run_cell("masstree", be, cfg, secs, seed);
+        Breakdown::from_handle(&h)
+    };
+    Table3 {
+        no_be: (
+            cell(false, VschedConfig::probers_only()),
+            cell(false, bvs_cfg()),
+        ),
+        with_be: (
+            cell(true, VschedConfig::probers_only()),
+            cell(true, bvs_cfg().without_bvs_state_check()),
+            cell(true, bvs_cfg()),
+        ),
+    }
+}

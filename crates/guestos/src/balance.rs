@@ -1,0 +1,467 @@
+//! Load balancing.
+//!
+//! Periodic balancing walks the domain hierarchy lowest-level-first and
+//! pulls waiting tasks toward the balancing vCPU when the load-to-capacity
+//! imbalance warrants it; new-idle balancing does the same the moment a vCPU
+//! runs out of work (this is what makes baseline CFS *work-conserving* —
+//! and what rwc's cgroup bans deliberately relax); misfit balancing moves a
+//! *running* task whose utilization exceeds its vCPU's perceived capacity to
+//! an idle vCPU with more (Linux's active balance, which Figure 11a shows
+//! steering work to high-capacity vCPUs only when capacity is probed
+//! correctly).
+
+use crate::kernel::{Kernel, VcpuId};
+use crate::platform::Platform;
+use crate::task::{TaskId, TaskState};
+
+/// Imbalance factor: the busiest queue must be this much more loaded than
+/// the destination before a pull happens (Linux's `imbalance_pct` = 125).
+const IMBALANCE_PCT: f64 = 1.25;
+
+/// Capacity-fit margin for misfit detection (`fits_capacity`).
+const FITS_MARGIN: f64 = 0.8;
+
+/// Capacity advantage required of the destination in a misfit migration.
+const MISFIT_CAP_ADVANTAGE: f64 = 1.15;
+
+/// Load of a vCPU's queue per unit of perceived capacity.
+fn load_ratio(kern: &Kernel, v: VcpuId, now: simcore::SimTime) -> f64 {
+    kern.rq_weight(v) as f64 / kern.capacity_of(v, now).max(1.0)
+}
+
+/// Finds the first waiting task on `src` that may run on `dst`, skipping
+/// cache-hot tasks (enqueued within `migration_cost_ns`, Linux's
+/// `can_migrate_task` heat check — this also prevents a freshly migrated
+/// task from ping-ponging straight back).
+fn movable_task(kern: &Kernel, src: VcpuId, dst: VcpuId, now: simcore::SimTime) -> Option<TaskId> {
+    for (_, t) in kern.vcpus[src.0].rq.iter() {
+        let task = kern.task(t);
+        if matches!(task.state, TaskState::Runnable(_))
+            && kern.placement_mask(t).contains(dst.0)
+            && now.since(task.enqueued_at) >= kern.cfg.migration_cost_ns
+        {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Outcome of one pull attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PullResult {
+    /// A task moved.
+    Pulled,
+    /// No imbalance worth acting on.
+    Balanced,
+    /// Imbalance exists but the busiest queue had nothing movable
+    /// (Linux increments `nr_balance_failed` here).
+    NothingMovable(VcpuId),
+}
+
+/// Attempts one pull into `dst` from the busiest other vCPU in `span`.
+fn try_pull(
+    kern: &mut Kernel,
+    plat: &mut dyn Platform,
+    dst: VcpuId,
+    span: &crate::cpumask::CpuMask,
+) -> PullResult {
+    let now = plat.now();
+    let dst_ratio = load_ratio(kern, dst, now);
+
+    // The busiest vCPU by load ratio — considering the running task too,
+    // since active balance may target it.
+    let mut busiest: Option<(VcpuId, f64)> = None;
+    for c in span.iter() {
+        let v = VcpuId(c);
+        if v == dst || (kern.vcpus[v.0].rq.is_empty() && kern.vcpus[v.0].curr.is_none()) {
+            continue;
+        }
+        let r = load_ratio(kern, v, now);
+        if busiest.map(|(_, b)| r > b).unwrap_or(true) {
+            busiest = Some((v, r));
+        }
+    }
+    let (src, src_ratio) = match busiest {
+        Some(b) => b,
+        None => return PullResult::Balanced,
+    };
+
+    let dst_idle = kern.vcpu_is_idle(dst);
+    if src_ratio <= IMBALANCE_PCT * dst_ratio || (!dst_idle && src_ratio <= dst_ratio + 0.5) {
+        return PullResult::Balanced;
+    }
+    if dst_idle && kern.vcpus[src.0].rq.is_empty() {
+        // Only the running task could move: that is active balance's job.
+        return PullResult::NothingMovable(src);
+    }
+    let t = match movable_task(kern, src, dst, now) {
+        Some(t) => t,
+        None => {
+            // Linux's LBF_ALL_PINNED: when every queued task is barred by
+            // affinity/cgroup (not merely cache-hot), the CPU is excluded
+            // from balancing instead of escalating to active balance.
+            let any_placeable = kern.vcpus[src.0]
+                .rq
+                .iter()
+                .any(|(_, t)| kern.placement_mask(t).contains(dst.0));
+            if !any_placeable {
+                return PullResult::Balanced;
+            }
+            return PullResult::NothingMovable(src);
+        }
+    };
+    // Require strict improvement so tasks do not ping-pong.
+    let tw = kern.task(t).weight() as f64;
+    let src_cap = kern.capacity_of(src, now).max(1.0);
+    let dst_cap = kern.capacity_of(dst, now).max(1.0);
+    let new_src = (kern.rq_weight(src) as f64 - tw) / src_cap;
+    let new_dst = (kern.rq_weight(dst) as f64 + tw) / dst_cap;
+    if new_dst.max(new_src) >= src_ratio.max(dst_ratio) && !dst_idle {
+        return PullResult::Balanced;
+    }
+    kern.migrate_runnable(plat, t, dst);
+    kern.stats.balance_migrations.inc();
+    PullResult::Pulled
+}
+
+/// Linux's active balance after repeated failed attempts: when the balance
+/// pass keeps finding imbalance with nothing pullable, the *running* task
+/// of the busiest vCPU is pushed to the balancer. Under the inaccurate
+/// baseline capacity view, perceived ratios diverge even on symmetric
+/// hosts, producing the adverse migration churn Figure 11b profiles.
+const BALANCE_FAILED_THRESHOLD: u32 = 3;
+
+fn maybe_active_balance(
+    kern: &mut Kernel,
+    plat: &mut dyn Platform,
+    dst: VcpuId,
+    src: VcpuId,
+) -> bool {
+    // Linux only reaches active balance when the busiest CPU is genuinely
+    // overloaded (waiting tasks it cannot hand over); a CPU running a
+    // single task is "fully busy", not "overloaded", and is left alone.
+    if kern.vcpus[src.0].rq.is_empty() {
+        return false;
+    }
+    kern.vcpus[src.0].balance_failed += 1;
+    if kern.vcpus[src.0].balance_failed < BALANCE_FAILED_THRESHOLD {
+        return false;
+    }
+    let Some(curr) = kern.vcpus[src.0].curr else {
+        return false;
+    };
+    if !kern.placement_mask(curr).contains(dst.0) {
+        return false;
+    }
+    kern.vcpus[src.0].balance_failed = 0;
+    kern.migrate_running(plat, src, dst).is_some()
+}
+
+/// Misfit / active balance: if `dst` is idle and some vCPU runs a task too
+/// big for its perceived capacity, and `dst` has materially more capacity,
+/// migrate the running task here. Gated on the asymmetric-capacity flag
+/// (`SD_ASYM_CPUCAPACITY`): a stock x86 VM never balances on misfit;
+/// vcap's module enables it when probing reveals real asymmetry.
+fn try_misfit(kern: &mut Kernel, plat: &mut dyn Platform, dst: VcpuId) -> bool {
+    if !kern.asym_capacity || !kern.vcpu_is_idle(dst) {
+        return false;
+    }
+    let now = plat.now();
+    let dst_cap = kern.capacity_of(dst, now);
+    let nr = kern.cfg.nr_vcpus;
+    for c in 0..nr {
+        let src = VcpuId(c);
+        if src == dst {
+            continue;
+        }
+        let curr = match kern.vcpus[c].curr {
+            Some(t) => t,
+            None => continue,
+        };
+        let src_cap = kern.capacity_of(src, now);
+        let util = kern.task(curr).pelt.util();
+        let misfit = util > FITS_MARGIN * src_cap;
+        let worth_it = dst_cap > MISFIT_CAP_ADVANTAGE * src_cap
+            && kern.placement_mask(curr).contains(dst.0)
+            // Cache-hot gate: leave freshly (re)started tasks alone.
+            && now.since(kern.task(curr).run_started) >= kern.cfg.migration_cost_ns;
+        if misfit && worth_it {
+            kern.migrate_running(plat, src, dst);
+            return true;
+        }
+    }
+    false
+}
+
+/// SMT spreading (Linux's SD_PREFER_SIBLING): if `dst` sits on a fully
+/// idle core while some core runs tasks on both its hardware threads,
+/// migrate one of them here — actively if necessary. Returns true on a
+/// migration.
+fn try_smt_spread(kern: &mut Kernel, plat: &mut dyn Platform, dst: VcpuId) -> bool {
+    if !kern.domains.has_smt || !kern.vcpu_is_idle(dst) {
+        return false;
+    }
+    let Some(dst_group) = kern.domains.smt_group(dst).copied() else {
+        return false;
+    };
+    if !dst_group.iter().all(|s| kern.vcpu_is_idle(VcpuId(s))) {
+        return false;
+    }
+    let now = plat.now();
+    for c in 0..kern.cfg.nr_vcpus {
+        let src = VcpuId(c);
+        if dst_group.contains(c) {
+            continue;
+        }
+        let Some(group) = kern.domains.smt_group(src).copied() else {
+            continue;
+        };
+        // Both hardware threads of src's core busy with normal tasks?
+        let busy_siblings = group
+            .iter()
+            .filter(|&s| {
+                kern.vcpus[s]
+                    .curr
+                    .map(|t| !kern.task(t).policy.is_idle())
+                    .unwrap_or(false)
+            })
+            .count();
+        if busy_siblings < 2 {
+            continue;
+        }
+        // Prefer a queued task; otherwise actively migrate the running one.
+        if let Some(t) = movable_task(kern, src, dst, now) {
+            kern.migrate_runnable(plat, t, dst);
+            kern.stats.balance_migrations.inc();
+            return true;
+        }
+        if let Some(curr) = kern.vcpus[src.0].curr {
+            if kern.placement_mask(curr).contains(dst.0) {
+                return kern.migrate_running(plat, src, dst).is_some();
+            }
+        }
+    }
+    false
+}
+
+/// Periodic balance, run from the tick of vCPU `v` every
+/// `balance_interval_ticks` ticks. Also performs a round of *nohz idle
+/// balancing*: halted vCPUs cannot balance for themselves, so a busy vCPU
+/// runs the pass on behalf of one idle vCPU (Linux's nohz balancer kick).
+pub fn periodic_balance(kern: &mut Kernel, plat: &mut dyn Platform, v: VcpuId) {
+    let spans: Vec<crate::cpumask::CpuMask> = kern
+        .domains
+        .levels()
+        .iter()
+        .filter_map(|l| l.group_of(v).copied())
+        .collect();
+    let mut done = false;
+    for span in &spans {
+        if span.count() <= 1 {
+            continue;
+        }
+        match try_pull(kern, plat, v, span) {
+            PullResult::Pulled => {
+                done = true;
+                break;
+            }
+            PullResult::Balanced => {}
+            PullResult::NothingMovable(src) => {
+                if maybe_active_balance(kern, plat, v, src) {
+                    done = true;
+                    break;
+                }
+            }
+        }
+    }
+    if !done {
+        try_misfit(kern, plat, v);
+    }
+    // nohz idle balance on behalf of one idle vCPU, rotating with the tick.
+    let nr = kern.cfg.nr_vcpus;
+    let start = (kern.vcpus[v.0].tick_count as usize).wrapping_mul(3) % nr.max(1);
+    for off in 0..nr {
+        let cand = VcpuId((start + off) % nr);
+        if cand != v && kern.vcpu_is_idle(cand) {
+            if try_smt_spread(kern, plat, cand) || try_misfit(kern, plat, cand) {
+                return;
+            }
+            break;
+        }
+    }
+}
+
+/// New-idle balance: called when vCPU `v` is about to go idle; pulls a task
+/// from anywhere allowed (work conservation) or performs a misfit pull.
+/// Returns true if work arrived.
+pub fn newidle_balance(kern: &mut Kernel, plat: &mut dyn Platform, v: VcpuId) -> bool {
+    let spans: Vec<crate::cpumask::CpuMask> = kern
+        .domains
+        .levels()
+        .iter()
+        .filter_map(|l| l.group_of(v).copied())
+        .collect();
+    for span in &spans {
+        if span.count() <= 1 {
+            continue;
+        }
+        match try_pull(kern, plat, v, span) {
+            PullResult::Pulled => return true,
+            PullResult::Balanced | PullResult::NothingMovable(_) => {}
+        }
+    }
+    try_smt_spread(kern, plat, v) || try_misfit(kern, plat, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::GuestConfig;
+    use crate::platform::{CommDistance, RunDelta};
+    use crate::task::SpawnSpec;
+    use simcore::SimTime;
+
+    struct NullPlat {
+        now: SimTime,
+    }
+    impl Platform for NullPlat {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn steal_ns(&self, _v: VcpuId) -> u64 {
+            0
+        }
+        fn vcpu_active(&self, _v: VcpuId) -> bool {
+            true
+        }
+        fn kick(&mut self, _v: VcpuId) {}
+        fn vcpu_idle(&mut self, _v: VcpuId) {}
+        fn run_task(&mut self, _v: VcpuId, _t: TaskId, _r: f64, _f: f64, _p: f64) {}
+        fn stop_task(&mut self, _v: VcpuId) -> RunDelta {
+            RunDelta::default()
+        }
+        fn poll_task(&mut self, _v: VcpuId) -> RunDelta {
+            RunDelta::default()
+        }
+        fn update_factor(&mut self, _v: VcpuId, _f: f64) {}
+        fn send_ipi(&mut self, _to: VcpuId) {}
+        fn comm_distance(&self, _a: VcpuId, _b: VcpuId) -> CommDistance {
+            CommDistance::SameLlc
+        }
+        fn cacheline_latency_ns(&mut self, _a: VcpuId, _b: VcpuId) -> Option<f64> {
+            None
+        }
+        fn set_timer(&mut self, _token: u64, _at: SimTime) {}
+    }
+
+    fn setup(nr: usize) -> (Kernel, NullPlat) {
+        (
+            Kernel::new(GuestConfig::new(nr), SimTime::ZERO),
+            NullPlat { now: SimTime::ZERO },
+        )
+    }
+
+    /// Wakes `n` infinite tasks onto vCPU `v`; the first becomes current.
+    fn load_vcpu(k: &mut Kernel, p: &mut NullPlat, v: usize, n: usize) -> Vec<TaskId> {
+        let mut ids = Vec::new();
+        for _ in 0..n {
+            let t = k.spawn(SimTime::ZERO, SpawnSpec::normal(k.cfg.nr_vcpus));
+            k.wake_to(p, t, VcpuId(v), None);
+            k.task_mut(t).remaining = 1e12;
+            ids.push(t);
+        }
+        if k.vcpus[v].curr.is_none() {
+            k.schedule(p, VcpuId(v));
+        }
+        ids
+    }
+
+    #[test]
+    fn newidle_pulls_from_busy_queue() {
+        let (mut k, mut p) = setup(2);
+        load_vcpu(&mut k, &mut p, 0, 3);
+        assert_eq!(k.vcpus[0].rq.len(), 2);
+        p.now = SimTime::from_ms(1); // let queued tasks go cache-cold
+        let pulled = newidle_balance(&mut k, &mut p, VcpuId(1));
+        assert!(pulled);
+        assert_eq!(k.vcpus[0].rq.len(), 1);
+        assert_eq!(k.stats.balance_migrations.get(), 1);
+    }
+
+    #[test]
+    fn no_pull_when_balanced() {
+        let (mut k, mut p) = setup(2);
+        load_vcpu(&mut k, &mut p, 0, 1);
+        load_vcpu(&mut k, &mut p, 1, 1);
+        // Both vCPUs run one task with empty queues: nothing to pull.
+        assert!(!newidle_balance(&mut k, &mut p, VcpuId(1)));
+        assert_eq!(k.stats.balance_migrations.get(), 0);
+    }
+
+    #[test]
+    fn periodic_balance_evens_out_queues() {
+        let (mut k, mut p) = setup(2);
+        load_vcpu(&mut k, &mut p, 0, 4);
+        load_vcpu(&mut k, &mut p, 1, 1);
+        p.now = SimTime::from_ms(1); // let queued tasks go cache-cold
+        periodic_balance(&mut k, &mut p, VcpuId(1));
+        assert_eq!(k.vcpus[0].rq.len(), 2);
+        assert_eq!(k.vcpus[1].rq.len(), 1);
+    }
+
+    #[test]
+    fn misfit_moves_running_task_to_big_idle_vcpu() {
+        let (mut k, mut p) = setup(2);
+        k.asym_capacity = true; // probed asymmetry enables misfit balancing
+        k.vcpus[0].cap_override = Some(300.0);
+        k.vcpus[1].cap_override = Some(1024.0);
+        let ids = load_vcpu(&mut k, &mut p, 0, 1);
+        p.now = SimTime::from_ms(1); // past the cache-hot gate
+                                     // PELT starts at 512 > 0.8 * 300 → misfit.
+        assert!(newidle_balance(&mut k, &mut p, VcpuId(1)));
+        assert!(matches!(
+            k.task(ids[0]).state,
+            TaskState::Runnable(VcpuId(1))
+        ));
+        assert_eq!(k.stats.active_migrations.get(), 1);
+    }
+
+    #[test]
+    fn misfit_needs_capacity_advantage() {
+        let (mut k, mut p) = setup(2);
+        k.vcpus[0].cap_override = Some(1000.0);
+        k.vcpus[1].cap_override = Some(1024.0);
+        load_vcpu(&mut k, &mut p, 0, 1);
+        // util 512 < 0.8*1000 → no misfit; also no queue → no pull.
+        assert!(!newidle_balance(&mut k, &mut p, VcpuId(1)));
+    }
+
+    #[test]
+    fn cgroup_ban_blocks_pull() {
+        let (mut k, mut p) = setup(2);
+        load_vcpu(&mut k, &mut p, 0, 3);
+        p.now = SimTime::from_ms(1);
+        k.cgroup.ban(1);
+        // Banned vCPU cannot receive tasks: placement mask excludes it.
+        assert!(!newidle_balance(&mut k, &mut p, VcpuId(1)));
+        assert_eq!(k.vcpus[0].rq.len(), 2);
+    }
+
+    #[test]
+    fn affinity_blocks_pull() {
+        let (mut k, mut p) = setup(2);
+        let t = k.spawn(
+            SimTime::ZERO,
+            SpawnSpec::normal(2).affinity(crate::cpumask::CpuMask::single(0)),
+        );
+        let mut p2 = NullPlat { now: SimTime::ZERO };
+        k.wake_to(&mut p2, t, VcpuId(0), None);
+        let t2 = k.spawn(
+            SimTime::ZERO,
+            SpawnSpec::normal(2).affinity(crate::cpumask::CpuMask::single(0)),
+        );
+        k.wake_to(&mut p2, t2, VcpuId(0), None);
+        k.schedule(&mut p2, VcpuId(0));
+        assert!(!newidle_balance(&mut k, &mut p, VcpuId(1)));
+    }
+}

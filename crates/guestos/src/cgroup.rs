@@ -1,0 +1,103 @@
+//! cgroup-cpuset-style placement restrictions.
+//!
+//! `rwc` (relaxed work conservation, paper §3.4) hides problematic vCPUs
+//! from task placement "using cgroups": straggler vCPUs are restricted to
+//! best-effort (`SCHED_IDLE`) tasks so `vcap` can keep probing them, while
+//! all but one vCPU of each stacking group are banned outright (only `vtop`
+//! probers, which carry the bypass flag, may run there).
+
+use crate::cpumask::CpuMask;
+use crate::task::Policy;
+
+/// The placement permissions currently in force.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuAllow {
+    /// vCPUs where normal (non-`SCHED_IDLE`) tasks may run.
+    pub normal: CpuMask,
+    /// vCPUs where any task (including `SCHED_IDLE`) may run.
+    pub any: CpuMask,
+}
+
+impl CpuAllow {
+    /// Everything allowed everywhere — the default, work-conserving state.
+    pub fn unrestricted(nr_vcpus: usize) -> Self {
+        let all = CpuMask::first_n(nr_vcpus);
+        Self {
+            normal: all,
+            any: all,
+        }
+    }
+
+    /// The set of vCPUs a task with `policy` may be placed on.
+    ///
+    /// Tasks with the cgroup-bypass flag (vtop probers) should use their raw
+    /// affinity instead of consulting this.
+    pub fn allowed_for(&self, policy: &Policy) -> CpuMask {
+        if policy.is_idle() {
+            self.any
+        } else {
+            self.normal
+        }
+    }
+
+    /// Restricts vCPU `v` to best-effort tasks only (straggler handling).
+    pub fn restrict_to_idle(&mut self, v: usize) {
+        self.normal.clear(v);
+        self.any.set(v);
+    }
+
+    /// Bans vCPU `v` for all tasks (stacked-vCPU handling).
+    pub fn ban(&mut self, v: usize) {
+        self.normal.clear(v);
+        self.any.clear(v);
+    }
+
+    /// Lifts any restriction on vCPU `v`.
+    pub fn allow(&mut self, v: usize) {
+        self.normal.set(v);
+        self.any.set(v);
+    }
+
+    /// vCPUs banned for every task.
+    pub fn fully_banned(&self, nr_vcpus: usize) -> CpuMask {
+        CpuMask::first_n(nr_vcpus).minus(&self.any)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrestricted_allows_everything() {
+        let c = CpuAllow::unrestricted(4);
+        assert_eq!(c.allowed_for(&Policy::default()).count(), 4);
+        assert_eq!(c.allowed_for(&Policy::Idle).count(), 4);
+    }
+
+    #[test]
+    fn straggler_restriction_keeps_idle_tasks() {
+        let mut c = CpuAllow::unrestricted(4);
+        c.restrict_to_idle(2);
+        assert!(!c.allowed_for(&Policy::default()).contains(2));
+        assert!(c.allowed_for(&Policy::Idle).contains(2));
+    }
+
+    #[test]
+    fn ban_removes_for_all_policies() {
+        let mut c = CpuAllow::unrestricted(4);
+        c.ban(1);
+        assert!(!c.allowed_for(&Policy::default()).contains(1));
+        assert!(!c.allowed_for(&Policy::Idle).contains(1));
+        assert_eq!(c.fully_banned(4), CpuMask::single(1));
+    }
+
+    #[test]
+    fn allow_lifts_restrictions() {
+        let mut c = CpuAllow::unrestricted(4);
+        c.ban(3);
+        c.allow(3);
+        assert!(c.allowed_for(&Policy::default()).contains(3));
+        assert!(c.fully_banned(4).is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Scheduler extension hooks.
+//!
+//! The paper implements `bvs` and `ivh` by inserting BPF hooks into CFS's
+//! CPU-selection path and scheduler-tick handler, "to bypass the original
+//! code paths" (§4) rather than adding a new scheduling class. This trait is
+//! that hook surface: `vsched` installs an implementation into the guest;
+//! every method has a no-op default so partial configurations (e.g. probers
+//! without bvs) install only what they need.
+
+use crate::kernel::{Kernel, VcpuId};
+use crate::platform::Platform;
+use crate::task::TaskId;
+
+/// Hook points mirroring the paper's BPF attachment sites.
+pub trait SchedHooks {
+    /// Downcasting support so harnesses can read statistics back out of an
+    /// installed hook set.
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+
+    /// Wake-up CPU selection override. Returning `Some(cpu)` bypasses the
+    /// CFS heuristic entirely (bvs's aggressive first-fit search, §3.2);
+    /// `None` falls through to `select_task_rq_fair`.
+    fn select_cpu(
+        &mut self,
+        _kern: &mut Kernel,
+        _plat: &mut dyn Platform,
+        _task: TaskId,
+        _prev: VcpuId,
+    ) -> Option<VcpuId> {
+        None
+    }
+
+    /// Called from the scheduler tick after regular tick accounting; ivh
+    /// initiates proactive running-task migration from here (§3.3), and
+    /// vact records its heartbeat timestamp (§3.1).
+    fn on_tick(&mut self, _kern: &mut Kernel, _plat: &mut dyn Platform, _v: VcpuId) {}
+
+    /// Called when the host starts executing vCPU `v` (the guest observes
+    /// this as "we are running again"); ivh completes pending pull requests
+    /// here.
+    fn on_vcpu_start(&mut self, _kern: &mut Kernel, _plat: &mut dyn Platform, _v: VcpuId) {}
+
+    /// Called when the host preempts or halts vCPU `v`.
+    fn on_vcpu_stop(&mut self, _kern: &mut Kernel, _plat: &mut dyn Platform, _v: VcpuId) {}
+
+    /// A timer armed with a token `>= HOOK_TIMER_BASE` fired (vProber
+    /// sampling periods).
+    fn on_timer(&mut self, _kern: &mut Kernel, _plat: &mut dyn Platform, _token: u64) {}
+
+    /// A built-in (prober) task finished its refill quantum; gives the hook
+    /// owner a chance to account prober progress.
+    fn on_builtin_burst(&mut self, _kern: &mut Kernel, _plat: &mut dyn Platform, _task: TaskId) {}
+}
+
+/// The inert hook set: plain CFS behaviour.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHooks;
+
+impl SchedHooks for NoHooks {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,116 @@
+//! The hypervisor/platform interface seen by the guest.
+//!
+//! The guest kernel (and vSched, which runs inside the guest) interacts with
+//! the world below it only through this trait. The methods are split into
+//! two groups:
+//!
+//! * **Guest-visible signals** — things a real Linux guest on KVM can
+//!   observe without hypervisor modification: the clock (`now`), the
+//!   paravirtual steal-time counter (`steal_ns`), and physical measurements
+//!   it can perform itself, such as cache-line transfer latency
+//!   (`cacheline_latency_ns`, which `vtop` uses). vSched restricts itself to
+//!   these.
+//! * **Simulator mechanics** — the machinery by which the simulation runs
+//!   tasks and accrues work (`run_task`/`stop_task`/`poll_task`), which in a
+//!   real system is simply "the CPU executes instructions". `vcpu_active` is
+//!   ground truth used by mechanics and assertions; probing code must not
+//!   consult it (vact estimates it from heartbeats instead).
+
+use crate::kernel::VcpuId;
+use crate::task::TaskId;
+use simcore::SimTime;
+
+/// What happened to the task that was current on a vCPU since accounting
+/// last settled.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunDelta {
+    /// Wall-clock nanoseconds elapsed.
+    pub wall_ns: u64,
+    /// Nanoseconds the vCPU was actually executing on a core (excludes
+    /// steal). This is what CFS charges to vruntime under paravirtual time
+    /// accounting.
+    pub active_ns: u64,
+    /// Work completed, in capacity-ns.
+    pub work: f64,
+}
+
+/// Physical distance between the cores currently hosting two vCPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommDistance {
+    /// Same hardware thread (stacked vCPUs).
+    Stacked,
+    /// Sibling hardware threads of one core.
+    SmtSibling,
+    /// Different cores in one socket (shared LLC).
+    SameLlc,
+    /// Different sockets.
+    CrossSocket,
+}
+
+/// The world below the guest kernel.
+pub trait Platform {
+    /// Current simulated time (the guest's `sched_clock()`; kvmclock
+    /// semantics — advances in wall time even while the vCPU is preempted).
+    fn now(&self) -> SimTime;
+
+    /// Cumulative steal time of `v`: total time the vCPU spent
+    /// runnable-but-preempted on the host. Guest-visible (paravirtual
+    /// steal counter).
+    fn steal_ns(&self, v: VcpuId) -> u64;
+
+    /// Ground truth: whether `v` is executing on a core right now.
+    /// Simulator mechanics only — probing code must use heartbeats.
+    fn vcpu_active(&self, v: VcpuId) -> bool;
+
+    /// Makes a halted vCPU runnable on the host (the guest "kicks" it when
+    /// placing work there). No-op if already runnable/running.
+    fn kick(&mut self, v: VcpuId);
+
+    /// Tells the host the guest has nothing to run on `v`; the vCPU halts
+    /// and stops consuming (and stealing) host CPU.
+    fn vcpu_idle(&mut self, v: VcpuId);
+
+    /// Starts accruing work for `t` as the current task of `v`:
+    /// `remaining` capacity-ns at the vCPU's capacity scaled by `factor`
+    /// (communication-locality penalty). `cache_penalty` is extra work (ns)
+    /// charged each time the vCPU resumes after an inactive period long
+    /// enough for co-running vCPUs to have polluted the cache (paper §2.1:
+    /// "a vCPU doesn't have an intact private cache"); 0 for insensitive
+    /// tasks. The platform fires a burst-complete event into the VM when
+    /// the work finishes.
+    fn run_task(&mut self, v: VcpuId, t: TaskId, remaining: f64, factor: f64, cache_penalty: f64);
+
+    /// Stops accrual on `v` and settles: the returned delta covers the
+    /// interval since `run_task`/the last `poll_task`.
+    fn stop_task(&mut self, v: VcpuId) -> RunDelta;
+
+    /// Settles accrual on `v` without stopping it (tick-time accounting).
+    fn poll_task(&mut self, v: VcpuId) -> RunDelta;
+
+    /// Updates the communication-locality factor of the task currently
+    /// accruing on `v`.
+    fn update_factor(&mut self, v: VcpuId, factor: f64);
+
+    /// Sends a rescheduling IPI to `v` (counted; kicks the vCPU if halted).
+    fn send_ipi(&mut self, to: VcpuId);
+
+    /// Physical distance between the cores hosting two vCPUs *right now*
+    /// (used for communication-cost modelling; changes as the host
+    /// migrates vCPUs).
+    fn comm_distance(&self, a: VcpuId, b: VcpuId) -> CommDistance;
+
+    /// Performs one physical cache-line transfer measurement between `a`
+    /// and `b` as `vtop`'s prober pair would observe it *if both vCPUs are
+    /// currently active*: returns the transfer latency in nanoseconds, or
+    /// `None` when the two vCPUs are not simultaneously active (the prober
+    /// spins). The measurement includes realistic noise.
+    fn cacheline_latency_ns(&mut self, a: VcpuId, b: VcpuId) -> Option<f64>;
+
+    /// Arms a one-shot timer that will be delivered back into this VM
+    /// (routed to the workload or to vSched by token range).
+    fn set_timer(&mut self, token: u64, at: SimTime);
+}
+
+/// Timer tokens at or above this value are routed to the installed
+/// [`crate::hooks::SchedHooks`] (vSched); below it, to the VM's workload.
+pub const HOOK_TIMER_BASE: u64 = 1 << 63;

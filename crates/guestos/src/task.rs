@@ -1,0 +1,255 @@
+//! Tasks: the schedulable entities inside a VM.
+
+use crate::cpumask::CpuMask;
+use crate::pelt::Pelt;
+use crate::weight::{IDLE_WEIGHT, NICE_0_WEIGHT};
+use simcore::SimTime;
+
+/// Identifies a task within one guest. Indexes the kernel's task arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+/// Scheduling policy of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// `SCHED_NORMAL` (CFS) with an explicit weight; use
+    /// [`Policy::nice`] for the standard table.
+    Normal {
+        /// CFS weight (1024 = nice 0).
+        weight: u64,
+    },
+    /// `SCHED_IDLE`: only runs when nothing else wants the CPU.
+    Idle,
+}
+
+impl Policy {
+    /// CFS policy at the given nice level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nice` is outside `-20..=19`.
+    pub fn nice(nice: i32) -> Policy {
+        Policy::Normal {
+            weight: crate::weight::weight_of_nice(nice),
+        }
+    }
+
+    /// The entity's CFS weight.
+    pub fn weight(&self) -> u64 {
+        match self {
+            Policy::Normal { weight } => *weight,
+            Policy::Idle => IDLE_WEIGHT,
+        }
+    }
+
+    /// Whether this is the best-effort `SCHED_IDLE` policy.
+    pub fn is_idle(&self) -> bool {
+        matches!(self, Policy::Idle)
+    }
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy::Normal {
+            weight: NICE_0_WEIGHT,
+        }
+    }
+}
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Currently selected on a vCPU (note: the vCPU itself may be preempted
+    /// by the host — the *stalled running task* of paper §2.3).
+    Running(crate::kernel::VcpuId),
+    /// Waiting on a runqueue.
+    Runnable(crate::kernel::VcpuId),
+    /// Sleeping on a timer (will be woken by the platform).
+    Sleeping,
+    /// Blocked on a workload-level event (barrier, lock, queue).
+    Blocked,
+    /// Exited; the arena slot is retired.
+    Dead,
+}
+
+impl TaskState {
+    /// The vCPU this task occupies, if on one.
+    pub fn vcpu(&self) -> Option<crate::kernel::VcpuId> {
+        match self {
+            TaskState::Running(v) | TaskState::Runnable(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Who supplies the task's behaviour when a CPU burst completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskProgram {
+    /// The VM's [`crate::workload::Workload`] decides the next action.
+    Workload,
+    /// A built-in infinite spin loop (used by `vcap`/`vtop` prober threads);
+    /// bursts are refilled internally and never consult the workload.
+    BuiltinSpin,
+}
+
+/// Parameters for creating a task.
+#[derive(Debug, Clone)]
+pub struct SpawnSpec {
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Allowed vCPUs.
+    pub affinity: CpuMask,
+    /// Behaviour source.
+    pub program: TaskProgram,
+    /// Marks small latency-sensitive tasks (the paper identifies these with
+    /// PELT plus user-space tools such as latency-nice / uclamp).
+    pub latency_sensitive: bool,
+    /// Communication group for locality modelling (tasks in a group exchange
+    /// data; cross-LLC placement costs IPIs and work-rate penalty).
+    pub comm_group: Option<u32>,
+    /// Whether the task loses cache warmth across vCPU inactive periods.
+    pub cache_sensitive: bool,
+    /// May be placed on vCPUs banned by cgroup (only `vtop` probers).
+    pub bypass_cgroup: bool,
+}
+
+impl SpawnSpec {
+    /// A default CFS task allowed everywhere.
+    pub fn normal(nr_vcpus: usize) -> Self {
+        Self {
+            policy: Policy::default(),
+            affinity: CpuMask::first_n(nr_vcpus),
+            program: TaskProgram::Workload,
+            latency_sensitive: false,
+            comm_group: None,
+            cache_sensitive: false,
+            bypass_cgroup: false,
+        }
+    }
+
+    /// Sets the policy.
+    pub fn policy(mut self, p: Policy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Restricts the task to the given vCPUs.
+    pub fn affinity(mut self, m: CpuMask) -> Self {
+        self.affinity = m;
+        self
+    }
+
+    /// Marks the task latency-sensitive.
+    pub fn latency_sensitive(mut self) -> Self {
+        self.latency_sensitive = true;
+        self
+    }
+
+    /// Assigns a communication group.
+    pub fn comm_group(mut self, g: u32) -> Self {
+        self.comm_group = Some(g);
+        self
+    }
+
+    /// Marks the task cache-sensitive.
+    pub fn cache_sensitive(mut self) -> Self {
+        self.cache_sensitive = true;
+        self
+    }
+}
+
+/// A schedulable entity.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// This task's id.
+    pub id: TaskId,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Lifecycle state.
+    pub state: TaskState,
+    /// Allowed vCPUs.
+    pub affinity: CpuMask,
+    /// Behaviour source.
+    pub program: TaskProgram,
+    /// CFS virtual runtime (ns, weight-scaled).
+    pub vruntime: u64,
+    /// PELT tracking.
+    pub pelt: Pelt,
+    /// Remaining work of the current CPU burst, in capacity-ns (1024 ·
+    /// seconds-on-a-reference-core per 10^9 units).
+    pub remaining: f64,
+    /// Latency-sensitivity hint.
+    pub latency_sensitive: bool,
+    /// Communication group.
+    pub comm_group: Option<u32>,
+    /// Cache-sensitivity flag.
+    pub cache_sensitive: bool,
+    /// cgroup bypass flag (vtop probers).
+    pub bypass_cgroup: bool,
+    /// When the task was last enqueued (for runqueue-latency accounting).
+    pub enqueued_at: SimTime,
+    /// Whether the current enqueue was a wakeup (vs a preemption), so queue
+    /// latency is recorded once per wakeup.
+    pub wakeup_pending: bool,
+    /// Runqueue latency of the most recent wakeup (ns).
+    pub last_queue_ns: u64,
+    /// When the task last became current on a vCPU.
+    pub run_started: SimTime,
+    /// The vCPU the task last ran on (for wake placement affinity).
+    pub last_vcpu: crate::kernel::VcpuId,
+    /// Total guest-visible active execution time (ns).
+    pub total_active_ns: u64,
+    /// Total work completed (capacity-ns).
+    pub total_work: f64,
+    /// Number of cross-vCPU migrations.
+    pub migrations: u64,
+}
+
+impl Task {
+    /// Whether the task is currently on a runqueue or running.
+    pub fn on_rq(&self) -> bool {
+        matches!(self.state, TaskState::Running(_) | TaskState::Runnable(_))
+    }
+
+    /// The CFS weight.
+    pub fn weight(&self) -> u64 {
+        self.policy.weight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_weights() {
+        assert_eq!(Policy::default().weight(), 1024);
+        assert_eq!(Policy::Idle.weight(), 3);
+        assert_eq!(Policy::nice(-20).weight(), 88761);
+        assert!(Policy::Idle.is_idle());
+        assert!(!Policy::default().is_idle());
+    }
+
+    #[test]
+    fn state_vcpu_accessor() {
+        use crate::kernel::VcpuId;
+        assert_eq!(TaskState::Running(VcpuId(3)).vcpu(), Some(VcpuId(3)));
+        assert_eq!(TaskState::Runnable(VcpuId(1)).vcpu(), Some(VcpuId(1)));
+        assert_eq!(TaskState::Sleeping.vcpu(), None);
+        assert_eq!(TaskState::Blocked.vcpu(), None);
+    }
+
+    #[test]
+    fn spawn_spec_builder() {
+        let s = SpawnSpec::normal(8)
+            .policy(Policy::Idle)
+            .latency_sensitive()
+            .comm_group(2)
+            .cache_sensitive();
+        assert!(s.policy.is_idle());
+        assert!(s.latency_sensitive);
+        assert_eq!(s.comm_group, Some(2));
+        assert!(s.cache_sensitive);
+        assert_eq!(s.affinity.count(), 8);
+    }
+}

@@ -1,0 +1,89 @@
+//! Nice-to-weight mapping.
+//!
+//! The same table Linux uses (`sched_prio_to_weight`): each nice step scales
+//! CPU share by ≈1.25×, nice 0 is 1024, and `SCHED_IDLE` entities get the
+//! fixed minuscule weight 3 so they only consume otherwise-idle cycles —
+//! the property `vcap`'s light-phase probers and the paper's best-effort
+//! workloads rely on.
+
+/// Weight of a nice-0 task; the unit of load and capacity scaling.
+pub const NICE_0_WEIGHT: u64 = 1024;
+
+/// Weight of a `SCHED_IDLE` task (Linux's `WEIGHT_IDLEPRIO`).
+pub const IDLE_WEIGHT: u64 = 3;
+
+/// Linux's `sched_prio_to_weight` for nice -20..=19.
+const PRIO_TO_WEIGHT: [u64; 40] = [
+    88761, 71755, 56483, 46273, 36291, // -20 .. -16
+    29154, 23254, 18705, 14949, 11916, // -15 .. -11
+    9548, 7620, 6100, 4904, 3906, // -10 .. -6
+    3121, 2501, 1991, 1586, 1277, // -5 .. -1
+    1024, 820, 655, 526, 423, // 0 .. 4
+    335, 272, 215, 172, 137, // 5 .. 9
+    110, 87, 70, 56, 45, // 10 .. 14
+    36, 29, 23, 18, 15, // 15 .. 19
+];
+
+/// Returns the CFS weight for a nice value.
+///
+/// # Panics
+///
+/// Panics if `nice` is outside `-20..=19`.
+pub fn weight_of_nice(nice: i32) -> u64 {
+    assert!((-20..=19).contains(&nice), "nice {nice} out of range");
+    PRIO_TO_WEIGHT[(nice + 20) as usize]
+}
+
+/// Converts an executed-time delta to a vruntime delta for a given weight:
+/// `delta * NICE_0_WEIGHT / weight`, saturating.
+pub fn calc_delta_vruntime(delta_ns: u64, weight: u64) -> u64 {
+    if weight == 0 {
+        return u64::MAX;
+    }
+    ((delta_ns as u128 * NICE_0_WEIGHT as u128) / weight as u128).min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice_zero_is_1024() {
+        assert_eq!(weight_of_nice(0), 1024);
+    }
+
+    #[test]
+    fn table_endpoints() {
+        assert_eq!(weight_of_nice(-20), 88761);
+        assert_eq!(weight_of_nice(19), 15);
+    }
+
+    #[test]
+    fn each_step_scales_about_25_percent() {
+        for n in -20..19 {
+            let ratio = weight_of_nice(n) as f64 / weight_of_nice(n + 1) as f64;
+            assert!((1.15..1.40).contains(&ratio), "nice {n} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn vruntime_scales_inversely_with_weight() {
+        // A nice-0 task accrues vruntime at 1:1.
+        assert_eq!(calc_delta_vruntime(1000, NICE_0_WEIGHT), 1000);
+        // A heavy task accrues more slowly.
+        assert!(calc_delta_vruntime(1000, 88761) < 20);
+        // An idle task accrues very fast.
+        assert_eq!(calc_delta_vruntime(3, IDLE_WEIGHT), 1024);
+    }
+
+    #[test]
+    fn zero_weight_saturates() {
+        assert_eq!(calc_delta_vruntime(1, 0), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_nice_panics() {
+        weight_of_nice(20);
+    }
+}

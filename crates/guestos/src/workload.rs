@@ -1,0 +1,97 @@
+//! The workload interface.
+//!
+//! A [`Workload`] is the application running inside a VM: it spawns tasks,
+//! reacts to timers (request arrivals, phase changes), and decides what each
+//! task does when its current CPU burst completes. Synchronization between
+//! tasks (barriers, locks, queues) is workload-internal: a task blocks via
+//! [`TaskAction::Block`] and the workload later wakes it through the guest
+//! API.
+
+use crate::kernel::GuestOs;
+use crate::platform::Platform;
+use crate::task::TaskId;
+
+/// What a task does next, decided when its previous burst completes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskAction {
+    /// Execute `work` capacity-ns of CPU work.
+    Compute {
+        /// Amount of work in capacity-ns (1024 × wall-ns on a reference
+        /// core).
+        work: f64,
+    },
+    /// Sleep for a duration (I/O, think time); the platform wakes the task.
+    Sleep {
+        /// Sleep duration in nanoseconds.
+        ns: u64,
+    },
+    /// Block on a workload-level event; the workload must wake the task
+    /// explicitly.
+    Block,
+    /// Exit; the task's arena slot is retired.
+    Exit,
+}
+
+/// Application logic hosted by a VM.
+pub trait Workload {
+    /// Called once at simulation start; spawn initial tasks and arm timers.
+    fn start(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform);
+
+    /// A timer armed through [`Platform::set_timer`] with a token below
+    /// `HOOK_TIMER_BASE` fired.
+    fn on_timer(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform, token: u64);
+
+    /// Task `t` finished its burst (or was just spawned and needs its first
+    /// action): decide what it does next.
+    fn next_action(
+        &mut self,
+        guest: &mut GuestOs,
+        plat: &mut dyn Platform,
+        t: TaskId,
+    ) -> TaskAction;
+
+    /// Whether the workload has run to completion (drivers may stop the
+    /// simulation early when every workload reports finished).
+    fn finished(&self) -> bool {
+        false
+    }
+
+    /// Whether this workload owns task `t`. Single workloads own every
+    /// task of their VM (the default); combinators use this to route
+    /// `next_action` to the right child.
+    fn owns_task(&self, _t: TaskId) -> bool {
+        true
+    }
+
+    /// Short label for reports.
+    fn label(&self) -> &str {
+        "workload"
+    }
+}
+
+/// A trivial workload hosting no tasks; useful as a placeholder in tests.
+#[derive(Debug, Default)]
+pub struct IdleWorkload;
+
+impl Workload for IdleWorkload {
+    fn start(&mut self, _guest: &mut GuestOs, _plat: &mut dyn Platform) {}
+
+    fn on_timer(&mut self, _guest: &mut GuestOs, _plat: &mut dyn Platform, _token: u64) {}
+
+    fn next_action(
+        &mut self,
+        _guest: &mut GuestOs,
+        _plat: &mut dyn Platform,
+        _t: TaskId,
+    ) -> TaskAction {
+        TaskAction::Exit
+    }
+
+    fn finished(&self) -> bool {
+        true
+    }
+
+    fn label(&self) -> &str {
+        "idle"
+    }
+}

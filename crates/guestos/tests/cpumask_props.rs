@@ -1,0 +1,105 @@
+//! Property tests on the 256-bit CPU mask.
+//!
+//! Every placement decision — wake selection, domain membership, cgroup
+//! restriction — goes through this type; its set algebra and cyclic
+//! iteration must be exact.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use vsched_guestos::CpuMask;
+
+const MAX: usize = 256;
+
+fn to_set(m: &CpuMask) -> BTreeSet<usize> {
+    m.iter().collect()
+}
+
+prop_compose! {
+    fn cpu_set()(bits in prop::collection::btree_set(0usize..MAX, 0..64)) -> BTreeSet<usize> {
+        bits
+    }
+}
+
+proptest! {
+    /// `from_iter` / `iter` round-trip exactly.
+    #[test]
+    fn iter_roundtrip(s in cpu_set()) {
+        let m = CpuMask::from_iter(s.iter().copied());
+        prop_assert_eq!(to_set(&m), s.clone());
+        prop_assert_eq!(m.count(), s.len());
+        prop_assert_eq!(m.is_empty(), s.is_empty());
+        prop_assert_eq!(m.first(), s.iter().next().copied());
+    }
+
+    /// and/or/minus agree with BTreeSet set algebra.
+    #[test]
+    fn set_algebra_matches(a in cpu_set(), b in cpu_set()) {
+        let ma = CpuMask::from_iter(a.iter().copied());
+        let mb = CpuMask::from_iter(b.iter().copied());
+        let inter: BTreeSet<_> = a.intersection(&b).copied().collect();
+        let union: BTreeSet<_> = a.union(&b).copied().collect();
+        let diff: BTreeSet<_> = a.difference(&b).copied().collect();
+        prop_assert_eq!(to_set(&ma.and(&mb)), inter.clone());
+        prop_assert_eq!(to_set(&ma.or(&mb)), union);
+        prop_assert_eq!(to_set(&ma.minus(&mb)), diff);
+        prop_assert_eq!(ma.intersects(&mb), !inter.is_empty());
+        prop_assert_eq!(ma.subset_of(&mb), a.is_subset(&b));
+    }
+
+    /// set/clear/contains behave like single-bit mutations.
+    #[test]
+    fn set_clear_contains(s in cpu_set(), cpu in 0usize..MAX) {
+        let mut m = CpuMask::from_iter(s.iter().copied());
+        m.set(cpu);
+        prop_assert!(m.contains(cpu));
+        prop_assert_eq!(m.count(), s.len() + usize::from(!s.contains(&cpu)));
+        m.clear(cpu);
+        prop_assert!(!m.contains(cpu));
+        let mut expect = s.clone();
+        expect.remove(&cpu);
+        prop_assert_eq!(to_set(&m), expect);
+    }
+
+    /// `iter_from(start)` visits every set bit exactly once, beginning with
+    /// the first set bit at or after `start`, wrapping cyclically.
+    #[test]
+    fn iter_from_is_a_cyclic_permutation(s in cpu_set(), start in 0usize..MAX) {
+        let m = CpuMask::from_iter(s.iter().copied());
+        let visited: Vec<usize> = m.iter_from(start).collect();
+        // Exactly the set, once each.
+        let as_set: BTreeSet<usize> = visited.iter().copied().collect();
+        prop_assert_eq!(visited.len(), s.len(), "duplicates or misses");
+        prop_assert_eq!(as_set, s.clone());
+        // Ordering: all >= start first (ascending), then the wrap (ascending).
+        if let Some(split) = visited.iter().position(|&c| c < start) {
+            let (hi, lo) = visited.split_at(split);
+            prop_assert!(hi.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(lo.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(hi.iter().all(|&c| c >= start));
+            prop_assert!(lo.iter().all(|&c| c < start));
+        } else {
+            prop_assert!(visited.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// `first_n` is the interval `[0, n)`.
+    #[test]
+    fn first_n_is_prefix(n in 0usize..MAX) {
+        let m = CpuMask::first_n(n);
+        prop_assert_eq!(m.count(), n);
+        for c in 0..MAX {
+            prop_assert_eq!(m.contains(c), c < n);
+        }
+    }
+
+    /// De Morgan-ish sanity: `a.minus(b)` and `a.and(b)` partition `a`.
+    #[test]
+    fn minus_and_partition(a in cpu_set(), b in cpu_set()) {
+        let ma = CpuMask::from_iter(a.iter().copied());
+        let mb = CpuMask::from_iter(b.iter().copied());
+        let kept = ma.and(&mb);
+        let dropped = ma.minus(&mb);
+        prop_assert!(!kept.intersects(&dropped));
+        prop_assert_eq!(to_set(&kept.or(&dropped)), a);
+    }
+}

@@ -1,0 +1,239 @@
+//! Property tests: the guest kernel's structural invariants hold under
+//! arbitrary sequences of scheduler operations.
+//!
+//! Invariants checked after every step:
+//! * every live task is in exactly one place (one vCPU's `curr`, one
+//!   runqueue, or off-queue sleeping/blocked/dead);
+//! * runqueue aggregates (`weight_sum`, `nr_normal`, `nr_idle`) match the
+//!   queue contents;
+//! * `min_vruntime` never decreases;
+//! * a vCPU with waiting tasks and no current is never silently abandoned
+//!   (the wake path kicked it).
+
+use proptest::prelude::*;
+use simcore::SimTime;
+use vsched_guestos::{
+    CommDistance, GuestConfig, Kernel, Platform, Policy, RunDelta, SpawnSpec, TaskId, TaskState,
+    VcpuId,
+};
+
+/// An always-active platform that advances a synthetic clock and lets tasks
+/// "run" with wall-time work accrual.
+struct FakePlat {
+    now: SimTime,
+    running: Vec<Option<(TaskId, SimTime)>>,
+}
+
+impl FakePlat {
+    fn new(nr: usize) -> Self {
+        Self {
+            now: SimTime::ZERO,
+            running: vec![None; nr],
+        }
+    }
+}
+
+impl Platform for FakePlat {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn steal_ns(&self, _v: VcpuId) -> u64 {
+        0
+    }
+    fn vcpu_active(&self, _v: VcpuId) -> bool {
+        true
+    }
+    fn kick(&mut self, _v: VcpuId) {}
+    fn vcpu_idle(&mut self, _v: VcpuId) {}
+    fn run_task(&mut self, v: VcpuId, t: TaskId, _r: f64, _f: f64, _p: f64) {
+        self.running[v.0] = Some((t, self.now));
+    }
+    fn stop_task(&mut self, v: VcpuId) -> RunDelta {
+        match self.running[v.0].take() {
+            Some((_, since)) => {
+                let wall = self.now.since(since);
+                RunDelta {
+                    wall_ns: wall,
+                    active_ns: wall,
+                    work: wall as f64,
+                }
+            }
+            None => RunDelta::default(),
+        }
+    }
+    fn poll_task(&mut self, v: VcpuId) -> RunDelta {
+        match self.running[v.0].as_mut() {
+            Some((_, since)) => {
+                let wall = self.now.since(*since);
+                *since = self.now;
+                RunDelta {
+                    wall_ns: wall,
+                    active_ns: wall,
+                    work: wall as f64,
+                }
+            }
+            None => RunDelta::default(),
+        }
+    }
+    fn update_factor(&mut self, _v: VcpuId, _f: f64) {}
+    fn send_ipi(&mut self, _to: VcpuId) {}
+    fn comm_distance(&self, _a: VcpuId, _b: VcpuId) -> CommDistance {
+        CommDistance::SameLlc
+    }
+    fn cacheline_latency_ns(&mut self, _a: VcpuId, _b: VcpuId) -> Option<f64> {
+        None
+    }
+    fn set_timer(&mut self, _token: u64, _at: SimTime) {}
+}
+
+/// The randomized operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Spawn { idle_policy: bool },
+    Wake { task: usize, vcpu: usize },
+    Tick { vcpu: usize },
+    Block { task: usize },
+    MigrateRunnable { task: usize, to: usize },
+    MigrateRunning { from: usize, to: usize },
+    Kill { task: usize },
+    Ban { vcpu: usize },
+    Allow { vcpu: usize },
+    Advance { ns: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<bool>().prop_map(|idle_policy| Op::Spawn { idle_policy }),
+        (0usize..24, 0usize..4).prop_map(|(task, vcpu)| Op::Wake { task, vcpu }),
+        (0usize..4).prop_map(|vcpu| Op::Tick { vcpu }),
+        (0usize..24).prop_map(|task| Op::Block { task }),
+        (0usize..24, 0usize..4).prop_map(|(task, to)| Op::MigrateRunnable { task, to }),
+        (0usize..4, 0usize..4).prop_map(|(from, to)| Op::MigrateRunning { from, to }),
+        (0usize..24).prop_map(|task| Op::Kill { task }),
+        (0usize..4).prop_map(|vcpu| Op::Ban { vcpu }),
+        (0usize..4).prop_map(|vcpu| Op::Allow { vcpu }),
+        (1u64..5_000_000).prop_map(|ns| Op::Advance { ns }),
+    ]
+}
+
+fn check_invariants(kern: &Kernel, min_floor: &mut [u64]) {
+    let nr = kern.cfg.nr_vcpus;
+    // 1. Placement uniqueness.
+    let mut seen = vec![0u32; kern.tasks.len()];
+    for v in 0..nr {
+        if let Some(t) = kern.vcpus[v].curr {
+            seen[t.0 as usize] += 1;
+            assert_eq!(
+                kern.task(t).state,
+                TaskState::Running(VcpuId(v)),
+                "curr task state mismatch"
+            );
+        }
+        for (_, t) in kern.vcpus[v].rq.iter() {
+            seen[t.0 as usize] += 1;
+            assert_eq!(
+                kern.task(t).state,
+                TaskState::Runnable(VcpuId(v)),
+                "queued task state mismatch"
+            );
+        }
+    }
+    for task in &kern.tasks {
+        let expected = match task.state {
+            TaskState::Running(_) | TaskState::Runnable(_) => 1,
+            _ => 0,
+        };
+        assert_eq!(
+            seen[task.id.0 as usize], expected,
+            "task {:?} in state {:?} appears {} times",
+            task.id, task.state, seen[task.id.0 as usize]
+        );
+    }
+    // 2. Queue aggregates.
+    for v in 0..nr {
+        let rq = &kern.vcpus[v].rq;
+        let mut weight = 0u64;
+        let mut idle = 0usize;
+        let mut normal = 0usize;
+        for (_, t) in rq.iter() {
+            weight += kern.task(t).weight();
+            if kern.task(t).policy.is_idle() {
+                idle += 1;
+            } else {
+                normal += 1;
+            }
+        }
+        assert_eq!(rq.weight_sum, weight, "vcpu {v} weight_sum");
+        assert_eq!(rq.nr_idle, idle, "vcpu {v} nr_idle");
+        assert_eq!(rq.nr_normal, normal, "vcpu {v} nr_normal");
+    }
+    // 3. min_vruntime monotonic.
+    #[allow(clippy::needless_range_loop)]
+    for v in 0..nr {
+        let m = kern.vcpus[v].rq.min_vruntime;
+        assert!(m >= min_floor[v], "vcpu {v} min_vruntime went backwards");
+        min_floor[v] = m;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernel_invariants_hold(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let nr = 4;
+        let mut kern = Kernel::new(GuestConfig::new(nr), SimTime::ZERO);
+        let mut plat = FakePlat::new(nr);
+        let mut ids: Vec<TaskId> = Vec::new();
+        let mut min_floor = vec![0u64; nr];
+
+        for op in ops {
+            match op {
+                Op::Spawn { idle_policy } => {
+                    if ids.len() < 24 {
+                        let mut spec = SpawnSpec::normal(nr);
+                        if idle_policy {
+                            spec = spec.policy(Policy::Idle);
+                        }
+                        let t = kern.spawn(plat.now, spec);
+                        kern.task_mut(t).remaining = 1e15;
+                        ids.push(t);
+                    }
+                }
+                Op::Wake { task, vcpu } => {
+                    if let Some(&t) = ids.get(task) {
+                        kern.wake_to(&mut plat, t, VcpuId(vcpu), None);
+                        // A woken task must be schedulable: if the vCPU has
+                        // no current, schedule it.
+                        if kern.vcpus[vcpu].curr.is_none() && !kern.vcpus[vcpu].rq.is_empty() {
+                            kern.schedule(&mut plat, VcpuId(vcpu));
+                        }
+                    }
+                }
+                Op::Tick { vcpu } => kern.tick(&mut plat, VcpuId(vcpu)),
+                Op::Block { task } => {
+                    if let Some(&t) = ids.get(task) {
+                        kern.block_task(&mut plat, t);
+                    }
+                }
+                Op::MigrateRunnable { task, to } => {
+                    if let Some(&t) = ids.get(task) {
+                        kern.migrate_runnable(&mut plat, t, VcpuId(to));
+                    }
+                }
+                Op::MigrateRunning { from, to } => {
+                    kern.migrate_running(&mut plat, VcpuId(from), VcpuId(to));
+                }
+                Op::Kill { task } => {
+                    if let Some(&t) = ids.get(task) {
+                        kern.kill_task(&mut plat, t);
+                    }
+                }
+                Op::Ban { vcpu } => kern.cgroup.ban(vcpu),
+                Op::Allow { vcpu } => kern.cgroup.allow(vcpu),
+                Op::Advance { ns } => plat.now = plat.now.after(ns),
+            }
+            check_invariants(&kern, &mut min_floor);
+        }
+    }
+}

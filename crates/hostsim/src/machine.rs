@@ -1,0 +1,1327 @@
+//! The machine: host scheduler, vCPUs, VMs, and the event loop.
+//!
+//! [`Machine`] owns the physical threads, every vCPU, and every VM (each a
+//! [`guestos::GuestOs`] plus its workload). It drives the simulation:
+//!
+//! * **Host scheduling** — per-hardware-thread weighted round-robin over
+//!   entities (vCPUs and host stressor loads), with CFS-bandwidth-style
+//!   `(quota, period)` throttling per vCPU. This produces exactly the
+//!   signals the paper manipulates on its testbed: vCPU inactive periods,
+//!   steal time, and capacity fluctuation.
+//! * **Work accrual** — a guest task accrues work only while its vCPU is
+//!   `Running`, at the hosting thread's capacity (DVFS × SMT contention),
+//!   scaled by the task's communication-locality factor.
+//! * **Guest callbacks** — vCPU start/stop, the 1 ms guest tick (suppressed
+//!   while preempted, which is what makes `vact`'s heartbeat work), burst
+//!   completion, task wake timers, and workload/vSched timers.
+//!
+//! Re-entrancy rule: [`guestos::Platform`] methods invoked from inside guest
+//! code never call back into a guest; anything that needs to (a thread
+//! reschedule that starts another VM's vCPU) is deferred through a
+//! zero-delay event.
+
+use crate::topology::HostSpec;
+use guestos::{
+    CommDistance, GuestConfig, GuestOs, Platform, RunDelta, TaskId, TaskState, VcpuId, Workload,
+};
+use simcore::{EventQueue, Integrator, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// Global vCPU index across all VMs.
+pub type GVcpu = usize;
+
+/// Host-side scheduling state of a vCPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostState {
+    /// Guest has nothing to run; not on any host runqueue.
+    Halted,
+    /// Wants to run; waiting on a host runqueue (steal time accrues).
+    Runnable,
+    /// Executing on the given hardware thread.
+    Running(usize),
+    /// Out of CFS-bandwidth quota (steal time accrues).
+    Throttled,
+}
+
+/// CFS-bandwidth-style quota state.
+#[derive(Debug, Clone, Copy)]
+struct Bandwidth {
+    quota_ns: u64,
+    period_ns: u64,
+    runtime_ns: u64,
+    period_start: SimTime,
+}
+
+impl Bandwidth {
+    /// Rolls the period window forward to contain `now`, resetting runtime.
+    fn refill_to(&mut self, now: SimTime) {
+        if now.since(self.period_start) >= self.period_ns {
+            let periods = now.since(self.period_start) / self.period_ns;
+            self.period_start = self.period_start.after(periods * self.period_ns);
+            self.runtime_ns = 0;
+        }
+    }
+
+    fn quota_left(&self) -> u64 {
+        self.quota_ns.saturating_sub(self.runtime_ns)
+    }
+
+    fn next_refill(&self) -> SimTime {
+        self.period_start.after(self.period_ns)
+    }
+}
+
+/// An in-flight guest-task execution on a vCPU.
+struct RunCtx {
+    task: TaskId,
+    target: f64,
+    factor: f64,
+    cache_penalty: f64,
+    work: Integrator,
+    active: Integrator,
+    prev_work: f64,
+    prev_active: f64,
+    last_settle: SimTime,
+}
+
+/// Host-side record of one vCPU.
+pub struct HostVcpu {
+    /// Owning VM index.
+    pub vm: usize,
+    /// Guest-local index.
+    pub idx: usize,
+    /// Hardware threads this vCPU may run on (preference order).
+    pub affinity: Vec<usize>,
+    /// Host scheduling weight (1024 = one fair share).
+    pub weight: u64,
+    /// Current host state.
+    pub state: HostState,
+    state_since: SimTime,
+    /// Cumulative steal (runnable/throttled) time, guest-visible.
+    pub steal_ns: u64,
+    /// Cumulative time actually executing.
+    pub active_ns: u64,
+    /// Host-side preemption count (Running → waiting transitions).
+    pub preemptions: u64,
+    bandwidth: Option<Bandwidth>,
+    bw_gen: u64,
+    run: Option<RunCtx>,
+    tick_gen: u64,
+    burst_gen: u64,
+    /// Capacity contribution currently flowing into the VM cycle counter.
+    cap_contrib: f64,
+    /// Total work delivered through this vCPU (capacity-ns).
+    pub delivered_work: f64,
+    /// Segment log of (start, end) running intervals, kept only when
+    /// tracing is enabled (Figure 3's timeline).
+    pub trace_segments: Vec<(SimTime, SimTime)>,
+}
+
+/// An always-runnable host-level load (stressor / high-priority host task).
+#[derive(Debug, Clone, Copy)]
+pub struct HostLoad {
+    /// Identifier (index into the load arena).
+    pub id: usize,
+    /// Host scheduling weight.
+    pub weight: u64,
+    /// Pinned thread.
+    pub thread: usize,
+    /// Whether the load has been removed.
+    pub dead: bool,
+}
+
+/// An entity schedulable on a hardware thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entity {
+    /// A vCPU (global index).
+    Vcpu(GVcpu),
+    /// A host load (arena index).
+    Load(usize),
+}
+
+/// Per-hardware-thread scheduler state.
+struct HwThread {
+    current: Option<Entity>,
+    queue: VecDeque<Entity>,
+    quantum_gen: u64,
+    /// When the current entity started its quantum (for bandwidth runtime).
+    quantum_started: SimTime,
+}
+
+/// One virtual machine: guest kernel + workload + accounting.
+pub struct Vm {
+    /// The guest OS (scheduler + optional vSched hooks).
+    pub guest: GuestOs,
+    /// The hosted workload, if any.
+    pub workload: Option<Box<dyn Workload>>,
+    /// First global vCPU index of this VM.
+    pub gvcpu_base: usize,
+    /// Number of vCPUs.
+    pub nr_vcpus: usize,
+    /// Cycle accounting: integral of capacity over running vCPU time
+    /// (Figure 20's total-cycles metric).
+    pub cycles: Integrator,
+    cycles_rate: f64,
+}
+
+/// Simulation events.
+pub enum Ev {
+    /// Re-evaluate a hardware thread's current entity.
+    ThreadResched {
+        /// Thread index.
+        th: usize,
+    },
+    /// The current entity's quantum on a thread expired.
+    QuantumExpire {
+        /// Thread index.
+        th: usize,
+        /// Validity generation.
+        gen: u64,
+    },
+    /// A throttled vCPU's bandwidth period rolled over.
+    ThrottleRefill {
+        /// Global vCPU.
+        gv: GVcpu,
+        /// Validity generation.
+        gen: u64,
+    },
+    /// Guest scheduler tick (1 ms while the vCPU runs).
+    GuestTick {
+        /// Global vCPU.
+        gv: GVcpu,
+        /// Validity generation.
+        gen: u64,
+    },
+    /// Predicted completion of the current task's burst.
+    BurstDone {
+        /// Global vCPU.
+        gv: GVcpu,
+        /// Validity generation.
+        gen: u64,
+    },
+    /// A sleeping task's timer fired.
+    TaskWake {
+        /// VM index.
+        vm: usize,
+        /// Task to wake.
+        task: TaskId,
+    },
+    /// A workload or vSched timer fired.
+    Timer {
+        /// VM index.
+        vm: usize,
+        /// Token (routed by `HOOK_TIMER_BASE`).
+        token: u64,
+    },
+    /// A scripted scenario action fires.
+    Script {
+        /// Index into the scenario script.
+        idx: usize,
+    },
+    /// A registered sampler fires.
+    Sample {
+        /// Sampler index.
+        id: usize,
+    },
+    /// End of the current run window.
+    End,
+}
+
+/// A scripted change to the host configuration at a point in time.
+pub enum ScriptAction {
+    /// Install or remove bandwidth control on a vCPU.
+    SetBandwidth {
+        /// VM index.
+        vm: usize,
+        /// Guest-local vCPU.
+        vcpu: usize,
+        /// `(quota_ns, period_ns)`, or `None` to remove throttling.
+        qp: Option<(u64, u64)>,
+    },
+    /// Change a core's DVFS frequency factor.
+    SetFreq {
+        /// Core index.
+        core: usize,
+        /// Frequency factor (1.0 = nominal).
+        factor: f64,
+    },
+    /// Add a host-level load on a thread; the load id is its arena index
+    /// (`loads_added` so far).
+    AddLoad {
+        /// Thread to stress.
+        thread: usize,
+        /// Host weight of the load.
+        weight: u64,
+    },
+    /// Remove a previously added host load.
+    RemoveLoad {
+        /// Load id from the add order.
+        id: usize,
+    },
+    /// Re-pin a vCPU to a new set of threads.
+    SetAffinity {
+        /// VM index.
+        vm: usize,
+        /// Guest-local vCPU.
+        vcpu: usize,
+        /// New allowed threads.
+        threads: Vec<usize>,
+    },
+    /// Change a vCPU's host scheduling weight.
+    SetVcpuWeight {
+        /// VM index.
+        vm: usize,
+        /// Guest-local vCPU.
+        vcpu: usize,
+        /// New weight.
+        weight: u64,
+    },
+}
+
+type Sampler = (u64, Option<Box<dyn FnMut(&Machine)>>);
+
+/// The simulated physical machine and everything on it.
+pub struct Machine {
+    /// Physical description.
+    pub spec: HostSpec,
+    /// Event queue (owns the clock).
+    pub q: EventQueue<Ev>,
+    /// Randomness (measurement noise).
+    pub rng: SimRng,
+    threads: Vec<HwThread>,
+    thread_quantum: Vec<u64>,
+    core_freq: Vec<f64>,
+    /// All vCPUs, across VMs.
+    pub vcpus: Vec<HostVcpu>,
+    /// All VMs.
+    pub vms: Vec<Vm>,
+    loads: Vec<HostLoad>,
+    script: Vec<(SimTime, ScriptAction)>,
+    samplers: Vec<Sampler>,
+    /// Record running segments per vCPU (Figure 3 timelines).
+    pub trace_activity: bool,
+    finished: bool,
+}
+
+impl Machine {
+    /// Creates an empty machine; add VMs with [`Machine::add_vm`].
+    pub fn new(spec: HostSpec, seed: u64) -> Self {
+        let nr = spec.nr_threads();
+        let cores = spec.nr_cores();
+        let quantum = spec.quantum_ns;
+        Self {
+            spec,
+            q: EventQueue::new(),
+            rng: SimRng::new(seed),
+            threads: (0..nr)
+                .map(|_| HwThread {
+                    current: None,
+                    queue: VecDeque::new(),
+                    quantum_gen: 0,
+                    quantum_started: SimTime::ZERO,
+                })
+                .collect(),
+            thread_quantum: vec![quantum; nr],
+            core_freq: vec![1.0; cores],
+            vcpus: Vec::new(),
+            vms: Vec::new(),
+            loads: Vec::new(),
+            script: Vec::new(),
+            samplers: Vec::new(),
+            trace_activity: false,
+            finished: false,
+        }
+    }
+
+    /// Adds a VM with per-vCPU thread affinities (one `Vec<usize>` per
+    /// vCPU), host weights, and optional bandwidth. Returns the VM index.
+    pub fn add_vm(
+        &mut self,
+        guest_cfg: GuestConfig,
+        affinities: Vec<Vec<usize>>,
+        weight: u64,
+        bandwidth: Option<(u64, u64)>,
+    ) -> usize {
+        let nr = guest_cfg.nr_vcpus;
+        assert_eq!(affinities.len(), nr, "one affinity list per vCPU");
+        let base = self.vcpus.len();
+        let vm_idx = self.vms.len();
+        let now = self.q.now();
+        for (i, aff) in affinities.into_iter().enumerate() {
+            assert!(!aff.is_empty(), "vCPU affinity must be non-empty");
+            for &t in &aff {
+                assert!(t < self.spec.nr_threads(), "thread {t} out of range");
+            }
+            self.vcpus.push(HostVcpu {
+                vm: vm_idx,
+                idx: i,
+                affinity: aff,
+                weight,
+                state: HostState::Halted,
+                state_since: now,
+                steal_ns: 0,
+                active_ns: 0,
+                preemptions: 0,
+                bandwidth: bandwidth.map(|(q, p)| Bandwidth {
+                    quota_ns: q,
+                    period_ns: p,
+                    runtime_ns: 0,
+                    period_start: now,
+                }),
+                bw_gen: 0,
+                run: None,
+                tick_gen: 0,
+                burst_gen: 0,
+                cap_contrib: 0.0,
+                delivered_work: 0.0,
+                trace_segments: Vec::new(),
+            });
+        }
+        self.vms.push(Vm {
+            guest: GuestOs::new(guest_cfg, now),
+            workload: None,
+            gvcpu_base: base,
+            nr_vcpus: nr,
+            cycles: Integrator::new(now),
+            cycles_rate: 0.0,
+        });
+        vm_idx
+    }
+
+    /// Installs the workload of a VM.
+    pub fn set_workload(&mut self, vm: usize, w: Box<dyn Workload>) {
+        self.vms[vm].workload = Some(w);
+    }
+
+    /// Appends a scripted action at an absolute time. Call before
+    /// [`Machine::start`].
+    pub fn at(&mut self, t: SimTime, action: ScriptAction) {
+        self.script.push((t, action));
+    }
+
+    /// Registers a periodic sampler; returns its id.
+    pub fn add_sampler(&mut self, interval_ns: u64, f: Box<dyn FnMut(&Machine)>) -> usize {
+        self.samplers.push((interval_ns, Some(f)));
+        self.samplers.len() - 1
+    }
+
+    /// Adds a host load immediately; returns its id.
+    pub fn add_host_load(&mut self, thread: usize, weight: u64) -> usize {
+        let id = self.loads.len();
+        self.loads.push(HostLoad {
+            id,
+            weight,
+            thread,
+            dead: false,
+        });
+        self.threads[thread].queue.push_back(Entity::Load(id));
+        let now = self.q.now();
+        self.q.post(now, Ev::ThreadResched { th: thread });
+        id
+    }
+
+    /// Removes a host load.
+    pub fn remove_host_load(&mut self, id: usize) {
+        if self.loads[id].dead {
+            return;
+        }
+        self.loads[id].dead = true;
+        let th = self.loads[id].thread;
+        self.threads[th].queue.retain(|e| *e != Entity::Load(id));
+        if self.threads[th].current == Some(Entity::Load(id)) {
+            self.stop_current(th);
+            let now = self.q.now();
+            self.q.post(now, Ev::ThreadResched { th });
+        }
+    }
+
+    /// Global vCPU index of a guest-local vCPU.
+    pub fn gv(&self, vm: usize, vcpu: usize) -> GVcpu {
+        self.vms[vm].gvcpu_base + vcpu
+    }
+
+    /// The guest task currently accruing work on a vCPU, if any.
+    pub fn running_task(&self, gv: GVcpu) -> Option<TaskId> {
+        self.vcpus[gv].run.as_ref().map(|r| r.task)
+    }
+
+    /// Total weight of live host loads pinned to a thread.
+    pub fn host_load_weight_on(&self, th: usize) -> u64 {
+        self.loads
+            .iter()
+            .filter(|l| !l.dead && l.thread == th)
+            .map(|l| l.weight)
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Capacity and accounting
+    // ------------------------------------------------------------------
+
+    /// Instantaneous capacity of a hardware thread (1024 scale).
+    pub fn thread_cap(&self, th: usize) -> f64 {
+        let core = self.spec.core_of(th);
+        let sib = self.spec.sibling_of(th);
+        let sib_busy = sib != th && self.threads[sib].current.is_some();
+        let smt_factor = if sib_busy {
+            self.spec.smt_contention
+        } else {
+            1.0
+        };
+        1024.0 * self.core_freq[core] * smt_factor
+    }
+
+    /// Current steal time of a vCPU including the in-progress segment.
+    pub fn vcpu_steal(&self, gv: GVcpu) -> u64 {
+        let v = &self.vcpus[gv];
+        let extra = match v.state {
+            HostState::Runnable | HostState::Throttled => self.q.now().since(v.state_since),
+            _ => 0,
+        };
+        v.steal_ns + extra
+    }
+
+    /// Current active (executing) time of a vCPU including in-progress.
+    pub fn vcpu_active_ns(&self, gv: GVcpu) -> u64 {
+        let v = &self.vcpus[gv];
+        let extra = match v.state {
+            HostState::Running(_) => self.q.now().since(v.state_since),
+            _ => 0,
+        };
+        v.active_ns + extra
+    }
+
+    fn settle_vcpu_state(&mut self, gv: GVcpu) {
+        let now = self.q.now();
+        let v = &mut self.vcpus[gv];
+        let dt = now.since(v.state_since);
+        match v.state {
+            HostState::Runnable | HostState::Throttled => v.steal_ns += dt,
+            HostState::Running(_) => {
+                v.active_ns += dt;
+                if let Some(bw) = v.bandwidth.as_mut() {
+                    bw.runtime_ns += dt;
+                }
+            }
+            HostState::Halted => {}
+        }
+        v.state_since = now;
+    }
+
+    fn set_vcpu_state(&mut self, gv: GVcpu, st: HostState) {
+        // How long the vCPU has been off-core, read before settling.
+        let inactive_gap = {
+            let v = &self.vcpus[gv];
+            match v.state {
+                HostState::Runnable | HostState::Throttled => self.q.now().since(v.state_since),
+                _ => 0,
+            }
+        };
+        self.settle_vcpu_state(gv);
+        let now = self.q.now();
+        let old = self.vcpus[gv].state;
+        if matches!(old, HostState::Running(_))
+            && !matches!(st, HostState::Running(_) | HostState::Halted)
+        {
+            self.vcpus[gv].preemptions += 1;
+        }
+        if self.trace_activity {
+            match (old, st) {
+                (HostState::Running(_), HostState::Running(_)) => {}
+                (HostState::Running(_), _) => {
+                    if let Some(last) = self.vcpus[gv].trace_segments.last_mut() {
+                        last.1 = now;
+                    }
+                }
+                (_, HostState::Running(_)) => {
+                    self.vcpus[gv].trace_segments.push((now, now));
+                }
+                _ => {}
+            }
+        }
+        self.vcpus[gv].state = st;
+        // Cache pollution: a resume after a long enough inactive period
+        // costs a cache-sensitive task a refill's worth of extra work
+        // (paper §2.1 — co-running vCPUs pollute the cache while this one
+        // is off the core).
+        if matches!(st, HostState::Running(_)) && inactive_gap >= 1_000_000 {
+            if let Some(run) = self.vcpus[gv].run.as_mut() {
+                if run.cache_penalty > 0.0 {
+                    run.work.add(-run.cache_penalty);
+                }
+            }
+        }
+        self.refresh_vcpu_rate(gv);
+    }
+
+    /// Recomputes the work/active/cycle rates of a vCPU after any boundary
+    /// (state change, frequency step, SMT sibling change, factor update) and
+    /// re-arms its burst-completion event.
+    fn refresh_vcpu_rate(&mut self, gv: GVcpu) {
+        let now = self.q.now();
+        let cap = match self.vcpus[gv].state {
+            HostState::Running(th) => self.thread_cap(th),
+            _ => 0.0,
+        };
+        let vm = self.vcpus[gv].vm;
+        // VM cycle accounting.
+        let old = self.vcpus[gv].cap_contrib;
+        if (cap - old).abs() > f64::EPSILON {
+            let vmref = &mut self.vms[vm];
+            vmref.cycles_rate += cap - old;
+            vmref.cycles.set_rate(now, vmref.cycles_rate);
+            self.vcpus[gv].cap_contrib = cap;
+        }
+        // Task work accrual.
+        let mut arm: Option<(u64, u64)> = None;
+        {
+            let v = &mut self.vcpus[gv];
+            if let Some(run) = v.run.as_mut() {
+                run.work.set_rate(now, cap * run.factor);
+                run.active.set_rate(now, if cap > 0.0 { 1.0 } else { 0.0 });
+                v.burst_gen += 1;
+                if run.target < 1.0e15 {
+                    if let Some(eta) = run.work.eta_ns(now, run.target) {
+                        arm = Some((eta, v.burst_gen));
+                    }
+                }
+            }
+        }
+        if let Some((eta, gen)) = arm {
+            self.q.post(now.after(eta), Ev::BurstDone { gv, gen });
+        }
+    }
+
+    /// Refresh both the thread's current vCPU and its sibling's (SMT
+    /// contention changed).
+    fn refresh_thread_and_sibling(&mut self, th: usize) {
+        for t in [th, self.spec.sibling_of(th)] {
+            if let Some(Entity::Vcpu(gv)) = self.threads[t].current {
+                self.refresh_vcpu_rate(gv);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host scheduling
+    // ------------------------------------------------------------------
+
+    fn entity_weight(&self, e: Entity) -> u64 {
+        match e {
+            Entity::Vcpu(gv) => self.vcpus[gv].weight,
+            Entity::Load(id) => self.loads[id].weight,
+        }
+    }
+
+    /// Stops the current entity on a thread without picking a successor.
+    /// vCPUs go back to Runnable (host preemption).
+    fn stop_current(&mut self, th: usize) {
+        let Some(cur) = self.threads[th].current.take() else {
+            return;
+        };
+        self.threads[th].quantum_gen += 1;
+        match cur {
+            Entity::Vcpu(gv) => {
+                self.set_vcpu_state(gv, HostState::Runnable);
+                self.vcpus[gv].tick_gen += 1; // suppress guest ticks while off-core
+                self.threads[th].queue.push_back(Entity::Vcpu(gv));
+                self.notify_vcpu_stop(gv);
+            }
+            Entity::Load(id) => {
+                if !self.loads[id].dead {
+                    self.threads[th].queue.push_back(Entity::Load(id));
+                }
+            }
+        }
+        self.refresh_thread_and_sibling(th);
+    }
+
+    /// Removes the current entity entirely (halt/throttle/migrate-away).
+    fn remove_current(&mut self, th: usize) {
+        if self.threads[th].current.take().is_some() {
+            self.threads[th].quantum_gen += 1;
+            self.refresh_thread_and_sibling(th);
+        }
+    }
+
+    /// Picks the next entity on an idle thread and starts it.
+    fn thread_resched(&mut self, th: usize) {
+        if self.threads[th].current.is_some() {
+            return;
+        }
+        // Work-steal a waiting vCPU if our queue is empty (floating vCPUs).
+        if self.threads[th].queue.is_empty() {
+            self.steal_waiting(th);
+        }
+        let Some(next) = self.threads[th].queue.pop_front() else {
+            self.refresh_thread_and_sibling(th);
+            return;
+        };
+        self.start_entity(th, next);
+    }
+
+    /// Steals the longest-waiting runnable vCPU allowed on `th` from
+    /// another thread's queue.
+    fn steal_waiting(&mut self, th: usize) {
+        let mut best: Option<(usize, usize, u64)> = None; // (thread, pos, waited)
+        let now = self.q.now();
+        for (ot, other) in self.threads.iter().enumerate() {
+            if ot == th {
+                continue;
+            }
+            // Only steal when the owner has more demand than it can serve.
+            if other.current.is_none() {
+                continue;
+            }
+            for (pos, e) in other.queue.iter().enumerate() {
+                if let Entity::Vcpu(gv) = e {
+                    let v = &self.vcpus[*gv];
+                    if v.affinity.contains(&th) && v.affinity.len() > 1 {
+                        let waited = now.since(v.state_since);
+                        if best.map(|(_, _, w)| waited > w).unwrap_or(true) {
+                            best = Some((ot, pos, waited));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((ot, pos, _)) = best {
+            if let Some(e) = self.threads[ot].queue.remove(pos) {
+                self.threads[th].queue.push_back(e);
+            }
+        }
+    }
+
+    /// Starts an entity on a thread and arms its quantum.
+    fn start_entity(&mut self, th: usize, e: Entity) {
+        let now = self.q.now();
+        debug_assert!(self.threads[th].current.is_none());
+        self.threads[th].current = Some(e);
+        self.threads[th].quantum_started = now;
+        self.threads[th].quantum_gen += 1;
+        let gen = self.threads[th].quantum_gen;
+
+        let mut slice = self.thread_quantum[th] * self.entity_weight(e) / 1024;
+        slice = slice.max(100_000); // floor: 0.1 ms
+        if let Entity::Vcpu(gv) = e {
+            // Bandwidth: clamp the slice to the remaining quota.
+            if let Some(bw) = self.vcpus[gv].bandwidth.as_mut() {
+                bw.refill_to(now);
+                slice = slice.min(bw.quota_left().max(1));
+            }
+            self.set_vcpu_state(gv, HostState::Running(th));
+            // Start guest ticks.
+            self.vcpus[gv].tick_gen += 1;
+            let tgen = self.vcpus[gv].tick_gen;
+            let tick = self.vm_tick_ns(self.vcpus[gv].vm);
+            self.q
+                .post(now.after(tick), Ev::GuestTick { gv, gen: tgen });
+            self.refresh_thread_and_sibling(th);
+            self.notify_vcpu_start(gv);
+        } else {
+            self.refresh_thread_and_sibling(th);
+        }
+        self.q.post(now.after(slice), Ev::QuantumExpire { th, gen });
+    }
+
+    fn vm_tick_ns(&self, vm: usize) -> u64 {
+        self.vms[vm].guest.kern.cfg.tick_ns
+    }
+
+    /// Handles quantum expiry: bandwidth throttling, then rotation.
+    fn quantum_expire(&mut self, th: usize, gen: u64) {
+        if self.threads[th].quantum_gen != gen {
+            return;
+        }
+        let Some(cur) = self.threads[th].current else {
+            return;
+        };
+        let now = self.q.now();
+        if let Entity::Vcpu(gv) = cur {
+            // Settle running time into the bandwidth window.
+            self.settle_vcpu_state(gv);
+            let throttle = {
+                let v = &mut self.vcpus[gv];
+                match v.bandwidth.as_mut() {
+                    Some(bw) => {
+                        bw.refill_to(now);
+                        bw.quota_left() == 0
+                    }
+                    None => false,
+                }
+            };
+            if throttle {
+                self.threads[th].current = None;
+                self.threads[th].quantum_gen += 1;
+                self.set_vcpu_state(gv, HostState::Throttled);
+                self.vcpus[gv].tick_gen += 1;
+                self.vcpus[gv].bw_gen += 1;
+                let bwgen = self.vcpus[gv].bw_gen;
+                let refill = self.vcpus[gv].bandwidth.as_ref().unwrap().next_refill();
+                self.q.post(refill, Ev::ThrottleRefill { gv, gen: bwgen });
+                self.refresh_thread_and_sibling(th);
+                self.notify_vcpu_stop(gv);
+                self.thread_resched(th);
+                return;
+            }
+        }
+        if self.threads[th].queue.is_empty() {
+            // Nothing waiting: extend the quantum in place.
+            self.threads[th].quantum_gen += 1;
+            let gen = self.threads[th].quantum_gen;
+            let mut slice = self.thread_quantum[th] * self.entity_weight(cur) / 1024;
+            slice = slice.max(100_000);
+            if let Entity::Vcpu(gv) = cur {
+                if let Some(bw) = self.vcpus[gv].bandwidth.as_mut() {
+                    slice = slice.min(bw.quota_left().max(1));
+                }
+            }
+            self.threads[th].quantum_started = now;
+            self.q.post(now.after(slice), Ev::QuantumExpire { th, gen });
+            return;
+        }
+        // Rotate.
+        self.stop_current(th);
+        self.thread_resched(th);
+    }
+
+    fn throttle_refill(&mut self, gv: GVcpu, gen: u64) {
+        if self.vcpus[gv].bw_gen != gen {
+            return;
+        }
+        if self.vcpus[gv].state != HostState::Throttled {
+            return;
+        }
+        let now = self.q.now();
+        if let Some(bw) = self.vcpus[gv].bandwidth.as_mut() {
+            bw.refill_to(now);
+        }
+        self.set_vcpu_state(gv, HostState::Runnable);
+        self.enqueue_vcpu(gv);
+    }
+
+    /// Puts a runnable vCPU on the best allowed thread's queue.
+    fn enqueue_vcpu(&mut self, gv: GVcpu) {
+        let mut best = self.vcpus[gv].affinity[0];
+        let mut best_len = usize::MAX;
+        for &t in &self.vcpus[gv].affinity {
+            let len = self.threads[t].queue.len() + usize::from(self.threads[t].current.is_some());
+            if len < best_len {
+                best_len = len;
+                best = t;
+            }
+        }
+        self.threads[best].queue.push_back(Entity::Vcpu(gv));
+        if self.threads[best].current.is_none() {
+            let now = self.q.now();
+            self.q.post(now, Ev::ThreadResched { th: best });
+        }
+    }
+
+    /// Makes a halted vCPU runnable (guest kick). Public so vSched's ivh
+    /// pre-wake can reach it through the platform.
+    pub fn kick_vcpu(&mut self, gv: GVcpu) {
+        if self.vcpus[gv].state != HostState::Halted {
+            return;
+        }
+        if let Some(bw) = self.vcpus[gv].bandwidth.as_mut() {
+            bw.refill_to(self.q.now());
+            if bw.quota_left() == 0 {
+                // Out of quota: wake straight into Throttled.
+                self.set_vcpu_state(gv, HostState::Throttled);
+                self.vcpus[gv].bw_gen += 1;
+                let gen = self.vcpus[gv].bw_gen;
+                let refill = self.vcpus[gv].bandwidth.as_ref().unwrap().next_refill();
+                self.q.post(refill, Ev::ThrottleRefill { gv, gen });
+                return;
+            }
+        }
+        self.set_vcpu_state(gv, HostState::Runnable);
+        self.enqueue_vcpu(gv);
+    }
+
+    /// Halts a vCPU (guest went idle).
+    fn halt_vcpu(&mut self, gv: GVcpu) {
+        match self.vcpus[gv].state {
+            HostState::Halted => {}
+            HostState::Running(th) => {
+                self.set_vcpu_state(gv, HostState::Halted);
+                self.vcpus[gv].tick_gen += 1;
+                self.remove_current(th);
+                let now = self.q.now();
+                self.q.post(now, Ev::ThreadResched { th });
+            }
+            HostState::Runnable => {
+                for t in &mut self.threads {
+                    t.queue.retain(|e| *e != Entity::Vcpu(gv));
+                }
+                self.set_vcpu_state(gv, HostState::Halted);
+            }
+            HostState::Throttled => {
+                self.set_vcpu_state(gv, HostState::Halted);
+                self.vcpus[gv].bw_gen += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Guest call plumbing
+    // ------------------------------------------------------------------
+
+    fn placeholder_guest() -> GuestOs {
+        GuestOs::new(GuestConfig::new(0), SimTime::ZERO)
+    }
+
+    /// Runs `f` with mutable access to a VM's guest and a [`Platform`]
+    /// implementation over this machine.
+    pub fn with_vm<R>(
+        &mut self,
+        vm: usize,
+        f: impl FnOnce(&mut GuestOs, &mut dyn Platform) -> R,
+    ) -> R {
+        let mut guest = std::mem::replace(&mut self.vms[vm].guest, Self::placeholder_guest());
+        let mut ctx = Ctx { m: self, vm };
+        let r = f(&mut guest, &mut ctx);
+        self.vms[vm].guest = guest;
+        r
+    }
+
+    /// Like [`Machine::with_vm`] but also hands out the workload.
+    fn with_vm_and_workload<R>(
+        &mut self,
+        vm: usize,
+        f: impl FnOnce(&mut GuestOs, &mut dyn Workload, &mut dyn Platform) -> R,
+    ) -> Option<R> {
+        let mut wl = self.vms[vm].workload.take()?;
+        let mut guest = std::mem::replace(&mut self.vms[vm].guest, Self::placeholder_guest());
+        let mut ctx = Ctx { m: self, vm };
+        let r = f(&mut guest, wl.as_mut(), &mut ctx);
+        self.vms[vm].guest = guest;
+        self.vms[vm].workload = Some(wl);
+        Some(r)
+    }
+
+    fn notify_vcpu_start(&mut self, gv: GVcpu) {
+        let (vm, idx) = (self.vcpus[gv].vm, self.vcpus[gv].idx);
+        self.with_vm(vm, |g, p| g.vcpu_started(p, VcpuId(idx)));
+    }
+
+    fn notify_vcpu_stop(&mut self, gv: GVcpu) {
+        let (vm, idx) = (self.vcpus[gv].vm, self.vcpus[gv].idx);
+        self.with_vm(vm, |g, p| g.vcpu_stopped(p, VcpuId(idx)));
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    /// Starts all workloads and schedules the scenario script and samplers.
+    pub fn start(&mut self) {
+        self.script.sort_by_key(|(t, _)| *t);
+        for (idx, (t, _)) in self.script.iter().enumerate() {
+            self.q.post(*t, Ev::Script { idx });
+        }
+        for id in 0..self.samplers.len() {
+            let interval = self.samplers[id].0;
+            self.q.post(SimTime::from_ns(interval), Ev::Sample { id });
+        }
+        for vm in 0..self.vms.len() {
+            self.with_vm_and_workload(vm, |g, w, p| w.start(g, p));
+        }
+    }
+
+    /// Runs the simulation until `until` (inclusive), settling accounting
+    /// at the end.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.q.post(until, Ev::End);
+        self.finished = false;
+        while !self.finished {
+            let Some((_, ev)) = self.q.pop() else { break };
+            self.dispatch(ev);
+        }
+        self.settle_all();
+    }
+
+    fn settle_all(&mut self) {
+        let now = self.q.now();
+        for vm in &mut self.vms {
+            vm.cycles.settle(now);
+        }
+        for gv in 0..self.vcpus.len() {
+            self.settle_vcpu_state(gv);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::ThreadResched { th } => self.thread_resched(th),
+            Ev::QuantumExpire { th, gen } => self.quantum_expire(th, gen),
+            Ev::ThrottleRefill { gv, gen } => self.throttle_refill(gv, gen),
+            Ev::GuestTick { gv, gen } => self.guest_tick(gv, gen),
+            Ev::BurstDone { gv, gen } => self.burst_done(gv, gen),
+            Ev::TaskWake { vm, task } => {
+                let state = self.vms[vm].guest.kern.task(task).state;
+                if matches!(state, TaskState::Sleeping) {
+                    self.with_vm(vm, |g, p| g.wake_task(p, task, None));
+                }
+            }
+            Ev::Timer { vm, token } => {
+                if token >= guestos::platform::HOOK_TIMER_BASE {
+                    self.with_vm(vm, |g, p| g.deliver_hook_timer(p, token));
+                } else {
+                    self.with_vm_and_workload(vm, |g, w, p| w.on_timer(g, p, token));
+                }
+            }
+            Ev::Script { idx } => {
+                let action = std::mem::replace(
+                    &mut self.script[idx].1,
+                    ScriptAction::SetFreq {
+                        core: 0,
+                        factor: 1.0,
+                    },
+                );
+                // Re-store a no-op; scripted actions fire once.
+                self.apply_script(action);
+            }
+            Ev::Sample { id } => {
+                if let Some(mut f) = self.samplers[id].1.take() {
+                    f(self);
+                    self.samplers[id].1 = Some(f);
+                    let interval = self.samplers[id].0;
+                    let now = self.q.now();
+                    self.q.post(now.after(interval), Ev::Sample { id });
+                }
+            }
+            Ev::End => self.finished = true,
+        }
+    }
+
+    fn guest_tick(&mut self, gv: GVcpu, gen: u64) {
+        if self.vcpus[gv].tick_gen != gen {
+            return;
+        }
+        if !matches!(self.vcpus[gv].state, HostState::Running(_)) {
+            return;
+        }
+        let (vm, idx) = (self.vcpus[gv].vm, self.vcpus[gv].idx);
+        self.with_vm(vm, |g, p| g.tick(p, VcpuId(idx)));
+        // The tick may have halted the vCPU (guest went idle).
+        if self.vcpus[gv].tick_gen == gen && matches!(self.vcpus[gv].state, HostState::Running(_)) {
+            let now = self.q.now();
+            let tick = self.vm_tick_ns(vm);
+            self.q.post(now.after(tick), Ev::GuestTick { gv, gen });
+        }
+    }
+
+    fn burst_done(&mut self, gv: GVcpu, gen: u64) {
+        if self.vcpus[gv].burst_gen != gen {
+            return;
+        }
+        let now = self.q.now();
+        let complete = match self.vcpus[gv].run.as_ref() {
+            Some(run) => run.work.value_at(now) + 1e-6 >= run.target,
+            None => false,
+        };
+        if !complete {
+            return;
+        }
+        let (vm, idx) = (self.vcpus[gv].vm, self.vcpus[gv].idx);
+        let v = VcpuId(idx);
+        // Settle into the guest, then ask the workload what's next.
+        let program = {
+            let guest = &self.vms[vm].guest;
+            guest.kern.vcpus[idx]
+                .curr
+                .map(|t| guest.kern.task(t).program)
+        };
+        let Some(program) = program else { return };
+        match program {
+            guestos::TaskProgram::BuiltinSpin => {
+                self.with_vm(vm, |g, p| {
+                    if g.kern.on_burst_complete(p, v).is_some() {
+                        g.kern
+                            .continue_curr(p, v, guestos::kernel::BUILTIN_SPIN_WORK);
+                    }
+                });
+            }
+            guestos::TaskProgram::Workload => {
+                let action = self.with_vm_and_workload(vm, |g, w, p| {
+                    g.kern
+                        .on_burst_complete(p, v)
+                        .map(|t| (t, w.next_action(g, p, t)))
+                });
+                let Some(Some((task, action))) = action else {
+                    return;
+                };
+                self.apply_action(vm, v, task, action);
+            }
+        }
+    }
+
+    /// Applies a workload-decided action to `task`. The workload may have
+    /// woken other tasks while deciding, preempting `task` off the vCPU —
+    /// so the action targets the task wherever it now is, not "the current
+    /// task of `v`".
+    fn apply_action(&mut self, vm: usize, v: VcpuId, task: TaskId, action: guestos::TaskAction) {
+        use guestos::TaskAction::*;
+        let is_curr = self.vms[vm].guest.kern.vcpus[v.0].curr == Some(task);
+        match action {
+            Compute { work } => {
+                if is_curr {
+                    self.with_vm(vm, |g, p| g.kern.continue_curr(p, v, work.max(1.0)));
+                } else {
+                    // Preempted mid-decision: the burst starts when the task
+                    // is next picked.
+                    self.vms[vm].guest.kern.task_mut(task).remaining = work.max(1.0);
+                }
+            }
+            Sleep { ns } => {
+                if is_curr {
+                    self.with_vm(vm, |g, p| g.kern.curr_sleeps(p, v));
+                } else {
+                    self.with_vm(vm, |g, p| g.kern.block_task(p, task));
+                }
+                self.vms[vm].guest.kern.task_mut(task).state = TaskState::Sleeping;
+                let now = self.q.now();
+                self.q.post(now.after(ns.max(1)), Ev::TaskWake { vm, task });
+            }
+            Block => {
+                if is_curr {
+                    self.with_vm(vm, |g, p| g.kern.curr_blocks(p, v));
+                } else {
+                    self.with_vm(vm, |g, p| g.kern.block_task(p, task));
+                }
+            }
+            Exit => {
+                if is_curr {
+                    self.with_vm(vm, |g, p| g.kern.curr_exits(p, v));
+                } else {
+                    self.with_vm(vm, |g, p| g.kern.kill_task(p, task));
+                }
+            }
+        }
+    }
+
+    fn apply_script(&mut self, action: ScriptAction) {
+        match action {
+            ScriptAction::SetBandwidth { vm, vcpu, qp } => self.set_bandwidth(vm, vcpu, qp),
+            ScriptAction::SetFreq { core, factor } => self.set_freq(core, factor),
+            ScriptAction::AddLoad { thread, weight } => {
+                self.add_host_load(thread, weight);
+            }
+            ScriptAction::RemoveLoad { id } => self.remove_host_load(id),
+            ScriptAction::SetAffinity { vm, vcpu, threads } => self.set_affinity(vm, vcpu, threads),
+            ScriptAction::SetVcpuWeight { vm, vcpu, weight } => {
+                let gv = self.gv(vm, vcpu);
+                self.vcpus[gv].weight = weight;
+            }
+        }
+    }
+
+    /// Installs/changes/removes bandwidth control on a vCPU at runtime.
+    pub fn set_bandwidth(&mut self, vm: usize, vcpu: usize, qp: Option<(u64, u64)>) {
+        let gv = self.gv(vm, vcpu);
+        let now = self.q.now();
+        self.settle_vcpu_state(gv);
+        self.vcpus[gv].bw_gen += 1;
+        self.vcpus[gv].bandwidth = qp.map(|(q, p)| Bandwidth {
+            quota_ns: q,
+            period_ns: p,
+            runtime_ns: 0,
+            period_start: now,
+        });
+        if self.vcpus[gv].state == HostState::Throttled {
+            // New regime: become runnable immediately.
+            self.set_vcpu_state(gv, HostState::Runnable);
+            self.enqueue_vcpu(gv);
+        }
+    }
+
+    /// Changes one hardware thread's scheduling quantum (the paper's
+    /// per-cgroup granularity tunables shape per-core vCPU latency).
+    pub fn set_thread_quantum(&mut self, th: usize, quantum_ns: u64) {
+        self.thread_quantum[th] = quantum_ns;
+    }
+
+    /// Changes a core's DVFS factor at runtime.
+    pub fn set_freq(&mut self, core: usize, factor: f64) {
+        self.core_freq[core] = factor;
+        for th in self.spec.threads_of_core(core) {
+            if let Some(Entity::Vcpu(gv)) = self.threads[th].current {
+                self.refresh_vcpu_rate(gv);
+            }
+        }
+    }
+
+    /// Re-pins a vCPU at runtime.
+    pub fn set_affinity(&mut self, vm: usize, vcpu: usize, threads: Vec<usize>) {
+        assert!(!threads.is_empty());
+        let gv = self.gv(vm, vcpu);
+        self.vcpus[gv].affinity = threads;
+        match self.vcpus[gv].state {
+            HostState::Running(th) if !self.vcpus[gv].affinity.contains(&th) => {
+                // Evict and requeue on an allowed thread.
+                self.set_vcpu_state(gv, HostState::Runnable);
+                self.vcpus[gv].tick_gen += 1;
+                self.remove_current(th);
+                let now = self.q.now();
+                self.q.post(now, Ev::ThreadResched { th });
+                self.enqueue_vcpu(gv);
+                self.notify_vcpu_stop(gv);
+            }
+            HostState::Runnable => {
+                for t in &mut self.threads {
+                    t.queue.retain(|e| *e != Entity::Vcpu(gv));
+                }
+                self.enqueue_vcpu(gv);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Platform implementation
+// ----------------------------------------------------------------------
+
+/// Platform view of the machine scoped to one VM.
+struct Ctx<'a> {
+    m: &'a mut Machine,
+    vm: usize,
+}
+
+impl Ctx<'_> {
+    fn gv(&self, v: VcpuId) -> GVcpu {
+        self.m.vms[self.vm].gvcpu_base + v.0
+    }
+}
+
+impl Platform for Ctx<'_> {
+    fn now(&self) -> SimTime {
+        self.m.q.now()
+    }
+
+    fn steal_ns(&self, v: VcpuId) -> u64 {
+        self.m.vcpu_steal(self.gv(v))
+    }
+
+    fn vcpu_active(&self, v: VcpuId) -> bool {
+        matches!(self.m.vcpus[self.gv(v)].state, HostState::Running(_))
+    }
+
+    fn kick(&mut self, v: VcpuId) {
+        let gv = self.gv(v);
+        self.m.kick_vcpu(gv);
+    }
+
+    fn vcpu_idle(&mut self, v: VcpuId) {
+        let gv = self.gv(v);
+        self.m.halt_vcpu(gv);
+    }
+
+    fn run_task(&mut self, v: VcpuId, t: TaskId, remaining: f64, factor: f64, cache_penalty: f64) {
+        let gv = self.gv(v);
+        let now = self.m.q.now();
+        self.m.vcpus[gv].run = Some(RunCtx {
+            task: t,
+            target: remaining,
+            factor,
+            cache_penalty,
+            work: Integrator::new(now),
+            active: Integrator::new(now),
+            prev_work: 0.0,
+            prev_active: 0.0,
+            last_settle: now,
+        });
+        self.m.refresh_vcpu_rate(gv);
+    }
+
+    fn stop_task(&mut self, v: VcpuId) -> RunDelta {
+        let gv = self.gv(v);
+        let now = self.m.q.now();
+        let Some(mut run) = self.m.vcpus[gv].run.take() else {
+            return RunDelta::default();
+        };
+        run.work.settle(now);
+        run.active.settle(now);
+        let delta = RunDelta {
+            wall_ns: now.since(run.last_settle),
+            active_ns: (run.active.value() - run.prev_active) as u64,
+            work: run.work.value() - run.prev_work,
+        };
+        self.m.vcpus[gv].delivered_work += delta.work;
+        self.m.vcpus[gv].burst_gen += 1;
+        delta
+    }
+
+    fn poll_task(&mut self, v: VcpuId) -> RunDelta {
+        let gv = self.gv(v);
+        let now = self.m.q.now();
+        let Some(run) = self.m.vcpus[gv].run.as_mut() else {
+            return RunDelta::default();
+        };
+        run.work.settle(now);
+        run.active.settle(now);
+        let delta = RunDelta {
+            wall_ns: now.since(run.last_settle),
+            active_ns: (run.active.value() - run.prev_active) as u64,
+            work: run.work.value() - run.prev_work,
+        };
+        run.prev_work = run.work.value();
+        run.prev_active = run.active.value();
+        run.last_settle = now;
+        self.m.vcpus[gv].delivered_work += delta.work;
+        delta
+    }
+
+    fn update_factor(&mut self, v: VcpuId, factor: f64) {
+        let gv = self.gv(v);
+        if let Some(run) = self.m.vcpus[gv].run.as_mut() {
+            if (run.factor - factor).abs() > 1e-9 {
+                run.factor = factor;
+                self.m.refresh_vcpu_rate(gv);
+            }
+        }
+    }
+
+    fn send_ipi(&mut self, to: VcpuId) {
+        let gv = self.gv(to);
+        self.m.kick_vcpu(gv);
+    }
+
+    fn comm_distance(&self, a: VcpuId, b: VcpuId) -> CommDistance {
+        let (ga, gb) = (self.gv(a), self.gv(b));
+        let ta = match self.m.vcpus[ga].state {
+            HostState::Running(th) => th,
+            _ => self.m.vcpus[ga].affinity[0],
+        };
+        let tb = match self.m.vcpus[gb].state {
+            HostState::Running(th) => th,
+            _ => self.m.vcpus[gb].affinity[0],
+        };
+        if ga != gb && ta == tb {
+            return CommDistance::Stacked;
+        }
+        self.m.spec.distance(ta, tb)
+    }
+
+    fn cacheline_latency_ns(&mut self, a: VcpuId, b: VcpuId) -> Option<f64> {
+        let (ga, gb) = (self.gv(a), self.gv(b));
+        let (ta, tb) = match (self.m.vcpus[ga].state, self.m.vcpus[gb].state) {
+            (HostState::Running(x), HostState::Running(y)) => (x, y),
+            _ => return None,
+        };
+        if ta == tb {
+            return None; // stacked vCPUs never overlap
+        }
+        let base = self.m.spec.cacheline_ns(ta, tb);
+        let noise = self.m.spec.cacheline.noise;
+        let jitter = 1.0 + noise * (2.0 * self.m.rng.f64() - 1.0);
+        Some(base * jitter)
+    }
+
+    fn set_timer(&mut self, token: u64, at: SimTime) {
+        let vm = self.vm;
+        self.m.q.post(at, Ev::Timer { vm, token });
+    }
+}

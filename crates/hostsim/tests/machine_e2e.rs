@@ -1,0 +1,308 @@
+//! End-to-end validation of the two-level scheduling machine.
+//!
+//! These tests drive the full stack — host scheduler, bandwidth control,
+//! steal accounting, guest CFS, work accrual — with simple synthetic
+//! workloads and check the physics: work rates, steal fractions,
+//! active/inactive periods, and contention effects.
+
+use guestos::{GuestOs, Platform, SpawnSpec, TaskAction, TaskId, Workload};
+use simcore::time::{MS, SEC};
+use simcore::SimTime;
+use vsched_hostsim::{HostSpec, Machine, ScenarioBuilder, VmSpec};
+
+/// Spawns `n` CPU-bound spinner tasks at start and never finishes.
+struct Spinners {
+    n: usize,
+    burst_work: f64,
+    bursts_done: u64,
+    tasks: Vec<TaskId>,
+}
+
+impl Spinners {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            burst_work: 1.0e18,
+            bursts_done: 0,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Finite bursts so completion counts can be asserted.
+    fn with_burst(n: usize, work: f64) -> Self {
+        Self {
+            n,
+            burst_work: work,
+            bursts_done: 0,
+            tasks: Vec::new(),
+        }
+    }
+}
+
+impl Workload for Spinners {
+    fn start(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform) {
+        let nr = guest.kern.cfg.nr_vcpus;
+        for _ in 0..self.n {
+            let t = guest.spawn(plat, SpawnSpec::normal(nr));
+            self.tasks.push(t);
+            guest.wake_task(plat, t, None);
+        }
+    }
+
+    fn on_timer(&mut self, _g: &mut GuestOs, _p: &mut dyn Platform, _token: u64) {}
+
+    fn next_action(&mut self, _g: &mut GuestOs, _p: &mut dyn Platform, _t: TaskId) -> TaskAction {
+        self.bursts_done += 1;
+        TaskAction::Compute {
+            work: self.burst_work,
+        }
+    }
+
+    fn label(&self) -> &str {
+        "spinners"
+    }
+}
+
+fn total_work(m: &Machine, vm: usize) -> f64 {
+    (0..m.vms[vm].nr_vcpus)
+        .map(|i| m.vcpus[m.gv(vm, i)].delivered_work)
+        .sum()
+}
+
+#[test]
+fn dedicated_vcpu_accrues_full_capacity() {
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(1), 1).vm(VmSpec::pinned(1, 0));
+    let mut m = b.build();
+    m.set_workload(vm, Box::new(Spinners::new(1)));
+    m.start();
+    m.run_until(SimTime::from_secs(1));
+    let work = total_work(&m, vm);
+    // 1 s at capacity 1024 → 1024e9 capacity-ns (±1% for bookkeeping edges).
+    let expect = 1024.0 * SEC as f64;
+    assert!(
+        (work - expect).abs() / expect < 0.01,
+        "work {work:.3e} vs {expect:.3e}"
+    );
+    // No steal on a dedicated core.
+    assert_eq!(m.vcpu_steal(m.gv(vm, 0)), 0);
+}
+
+#[test]
+fn two_vms_share_a_core_fairly() {
+    let (b, vm0) = ScenarioBuilder::new(HostSpec::flat(1), 2).vm(VmSpec::pinned(1, 0));
+    let (b, vm1) = b.vm(VmSpec::pinned(1, 0));
+    let mut m = b.build();
+    m.set_workload(vm0, Box::new(Spinners::new(1)));
+    m.set_workload(vm1, Box::new(Spinners::new(1)));
+    m.start();
+    m.run_until(SimTime::from_secs(2));
+    let w0 = total_work(&m, vm0);
+    let w1 = total_work(&m, vm1);
+    let expect = 1024.0 * SEC as f64; // half of 2 s each
+    assert!((w0 - expect).abs() / expect < 0.05, "w0 {w0:.3e}");
+    assert!((w1 - expect).abs() / expect < 0.05, "w1 {w1:.3e}");
+    // Each vCPU stole roughly half the time.
+    let steal = m.vcpu_steal(m.gv(vm0, 0)) as f64 / (2.0 * SEC as f64);
+    assert!((steal - 0.5).abs() < 0.05, "steal fraction {steal}");
+}
+
+#[test]
+fn bandwidth_control_caps_share() {
+    // quota 2 ms / period 10 ms → 20% capacity.
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(1), 3)
+        .vm(VmSpec::pinned(1, 0).bandwidth(2 * MS, 10 * MS));
+    let mut m = b.build();
+    m.set_workload(vm, Box::new(Spinners::new(1)));
+    m.start();
+    m.run_until(SimTime::from_secs(1));
+    let work = total_work(&m, vm);
+    let expect = 0.2 * 1024.0 * SEC as f64;
+    assert!(
+        (work - expect).abs() / expect < 0.05,
+        "work {work:.3e} vs {expect:.3e}"
+    );
+    // The vCPU saw many preemptions (one per period).
+    let p = m.vcpus[m.gv(vm, 0)].preemptions;
+    assert!((80..=120).contains(&p), "preemptions {p}");
+}
+
+#[test]
+fn host_load_steals_capacity_by_weight() {
+    // Host load with 3x weight → vCPU gets ~25%.
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(1), 4).vm(VmSpec::pinned(1, 0));
+    let mut m = b.host_load(0, 3 * 1024).build();
+    m.set_workload(vm, Box::new(Spinners::new(1)));
+    m.start();
+    m.run_until(SimTime::from_secs(2));
+    let share = total_work(&m, vm) / (1024.0 * 2.0 * SEC as f64);
+    assert!((share - 0.25).abs() < 0.05, "share {share}");
+}
+
+#[test]
+fn smt_contention_reduces_capacity() {
+    // Two vCPUs of one VM pinned on the two threads of one core.
+    let host = HostSpec::new(1, 1, 2);
+    let (b, vm) = ScenarioBuilder::new(host, 5).vm(VmSpec::pinned(2, 0));
+    let mut m = b.build();
+    m.set_workload(vm, Box::new(Spinners::new(2)));
+    m.start();
+    m.run_until(SimTime::from_secs(1));
+    let work = total_work(&m, vm);
+    // Both threads busy → each at the contention factor (0.62).
+    let expect = 2.0 * 0.62 * 1024.0 * SEC as f64;
+    assert!(
+        (work - expect).abs() / expect < 0.06,
+        "work {work:.3e} vs {expect:.3e}"
+    );
+}
+
+#[test]
+fn guest_balances_tasks_across_vcpus() {
+    // 4 spinners on a 4-vCPU VM must end up one per vCPU.
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(4), 6).vm(VmSpec::pinned(4, 0));
+    let mut m = b.build();
+    m.set_workload(vm, Box::new(Spinners::new(4)));
+    m.start();
+    m.run_until(SimTime::from_secs(1));
+    let total = total_work(&m, vm);
+    let expect = 4.0 * 1024.0 * SEC as f64;
+    assert!(
+        (total - expect).abs() / expect < 0.05,
+        "total {total:.3e} vs {expect:.3e}"
+    );
+    for i in 0..4 {
+        let w = m.vcpus[m.gv(vm, i)].delivered_work;
+        assert!(w > 0.8 * 1024.0 * SEC as f64, "vCPU {i} starved: {w:.3e}");
+    }
+}
+
+#[test]
+fn finite_bursts_complete_and_chain() {
+    // One task, 1 ms bursts; in 100 ms about 100 bursts complete.
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(1), 7).vm(VmSpec::pinned(1, 0));
+    let mut m = b.build();
+    m.set_workload(vm, Box::new(Spinners::with_burst(1, 1024.0 * MS as f64)));
+    m.start();
+    m.run_until(SimTime::from_ms(100));
+    // Read back the workload's burst counter.
+    let wl = m.vms[vm].workload.take().unwrap();
+    // SAFETY of downcast-free check: we re-derive bursts from work instead.
+    drop(wl);
+    let work = total_work(&m, vm);
+    let bursts = work / (1024.0 * MS as f64);
+    assert!((bursts - 100.0).abs() < 2.0, "bursts {bursts}");
+}
+
+#[test]
+fn dvfs_scales_work_rate() {
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(1), 8).vm(VmSpec::pinned(1, 0));
+    let mut m = b.build();
+    m.set_workload(vm, Box::new(Spinners::new(1)));
+    m.at(
+        SimTime::from_ms(500),
+        vsched_hostsim::ScriptAction::SetFreq {
+            core: 0,
+            factor: 0.5,
+        },
+    );
+    m.start();
+    m.run_until(SimTime::from_secs(1));
+    let work = total_work(&m, vm);
+    // 0.5 s at 1.0 + 0.5 s at 0.5 → 0.75 of full.
+    let expect = 0.75 * 1024.0 * SEC as f64;
+    assert!(
+        (work - expect).abs() / expect < 0.03,
+        "work {work:.3e} vs {expect:.3e}"
+    );
+}
+
+#[test]
+fn vm_cycles_track_capacity_integral() {
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(2), 9).vm(VmSpec::pinned(2, 0));
+    let mut m = b.build();
+    m.set_workload(vm, Box::new(Spinners::new(2)));
+    m.start();
+    m.run_until(SimTime::from_secs(1));
+    let cycles = m.vms[vm].cycles.value();
+    let expect = 2.0 * 1024.0 * SEC as f64;
+    assert!(
+        (cycles - expect).abs() / expect < 0.02,
+        "cycles {cycles:.3e}"
+    );
+}
+
+#[test]
+fn floating_vcpus_find_idle_threads() {
+    // 2 floating vCPUs over 2 threads with spinners: both should make
+    // full-speed progress (host balancing spreads them).
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(2), 10).vm(VmSpec::floating(2, vec![0, 1]));
+    let mut m = b.build();
+    m.set_workload(vm, Box::new(Spinners::new(2)));
+    m.start();
+    m.run_until(SimTime::from_secs(1));
+    let work = total_work(&m, vm);
+    let expect = 2.0 * 1024.0 * SEC as f64;
+    assert!(
+        (work - expect).abs() / expect < 0.10,
+        "work {work:.3e} vs {expect:.3e}"
+    );
+}
+
+#[test]
+fn deterministic_under_same_seed() {
+    let run = |seed: u64| -> f64 {
+        let (b, vm0) = ScenarioBuilder::new(HostSpec::flat(2), seed).vm(VmSpec::pinned(2, 0));
+        let (b, vm1) = b.vm(VmSpec::pinned(2, 0));
+        let mut m = b.build();
+        m.set_workload(vm0, Box::new(Spinners::new(3)));
+        m.set_workload(vm1, Box::new(Spinners::new(2)));
+        m.start();
+        m.run_until(SimTime::from_ms(500));
+        total_work(&m, vm0) + 7.0 * total_work(&m, vm1)
+    };
+    assert_eq!(run(42), run(42));
+}
+
+/// A workload that sleeps and computes alternately, to exercise halting and
+/// kicking of vCPUs.
+struct SleepCompute {
+    cycles: u64,
+}
+
+impl Workload for SleepCompute {
+    fn start(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform) {
+        let t = guest.spawn(plat, SpawnSpec::normal(guest.kern.cfg.nr_vcpus));
+        guest.wake_task(plat, t, None);
+    }
+
+    fn on_timer(&mut self, _g: &mut GuestOs, _p: &mut dyn Platform, _token: u64) {}
+
+    fn next_action(&mut self, _g: &mut GuestOs, _p: &mut dyn Platform, _t: TaskId) -> TaskAction {
+        self.cycles += 1;
+        if self.cycles % 2 == 1 {
+            TaskAction::Compute {
+                work: 1024.0 * MS as f64, // 1 ms of work
+            }
+        } else {
+            TaskAction::Sleep { ns: MS }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "sleep-compute"
+    }
+}
+
+#[test]
+fn sleeping_task_halts_and_wakes_vcpu() {
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(1), 11).vm(VmSpec::pinned(1, 0));
+    let mut m = b.build();
+    m.set_workload(vm, Box::new(SleepCompute { cycles: 0 }));
+    m.start();
+    m.run_until(SimTime::from_ms(100));
+    // 1 ms on / 1 ms off → ~50% utilization.
+    let active = m.vcpu_active_ns(m.gv(vm, 0)) as f64 / (100.0 * MS as f64);
+    assert!((active - 0.5).abs() < 0.1, "active fraction {active}");
+    // The halted vCPU must not accrue steal on a dedicated core.
+    assert_eq!(m.vcpu_steal(m.gv(vm, 0)), 0);
+}

@@ -1,0 +1,145 @@
+//! Exponential moving average.
+//!
+//! `vcap` smooths probed vCPU capacity with an EMA that "considers the past
+//! while prioritizing the present" (paper §3.1), preventing capacity spikes
+//! from triggering task-migration storms. The paper's tunable is expressed as
+//! a half-life: "50% decay per 2 sampling periods" (Table 1);
+//! [`Ema::from_half_life`] converts that form into a per-sample weight.
+
+/// An exponential moving average over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use vsched_metrics::Ema;
+///
+/// // The paper's vcap setting: history halves every 2 samples.
+/// let mut ema = Ema::from_half_life(2.0);
+/// ema.update(1024.0);
+/// ema.update(0.0);
+/// ema.update(0.0);
+/// // After two zero samples, the initial reading has decayed to ~50%.
+/// assert!((ema.get() - 512.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Ema {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ema {
+    /// Creates an EMA with the given per-sample weight `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
+        Self { alpha, value: None }
+    }
+
+    /// Creates an EMA whose history decays to 50% after `samples` updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is not strictly positive.
+    pub fn from_half_life(samples: f64) -> Self {
+        assert!(samples > 0.0, "half-life must be positive");
+        let alpha = 1.0 - 0.5f64.powf(1.0 / samples);
+        Self::new(alpha)
+    }
+
+    /// Feeds one sample; the first sample initializes the average exactly.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let next = match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current average; 0.0 before the first sample.
+    pub fn get(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+
+    /// Whether at least one sample has been recorded.
+    pub fn initialized(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// The per-sample weight.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Forgets all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes_exactly() {
+        let mut e = Ema::new(0.1);
+        assert_eq!(e.update(500.0), 500.0);
+        assert_eq!(e.get(), 500.0);
+    }
+
+    #[test]
+    fn half_life_semantics() {
+        let mut e = Ema::from_half_life(2.0);
+        e.update(100.0);
+        e.update(0.0);
+        e.update(0.0);
+        // First sample initializes exactly; two decays halve it.
+        assert!((e.get() - 50.0).abs() < 1e-9, "got {}", e.get());
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ema::new(0.3);
+        e.update(0.0);
+        for _ in 0..100 {
+            e.update(42.0);
+        }
+        assert!((e.get() - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_one_tracks_input_exactly() {
+        let mut e = Ema::new(1.0);
+        e.update(5.0);
+        e.update(9.0);
+        assert_eq!(e.get(), 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_alpha_is_rejected() {
+        let _ = Ema::new(0.0);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut e = Ema::new(0.5);
+        e.update(10.0);
+        e.reset();
+        assert!(!e.initialized());
+        assert_eq!(e.update(3.0), 3.0);
+    }
+
+    #[test]
+    fn smoothing_lies_between_old_and_new() {
+        let mut e = Ema::new(0.25);
+        e.update(0.0);
+        let v = e.update(100.0);
+        assert!(v > 0.0 && v < 100.0);
+        assert_eq!(v, 25.0);
+    }
+}

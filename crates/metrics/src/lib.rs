@@ -1,0 +1,30 @@
+//! Measurement primitives shared by the vSched simulator and its experiment
+//! harness.
+//!
+//! The crate is deliberately dependency-free: every collector here is driven
+//! by the deterministic simulation clock, never by wall-clock time, so that
+//! experiments are exactly reproducible from a seed.
+//!
+//! Provided collectors:
+//!
+//! * [`Histogram`] — log-bucketed latency histogram with percentile queries
+//!   (an HDR-histogram-like layout with bounded relative error).
+//! * [`Ema`] — exponential moving average, the estimator `vcap` uses for
+//!   vCPU capacity (EuroSys '25 paper, §3.1).
+//! * [`TimeSeries`] — windowed counter series for live-throughput plots
+//!   (Figures 16 and 17 of the paper).
+//! * [`Counter`] / [`MeanTracker`] — simple scalar accumulators.
+//! * [`table`] — fixed-width text-table rendering used by every bench target
+//!   to print the rows of the paper's tables and figures.
+
+pub mod ema;
+pub mod histogram;
+pub mod stats;
+pub mod table;
+pub mod timeseries;
+
+pub use ema::Ema;
+pub use histogram::Histogram;
+pub use stats::{Counter, MeanTracker};
+pub use table::{fmt_ns, fmt_pct_change, Table};
+pub use timeseries::TimeSeries;

@@ -1,0 +1,110 @@
+//! Scalar accumulators: counters and running means.
+
+/// A monotonically increasing event counter.
+///
+/// Used for scheduler statistics the paper profiles directly: task
+/// migrations (Figure 11b), inter-processor interrupts (Figure 13), vCPU
+/// preemptions (`vact`'s preemption counter, §3.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Increments by one and returns the new value.
+    pub fn inc(&mut self) -> u64 {
+        self.0 += 1;
+        self.0
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero and returns the previous value (the read-and-reset
+    /// pattern `vact` uses on its preemption counter each sampling period).
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+/// A running mean with sample count, for cheap averaged metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanTracker {
+    sum: f64,
+    n: u64,
+}
+
+impl MeanTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, sample: f64) {
+        self.sum += sample;
+        self.n += 1;
+    }
+
+    /// Mean of the samples so far; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increments_and_takes() {
+        let mut c = Counter::new();
+        assert_eq!(c.inc(), 1);
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn mean_tracker_basics() {
+        let mut m = MeanTracker::new();
+        assert_eq!(m.mean(), 0.0);
+        m.add(2.0);
+        m.add(4.0);
+        assert_eq!(m.mean(), 3.0);
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.sum(), 6.0);
+        m.reset();
+        assert_eq!(m.count(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Fixed-width text tables.
+//!
+//! Every bench target regenerates a paper table or figure by printing rows;
+//! [`Table`] gives them a uniform, aligned rendering without pulling in a
+//! formatting dependency.
+
+use std::fmt;
+
+/// A simple text table with a header row and aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use vsched_metrics::Table;
+///
+/// let mut t = Table::new(&["benchmark", "p95 (ms)"]);
+/// t.row(&["Img-dnn", "12.4"]);
+/// t.row(&["Silo", "4.2"]);
+/// let text = t.to_string();
+/// assert!(text.contains("Img-dnn"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept and
+    /// widen the table.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            w[i] = w[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, width) in w.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                write!(f, " {cell:width$} |")?;
+            }
+            writeln!(f)
+        };
+        let rule = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for width in &w {
+                write!(f, "{}+", "-".repeat(width + 2))?;
+            }
+            writeln!(f)
+        };
+        rule(f)?;
+        write_row(f, &self.header)?;
+        rule(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        rule(f)
+    }
+}
+
+/// Formats nanoseconds as a human-readable duration with adaptive units.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Formats a ratio as a signed percentage change, e.g. `+42.0%`.
+pub fn fmt_pct_change(new: f64, old: f64) -> String {
+    if old == 0.0 {
+        return "n/a".to_string();
+    }
+    let pct = (new / old - 1.0) * 100.0;
+    format!("{pct:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["xxxxxxxx", "1"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let lens: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1"]);
+        t.row(&["1", "2", "3"]);
+        let s = t.to_string();
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(5), "5 ns");
+        assert_eq!(fmt_ns(5_000), "5.00 us");
+        assert_eq!(fmt_ns(5_000_000), "5.00 ms");
+        assert_eq!(fmt_ns(5_000_000_000), "5.00 s");
+    }
+
+    #[test]
+    fn fmt_pct_change_signs() {
+        assert_eq!(fmt_pct_change(150.0, 100.0), "+50.0%");
+        assert_eq!(fmt_pct_change(50.0, 100.0), "-50.0%");
+        assert_eq!(fmt_pct_change(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn empty_table_prints_header_only() {
+        let t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string().lines().count(), 4);
+    }
+}

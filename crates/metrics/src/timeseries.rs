@@ -1,0 +1,146 @@
+//! Windowed counter series for live-throughput plots.
+//!
+//! The adaptability and multi-tenancy experiments (Figures 16 and 17) plot
+//! Nginx's live throughput in fixed windows as the host configuration
+//! changes. [`TimeSeries`] accumulates event counts (or sums) into windows of
+//! simulated time and exposes the per-window rates.
+
+/// A series of fixed-width time windows accumulating a sum per window.
+///
+/// Times are `u64` nanoseconds of simulated time. Windows are created lazily
+/// and gaps are filled with zeroes, so a quiet period shows up as zero
+/// throughput rather than being skipped.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    window_ns: u64,
+    origin: u64,
+    windows: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given window width (ns) starting at `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ns` is zero.
+    pub fn new(window_ns: u64, origin: u64) -> Self {
+        assert!(window_ns > 0, "window width must be positive");
+        Self {
+            window_ns,
+            origin,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Adds `amount` at simulated time `now`. Times before `origin` are
+    /// folded into the first window.
+    pub fn add(&mut self, now: u64, amount: f64) {
+        let idx = (now.saturating_sub(self.origin) / self.window_ns) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, 0.0);
+        }
+        self.windows[idx] += amount;
+    }
+
+    /// Convenience: adds 1.0 at `now` (e.g. one completed request).
+    pub fn tick(&mut self, now: u64) {
+        self.add(now, 1.0);
+    }
+
+    /// Window width in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Per-window sums in chronological order.
+    pub fn windows(&self) -> &[f64] {
+        &self.windows
+    }
+
+    /// Per-window rates in events per second of simulated time.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let scale = 1e9 / self.window_ns as f64;
+        self.windows.iter().map(|w| w * scale).collect()
+    }
+
+    /// Mean rate (events/s) across a window index range, clamped to the
+    /// available data. Returns 0.0 for an empty intersection.
+    pub fn mean_rate(&self, from: usize, to: usize) -> f64 {
+        let to = to.min(self.windows.len());
+        if from >= to {
+            return 0.0;
+        }
+        let sum: f64 = self.windows[from..to].iter().sum();
+        sum * 1e9 / (self.window_ns as f64 * (to - from) as f64)
+    }
+
+    /// Total accumulated amount.
+    pub fn total(&self) -> f64 {
+        self.windows.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn events_land_in_their_window() {
+        let mut ts = TimeSeries::new(SEC, 0);
+        ts.tick(100);
+        ts.tick(SEC + 1);
+        ts.tick(SEC + 2);
+        assert_eq!(ts.windows(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gaps_are_zero_filled() {
+        let mut ts = TimeSeries::new(SEC, 0);
+        ts.tick(0);
+        ts.tick(3 * SEC);
+        assert_eq!(ts.windows(), &[1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn rates_scale_by_window_width() {
+        let mut ts = TimeSeries::new(SEC / 2, 0);
+        ts.add(0, 50.0);
+        assert_eq!(ts.rates_per_sec()[0], 100.0);
+    }
+
+    #[test]
+    fn origin_offsets_window_zero() {
+        let mut ts = TimeSeries::new(SEC, 10 * SEC);
+        ts.tick(10 * SEC + 5);
+        ts.tick(11 * SEC + 5);
+        assert_eq!(ts.windows(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn before_origin_folds_into_first_window() {
+        let mut ts = TimeSeries::new(SEC, 5 * SEC);
+        ts.tick(0);
+        assert_eq!(ts.windows(), &[1.0]);
+    }
+
+    #[test]
+    fn mean_rate_over_range() {
+        let mut ts = TimeSeries::new(SEC, 0);
+        ts.add(0, 10.0);
+        ts.add(SEC, 20.0);
+        ts.add(2 * SEC, 30.0);
+        assert_eq!(ts.mean_rate(0, 3), 20.0);
+        assert_eq!(ts.mean_rate(1, 2), 20.0);
+        assert_eq!(ts.mean_rate(5, 9), 0.0);
+    }
+
+    #[test]
+    fn total_sums_everything() {
+        let mut ts = TimeSeries::new(SEC, 0);
+        ts.add(1, 2.5);
+        ts.add(2 * SEC, 2.5);
+        assert_eq!(ts.total(), 5.0);
+    }
+}

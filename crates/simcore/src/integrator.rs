@@ -1,0 +1,175 @@
+//! Piecewise-constant-rate work integration.
+//!
+//! The central quantity in a two-level scheduling simulation is *work
+//! accrued under a changing rate*: a guest task makes progress only while it
+//! is the task chosen by the guest scheduler **and** its vCPU is running on
+//! a physical hardware thread, at that thread's current capacity. All of
+//! those factors are piecewise constant between simulation events, so work
+//! is integrated lazily: whenever any factor changes, the caller settles the
+//! elapsed interval at the old rate and installs the new rate.
+//!
+//! [`Integrator`] is also used for cycle accounting (Figure 20's
+//! total-cycles / CPS metrics) and for `vtop`'s cache-line transfer model
+//! (transfers accrue while both probe vCPUs overlap in activity).
+
+use crate::time::SimTime;
+
+/// Accumulates `rate * dt` over piecewise-constant-rate intervals.
+#[derive(Debug, Clone, Copy)]
+pub struct Integrator {
+    total: f64,
+    rate: f64,
+    since: SimTime,
+}
+
+impl Integrator {
+    /// Creates an integrator at zero with rate zero.
+    pub fn new(now: SimTime) -> Self {
+        Self {
+            total: 0.0,
+            rate: 0.0,
+            since: now,
+        }
+    }
+
+    /// Settles the interval `[since, now]` at the current rate.
+    pub fn settle(&mut self, now: SimTime) {
+        let dt = now.since(self.since);
+        if dt > 0 && self.rate != 0.0 {
+            self.total += self.rate * dt as f64;
+        }
+        self.since = now;
+    }
+
+    /// Settles up to `now` and installs a new rate.
+    pub fn set_rate(&mut self, now: SimTime, rate: f64) {
+        self.settle(now);
+        self.rate = rate;
+    }
+
+    /// The current rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Accumulated value *as of the last settle* — call [`Self::settle`] or
+    /// use [`Self::value_at`] for an up-to-date reading.
+    pub fn value(&self) -> f64 {
+        self.total
+    }
+
+    /// Accumulated value projected to `now` without mutating state.
+    pub fn value_at(&self, now: SimTime) -> f64 {
+        self.total + self.rate * now.since(self.since) as f64
+    }
+
+    /// Time (ns from `now`) until the accumulated value reaches `target`,
+    /// or `None` if the rate is non-positive or the target is already met
+    /// (already-met targets report `Some(0)`).
+    pub fn eta_ns(&self, now: SimTime, target: f64) -> Option<u64> {
+        let current = self.value_at(now);
+        if current >= target {
+            return Some(0);
+        }
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let dt = (target - current) / self.rate;
+        // Round up so the completion event never fires marginally early.
+        Some(dt.ceil() as u64)
+    }
+
+    /// Adds a constant to the accumulated value (used for one-shot work
+    /// penalties such as cache-refill costs after a vCPU inactive period).
+    pub fn add(&mut self, amount: f64) {
+        self.total += amount;
+    }
+
+    /// Resets the accumulated value to zero at `now`, keeping the rate.
+    pub fn reset(&mut self, now: SimTime) {
+        self.total = 0.0;
+        self.since = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MS;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_ms(ms)
+    }
+
+    #[test]
+    fn integrates_constant_rate() {
+        let mut i = Integrator::new(t(0));
+        i.set_rate(t(0), 2.0);
+        i.settle(t(10));
+        assert_eq!(i.value(), 2.0 * 10.0 * MS as f64);
+    }
+
+    #[test]
+    fn rate_changes_are_piecewise() {
+        let mut i = Integrator::new(t(0));
+        i.set_rate(t(0), 1.0);
+        i.set_rate(t(5), 3.0);
+        i.settle(t(10));
+        assert_eq!(i.value(), (5.0 + 15.0) * MS as f64);
+    }
+
+    #[test]
+    fn value_at_projects_without_mutation() {
+        let mut i = Integrator::new(t(0));
+        i.set_rate(t(0), 1.0);
+        assert_eq!(i.value_at(t(4)), 4.0 * MS as f64);
+        assert_eq!(i.value(), 0.0); // unsettled
+    }
+
+    #[test]
+    fn eta_predicts_completion() {
+        let mut i = Integrator::new(t(0));
+        i.set_rate(t(0), 0.5);
+        let eta = i.eta_ns(t(0), 1000.0).unwrap();
+        assert_eq!(eta, 2000);
+    }
+
+    #[test]
+    fn eta_when_already_done_is_zero() {
+        let mut i = Integrator::new(t(0));
+        i.add(10.0);
+        assert_eq!(i.eta_ns(t(0), 5.0), Some(0));
+    }
+
+    #[test]
+    fn eta_at_zero_rate_is_none() {
+        let i = Integrator::new(t(0));
+        assert_eq!(i.eta_ns(t(0), 5.0), None);
+    }
+
+    #[test]
+    fn zero_rate_accrues_nothing() {
+        let mut i = Integrator::new(t(0));
+        i.settle(t(100));
+        assert_eq!(i.value(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_rate() {
+        let mut i = Integrator::new(t(0));
+        i.set_rate(t(0), 2.0);
+        i.settle(t(1));
+        i.reset(t(1));
+        assert_eq!(i.value(), 0.0);
+        i.settle(t(2));
+        assert_eq!(i.value(), 2.0 * MS as f64);
+    }
+
+    #[test]
+    fn eta_rounds_up() {
+        let mut i = Integrator::new(t(0));
+        i.set_rate(t(0), 3.0);
+        // 10 units at rate 3 → 3.33 ns → must round to 4.
+        assert_eq!(i.eta_ns(t(0), 10.0), Some(4));
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulated time.
+//!
+//! All simulation timestamps are `u64` nanoseconds wrapped in [`SimTime`].
+//! Integer time keeps event ordering exact (no float comparison hazards) and
+//! matches the kernel's own `sched_clock()` convention.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// One microsecond in nanoseconds.
+pub const US: u64 = 1_000;
+/// One millisecond in nanoseconds.
+pub const MS: u64 = 1_000_000;
+/// One second in nanoseconds.
+pub const SEC: u64 = 1_000_000_000;
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs from whole nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Constructs from whole microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * US)
+    }
+
+    /// Constructs from whole milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * MS)
+    }
+
+    /// Constructs from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * SEC)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn ns(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / MS as f64
+    }
+
+    /// Time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / SEC as f64
+    }
+
+    /// Saturating difference `self - earlier` in nanoseconds.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Saturating addition of a nanosecond delta.
+    pub fn after(self, delta_ns: u64) -> SimTime {
+        SimTime(self.0.saturating_add(delta_ns))
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        self.after(rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = self.after(rhs);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= MS {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_ms(1000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1000));
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1000));
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(SimTime::MAX.after(10), SimTime::MAX);
+        assert_eq!(SimTime::ZERO.since(SimTime::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_ms(2) > SimTime::from_ms(1));
+        assert_eq!(SimTime::from_ms(5) - SimTime::from_ms(2), 3 * MS);
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(SimTime::from_ns(5).to_string(), "5ns");
+        assert_eq!(SimTime::from_ms(5).to_string(), "5.000ms");
+        assert_eq!(SimTime::from_secs(5).to_string(), "5.000s");
+    }
+}

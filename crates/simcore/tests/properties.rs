@@ -1,0 +1,150 @@
+//! Property tests on the discrete-event engine primitives.
+//!
+//! The whole reproduction rests on two invariants: the event queue
+//! delivers in nondecreasing time with FIFO tie order, and integrators
+//! account work exactly under arbitrary rate changes. Both are exercised
+//! here under randomized operation sequences.
+
+use proptest::prelude::*;
+use vsched_simcore::{EventQueue, Integrator, SimTime};
+
+proptest! {
+    /// Pops come out in nondecreasing time order no matter the post order.
+    #[test]
+    fn queue_pops_in_time_order(delays in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &d) in delays.iter().enumerate() {
+            q.post(SimTime(d), i);
+        }
+        let mut last = SimTime(0);
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last, "time went backwards: {t:?} after {last:?}");
+            prop_assert_eq!(q.now(), t);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, delays.len());
+    }
+
+    /// Events posted at the same instant pop in insertion order (FIFO ties) —
+    /// the determinism guarantee every scheduler decision relies on.
+    #[test]
+    fn queue_ties_are_fifo(
+        times in prop::collection::vec(0u64..16, 2..100),
+    ) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.post(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, id)) = q.pop() {
+            if let Some((lt, lid)) = last {
+                if lt == t {
+                    prop_assert!(id > lid, "tie at {t:?} broke FIFO: {id} after {lid}");
+                }
+            }
+            last = Some((t, id));
+        }
+    }
+
+    /// Interleaved post/pop never lets `post_after` schedule into the past
+    /// and never loses an event.
+    #[test]
+    fn queue_interleaved_conserves_events(
+        ops in prop::collection::vec((any::<bool>(), 0u64..10_000), 1..300),
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut posted = 0u64;
+        let mut popped = 0u64;
+        for &(pop, delay) in &ops {
+            if pop {
+                if let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= q.now() || t == q.now());
+                    popped += 1;
+                }
+            } else {
+                q.post_after(delay, posted);
+                posted += 1;
+            }
+        }
+        prop_assert_eq!(posted - popped, q.len() as u64);
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(posted, popped);
+    }
+
+    /// The integrator's value equals the exact piecewise-constant integral
+    /// of the rates applied, for any sequence of rate changes.
+    #[test]
+    fn integrator_matches_exact_integral(
+        steps in prop::collection::vec((0u64..1_000_000, 0u32..2048), 1..100),
+    ) {
+        let mut now = SimTime(0);
+        let mut ig = Integrator::new(now);
+        let mut exact = 0.0f64;
+        let mut rate = 0.0f64;
+        for &(dt, r) in &steps {
+            exact += rate * dt as f64;
+            now = SimTime(now.0 + dt);
+            rate = r as f64;
+            ig.set_rate(now, rate);
+            // Up to rounding slack from accumulation order.
+            let got = ig.value_at(now);
+            prop_assert!((got - exact).abs() <= 1e-6 * exact.max(1.0),
+                "value {got} vs exact {exact}");
+        }
+    }
+
+    /// `eta_ns` inverts `value_at`: advancing by the returned delta reaches
+    /// (at least) the target, and one nanosecond less does not overshoot it
+    /// by a full rate step.
+    #[test]
+    fn integrator_eta_reaches_target(
+        rate in 1u32..4096,
+        dt in 1u64..10_000_000,
+    ) {
+        let mut ig = Integrator::new(SimTime(0));
+        ig.set_rate(SimTime(0), rate as f64);
+        let target = rate as f64 * dt as f64 * 0.7;
+        let eta = ig.eta_ns(SimTime(0), target).expect("positive rate has an ETA");
+        let reached = ig.value_at(SimTime(eta));
+        prop_assert!(reached >= target - 1e-6, "reached {reached} target {target}");
+        if eta > 0 {
+            let before = ig.value_at(SimTime(eta - 1));
+            prop_assert!(before < target + rate as f64, "eta not minimal");
+        }
+    }
+
+    /// `settle` is idempotent and never changes the observable value.
+    #[test]
+    fn integrator_settle_is_transparent(
+        steps in prop::collection::vec((0u64..100_000, 0u32..1024), 1..50),
+    ) {
+        let mut now = SimTime(0);
+        let mut a = Integrator::new(now);
+        let mut b = Integrator::new(now);
+        for &(dt, r) in &steps {
+            now = SimTime(now.0 + dt);
+            // `a` settles eagerly at every step; `b` only on rate changes.
+            a.settle(now);
+            a.settle(now);
+            a.set_rate(now, r as f64);
+            b.set_rate(now, r as f64);
+            prop_assert!((a.value() - b.value()).abs() <= 1e-6 * b.value().max(1.0));
+        }
+        prop_assert!((a.value_at(now) - b.value_at(now)).abs() <= 1e-6 * b.value_at(now).max(1.0));
+    }
+
+    /// Zero rate freezes the value for any horizon.
+    #[test]
+    fn integrator_zero_rate_freezes(horizon in 0u64..u64::MAX / 2) {
+        let mut ig = Integrator::new(SimTime(0));
+        ig.set_rate(SimTime(0), 512.0);
+        ig.set_rate(SimTime(1000), 0.0);
+        let frozen = ig.value_at(SimTime(1000));
+        prop_assert_eq!(ig.value_at(SimTime(1000 + horizon)), frozen);
+        prop_assert!(ig.eta_ns(SimTime(1000), frozen + 1.0).is_none());
+    }
+}

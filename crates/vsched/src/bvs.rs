@@ -1,0 +1,125 @@
+//! `bvs`: biased vCPU selection (paper §3.2).
+//!
+//! Matches *small latency-sensitive tasks* (identified by PELT utilization
+//! plus the user-space latency hint) with vCPUs where they experience
+//! minimal extended runqueue latency, following the Figure 8 heuristic:
+//!
+//! 1. Prefer vCPUs with at least median capacity (avoid runqueue
+//!    saturation).
+//! 2. Empty runqueue → require low vCPU latency *and* prolonged idleness
+//!    (a long-idle low-latency vCPU wakes quickly).
+//! 3. Runqueue holding only `SCHED_IDLE` tasks → consult the vCPU state:
+//!    a *recently active* vCPU is ideal (the task starts immediately and
+//!    finishes within the remaining active period — the "blue path");
+//!    a *long-inactive* low-latency vCPU is acceptable (it will be
+//!    rescheduled soon).
+//!
+//! A first-fit policy returns the first acceptable vCPU so the search stays
+//! cheap; when nothing qualifies the caller falls back to the CFS
+//! heuristic. Because the search is not limited to the preferred LLC
+//! domain, bvs can search more aggressively than `select_idle_sibling`.
+
+use crate::tunables::Tunables;
+use crate::vact::{ActState, Vact};
+use crate::vcap::Vcap;
+use guestos::{Kernel, Platform, TaskId, VcpuId};
+
+/// Statistics bvs keeps about its own decisions.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BvsStats {
+    /// Wakeups bvs placed.
+    pub placed: u64,
+    /// Wakeups that fell through to CFS.
+    pub fallback: u64,
+    /// Placements taken via the recently-active sched_idle path.
+    pub blue_path: u64,
+}
+
+/// Decides a wake-up placement for a small latency-sensitive task.
+///
+/// Returns `None` when the task does not qualify or no acceptable vCPU is
+/// found (CFS fallback).
+#[allow(clippy::too_many_arguments)]
+pub fn select(
+    kern: &mut Kernel,
+    plat: &mut dyn Platform,
+    vact: &Vact,
+    vcap: &Vcap,
+    tun: &Tunables,
+    stats: &mut BvsStats,
+    t: TaskId,
+    state_check: bool,
+) -> Option<VcpuId> {
+    let task = kern.task(t);
+    if !task.latency_sensitive || task.pelt.util() > tun.bvs_small_task_util {
+        return None;
+    }
+    let now = plat.now();
+    let allowed = kern.placement_mask(t);
+    let median_cap = vcap.median_cap;
+    let median_lat = vact.median_latency_ns.max(1);
+
+    // First-fit starting from the task's previous vCPU: quick, and wakes
+    // of distinct tasks spread instead of piling onto vCPU 0.
+    let start = kern.task(t).last_vcpu.0;
+    for v in allowed.iter_from(start) {
+        let vid = VcpuId(v);
+        // High capacity first: prevent runqueue saturation. 10% headroom
+        // keeps measurement noise from excluding half the symmetric vCPUs.
+        if kern.capacity_of(vid, now) < 0.9 * median_cap {
+            continue;
+        }
+        let lat = vact.latency_ns(vid);
+        let d = &kern.vcpus[v];
+        if d.curr.is_none() && d.rq.is_empty() {
+            // Empty runqueue: low latency and prolonged idleness.
+            let idle_ns = kern.idle_duration(vid, now).unwrap_or(0);
+            if lat <= median_lat && idle_ns >= tun.bvs_min_idle_ns {
+                stats.placed += 1;
+                return Some(vid);
+            }
+            continue;
+        }
+        // Occupied only by best-effort tasks?
+        let curr_is_idle_policy = d
+            .curr
+            .map(|c| kern.task(c).policy.is_idle())
+            .unwrap_or(true);
+        let only_idle = curr_is_idle_policy && d.rq.nr_normal == 0;
+        if !only_idle {
+            continue;
+        }
+        if !state_check {
+            // Ablation: pick on latency alone (Table 3's
+            // "bvs (no state check)" column).
+            if lat <= median_lat {
+                stats.placed += 1;
+                return Some(vid);
+            }
+            continue;
+        }
+        match vact.state(vid, now, true) {
+            ActState::Active { for_ns } => {
+                // Recently become active with sched_idle tasks: the task
+                // can start immediately and finish within the remaining
+                // active period (the blue path of Figure 8).
+                let avg_active = vact.active_period_ns(vid);
+                if avg_active == u64::MAX || for_ns < avg_active / 2 {
+                    stats.placed += 1;
+                    stats.blue_path += 1;
+                    return Some(vid);
+                }
+            }
+            ActState::Inactive { for_ns } => {
+                // Long-inactive and low-latency: likely active again soon.
+                if lat <= median_lat && for_ns >= lat / 2 {
+                    stats.placed += 1;
+                    return Some(vid);
+                }
+            }
+            ActState::Idle => {}
+        }
+    }
+    stats.fallback += 1;
+    None
+}

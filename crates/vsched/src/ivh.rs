@@ -1,0 +1,234 @@
+//! `ivh`: intra-VM harvesting (paper §3.3).
+//!
+//! Proactively migrates a CPU-intensive running task off a
+//! soon-to-be-inactive vCPU onto an unused vCPU where it keeps making
+//! progress — harvesting cycles that would otherwise be wasted while the
+//! task is stalled.
+//!
+//! The migration is *activity-aware*: because migration delay (extended
+//! runqueue latency on the target) can eat the benefit, ivh **pre-wakes**
+//! the target vCPU and only completes the migration when both source and
+//! target are active. The three steps of Figure 9:
+//!
+//! 1. the source finds a target and sends it an interrupt (kick);
+//! 2. when the target becomes active it issues the pull request;
+//! 3. the stopper-thread migration detaches the running task and attaches
+//!    it to the target's runqueue.
+//!
+//! If the pull arrives after the source has already been preempted (the
+//! task already stalled), the migration is abandoned — there is no benefit.
+//! The activity-unaware ablation (Table 4) migrates directly instead.
+
+use crate::tunables::Tunables;
+use crate::vact::{ActState, Vact};
+use guestos::{Kernel, Platform, TaskId, VcpuId};
+use simcore::SimTime;
+
+/// A pre-wake pull request pending on a target vCPU.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    src: VcpuId,
+    task: TaskId,
+    initiated: SimTime,
+}
+
+/// The harvesting engine.
+pub struct Ivh {
+    /// Pending pull per target vCPU.
+    pending: Vec<Option<Pending>>,
+    /// Last ivh migration per task id (cooldown), sparse map.
+    last_migration: Vec<(TaskId, SimTime)>,
+    /// Whether pre-waking is enabled (false = activity-unaware ablation).
+    pub prewake: bool,
+}
+
+impl Ivh {
+    /// Creates the engine for `nr_vcpus` vCPUs.
+    pub fn new(nr_vcpus: usize, prewake: bool) -> Self {
+        Self {
+            pending: vec![None; nr_vcpus],
+            last_migration: Vec::new(),
+            prewake,
+        }
+    }
+
+    fn in_cooldown(&self, t: TaskId, now: SimTime, cooldown: u64) -> bool {
+        self.last_migration
+            .iter()
+            .any(|&(id, at)| id == t && now.since(at) < cooldown)
+    }
+
+    fn note_migration(&mut self, t: TaskId, now: SimTime) {
+        self.last_migration.retain(|&(id, _)| id != t);
+        self.last_migration.push((t, now));
+        if self.last_migration.len() > 256 {
+            self.last_migration.remove(0);
+        }
+    }
+
+    /// Scheduler-tick hook on vCPU `v`: detect a stalling candidate and
+    /// initiate harvesting.
+    pub fn on_tick(
+        &mut self,
+        kern: &mut Kernel,
+        plat: &mut dyn Platform,
+        vact: &Vact,
+        tun: &Tunables,
+        v: VcpuId,
+    ) {
+        let now = plat.now();
+        let Some(curr) = kern.vcpus[v.0].curr else {
+            return;
+        };
+        // Only CPU-intensive tasks that have run a minimum duration (2 ms)
+        // on a vCPU that actually has inactive periods.
+        let task = kern.task(curr);
+        if task.policy.is_idle()
+            || task.pelt.util() < tun.ivh_min_util
+            || now.since(task.run_started) < tun.ivh_migration_threshold_ns
+            || vact.latency_ns(v) == 0
+        {
+            return;
+        }
+        // Soon-to-be-inactive: the current active stretch approaches the
+        // average active period.
+        let avg_active = vact.active_period_ns(v);
+        if avg_active == u64::MAX {
+            return;
+        }
+        match vact.state(v, now, true) {
+            ActState::Active { for_ns } => {
+                if for_ns + 2 * kern.cfg.tick_ns < avg_active {
+                    return; // plenty of active time left
+                }
+            }
+            _ => return,
+        }
+        if self.in_cooldown(curr, now, tun.ivh_cooldown_ns) {
+            return;
+        }
+        let Some(target) = self.find_target(kern, plat, vact, tun, curr, v) else {
+            return;
+        };
+        kern.stats.ivh_attempts.inc();
+        if !self.prewake {
+            // Activity-unaware ablation: migrate immediately, whatever the
+            // target's state.
+            kern.migrate_running(plat, v, target);
+            kern.stats.ivh_completed.inc();
+            self.note_migration(curr, now);
+            return;
+        }
+        let target_active = matches!(vact.state(target, now, true), ActState::Active { .. })
+            && kern.vcpus[target.0].curr.is_some();
+        if target_active {
+            // Target is already active (running best-effort work): the
+            // pull completes with no delay.
+            self.complete(kern, plat, v, target, curr, now);
+            return;
+        }
+        // Step 1: pre-wake the target and leave a pull request.
+        self.pending[target.0] = Some(Pending {
+            src: v,
+            task: curr,
+            initiated: now,
+        });
+        plat.send_ipi(target);
+    }
+
+    /// vCPU-start hook: the pre-woken target issues its pull request
+    /// (steps 2–3 of Figure 9).
+    pub fn on_vcpu_start(
+        &mut self,
+        kern: &mut Kernel,
+        plat: &mut dyn Platform,
+        vact: &Vact,
+        tun: &Tunables,
+        v: VcpuId,
+    ) {
+        let Some(p) = self.pending[v.0].take() else {
+            return;
+        };
+        let now = plat.now();
+        if now.since(p.initiated) > tun.ivh_pull_timeout_ns {
+            return; // stale request
+        }
+        // The pull only helps if the task is still running on an active
+        // source (judged by the source's heartbeat); otherwise the task has
+        // already stalled — abandon (§3.3).
+        let src_active = matches!(vact.state(p.src, now, true), ActState::Active { .. });
+        if kern.vcpus[p.src.0].curr != Some(p.task) || !src_active {
+            kern.stats.ivh_abandoned.inc();
+            return;
+        }
+        self.complete(kern, plat, p.src, v, p.task, now);
+    }
+
+    fn complete(
+        &mut self,
+        kern: &mut Kernel,
+        plat: &mut dyn Platform,
+        src: VcpuId,
+        target: VcpuId,
+        task: TaskId,
+        now: SimTime,
+    ) {
+        if kern.migrate_running(plat, src, target).is_some() {
+            kern.stats.ivh_completed.inc();
+            self.note_migration(task, now);
+            // If the target currently runs a best-effort task, preempt it
+            // so the harvested task starts immediately.
+            if let Some(curr) = kern.vcpus[target.0].curr {
+                if kern.task(curr).policy.is_idle() {
+                    kern.resched(plat, target);
+                }
+            }
+        }
+    }
+
+    /// bvs-like target search: an unused vCPU where the task can continue
+    /// quickly — idle, or occupied only by `SCHED_IDLE` tasks; prefer
+    /// active (or soon-active) targets.
+    fn find_target(
+        &self,
+        kern: &Kernel,
+        plat: &mut dyn Platform,
+        vact: &Vact,
+        tun: &Tunables,
+        t: TaskId,
+        src: VcpuId,
+    ) -> Option<VcpuId> {
+        let now = plat.now();
+        let allowed = kern.placement_mask(t);
+        let mut fallback: Option<VcpuId> = None;
+        for c in allowed.iter() {
+            let v = VcpuId(c);
+            if v == src {
+                continue;
+            }
+            if self.pending[c].is_some() {
+                continue; // already targeted by another migration
+            }
+            let d = &kern.vcpus[c];
+            let only_idle_policy = match d.curr {
+                Some(curr) => kern.task(curr).policy.is_idle() && d.rq.nr_normal == 0,
+                None => d.rq.is_empty(),
+            };
+            if !only_idle_policy {
+                continue;
+            }
+            // Ideal: an active target (pull completes with no delay).
+            let active = matches!(vact.state(v, now, true), ActState::Active { .. });
+            if active && d.curr.is_some() {
+                return Some(v);
+            }
+            // Acceptable: long-inactive, low-latency (likely active soon),
+            // or simply idle (pre-wake it).
+            let lat = vact.latency_ns(v);
+            if fallback.is_none() && lat <= vact.median_latency_ns.max(tun.vact_steal_jump_ns) {
+                fallback = Some(v);
+            }
+        }
+        fallback
+    }
+}

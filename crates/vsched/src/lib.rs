@@ -1,0 +1,343 @@
+//! vSched: optimizing task scheduling in cloud VMs with accurate vCPU
+//! abstraction (EuroSys '25).
+//!
+//! This crate is the paper's contribution: entirely guest-side machinery —
+//! no hypervisor modification — that
+//!
+//! 1. **probes** the real vCPU abstraction with three lightweight
+//!    microbenchmarks (the *vProbers*): [`vcap`] for dynamic capacity,
+//!    [`vact`] for activity (vCPU latency and state), [`vtop`] for
+//!    topology (stacking / SMT / socket); and
+//! 2. **optimizes** task scheduling with three techniques layered onto the
+//!    stock CFS through hook points (the paper's BPF attach sites):
+//!    [`bvs`] biased vCPU selection for small latency-sensitive tasks,
+//!    [`ivh`] intra-VM harvesting of wasted vCPU time, and [`rwc`] relaxed
+//!    work conservation hiding straggler and stacked vCPUs.
+//!
+//! # Usage
+//!
+//! ```ignore
+//! // inside a hostsim scenario:
+//! machine.with_vm(vm, |guest, plat| {
+//!     vsched::install(guest, plat, VschedConfig::full());
+//! });
+//! ```
+//!
+//! [`VschedConfig::enhanced_cfs`] reproduces the paper's "enhanced CFS"
+//! configuration (vProbers + rwc, no new policies); [`VschedConfig::full`]
+//! is complete vSched.
+
+pub mod bvs;
+pub mod ivh;
+pub mod rwc;
+pub mod tunables;
+pub mod vact;
+pub mod vcap;
+pub mod vtop;
+
+pub use bvs::BvsStats;
+pub use ivh::Ivh;
+pub use rwc::Rwc;
+pub use tunables::Tunables;
+pub use vact::{ActState, Vact};
+pub use vcap::Vcap;
+pub use vtop::{PairClass, Vtop};
+
+use guestos::platform::HOOK_TIMER_BASE;
+use guestos::{GuestOs, Kernel, Platform, SchedHooks, TaskId, VcpuId};
+
+/// Timer token: open a vcap sampling window (periodic).
+pub const TOKEN_VCAP_OPEN: u64 = HOOK_TIMER_BASE + 1;
+/// Timer token: close the current vcap sampling window.
+pub const TOKEN_VCAP_CLOSE: u64 = HOOK_TIMER_BASE + 2;
+/// Timer token: demote heavy-phase probers mid-window.
+pub const TOKEN_VCAP_DEMOTE: u64 = HOOK_TIMER_BASE + 5;
+/// Timer token: vtop probing period (periodic).
+pub const TOKEN_VTOP_PERIOD: u64 = HOOK_TIMER_BASE + 3;
+/// Timer token: vtop in-flight session check (1 ms while probing).
+pub const TOKEN_VTOP_CHECK: u64 = HOOK_TIMER_BASE + 4;
+
+/// Which vSched pieces are enabled.
+#[derive(Debug, Clone)]
+pub struct VschedConfig {
+    /// Capacity prober.
+    pub vcap: bool,
+    /// Activity prober.
+    pub vact: bool,
+    /// Topology prober.
+    pub vtop: bool,
+    /// Biased vCPU selection.
+    pub bvs: bool,
+    /// Intra-VM harvesting.
+    pub ivh: bool,
+    /// Relaxed work conservation.
+    pub rwc: bool,
+    /// bvs consults the vCPU state (false = Table 3's ablation).
+    pub bvs_state_check: bool,
+    /// ivh pre-wakes targets (false = Table 4's activity-unaware ablation).
+    pub ivh_prewake: bool,
+    /// Tunables (Table 1 defaults).
+    pub tunables: Tunables,
+}
+
+impl VschedConfig {
+    /// Full vSched: all probers and all three techniques.
+    pub fn full() -> Self {
+        Self {
+            vcap: true,
+            vact: true,
+            vtop: true,
+            bvs: true,
+            ivh: true,
+            rwc: true,
+            bvs_state_check: true,
+            ivh_prewake: true,
+            tunables: Tunables::paper(),
+        }
+    }
+
+    /// The paper's "enhanced CFS": accurate abstraction (vProbers) and rwc,
+    /// but none of the new activity-aware policies.
+    pub fn enhanced_cfs() -> Self {
+        Self {
+            bvs: false,
+            ivh: false,
+            ..Self::full()
+        }
+    }
+
+    /// Probers only: expose the abstraction, change no policy.
+    pub fn probers_only() -> Self {
+        Self {
+            bvs: false,
+            ivh: false,
+            rwc: false,
+            ..Self::full()
+        }
+    }
+
+    /// Disables the bvs state check (Table 3 ablation).
+    pub fn without_bvs_state_check(mut self) -> Self {
+        self.bvs_state_check = false;
+        self
+    }
+
+    /// Disables ivh pre-waking (Table 4 ablation).
+    pub fn without_ivh_prewake(mut self) -> Self {
+        self.ivh_prewake = false;
+        self
+    }
+}
+
+/// The installed vSched instance: owns the probers and policies and
+/// implements the scheduler hook surface.
+pub struct Vsched {
+    /// Active configuration.
+    pub cfg: VschedConfig,
+    /// Capacity prober.
+    pub vcap: Vcap,
+    /// Activity prober.
+    pub vact: Vact,
+    /// Topology prober.
+    pub vtop: Vtop,
+    /// Harvesting engine.
+    pub ivh: Ivh,
+    /// Work-conservation policy.
+    pub rwc: Rwc,
+    /// bvs decision statistics.
+    pub bvs_stats: BvsStats,
+    vtop_check_armed: bool,
+    vtop_ran_once: bool,
+}
+
+impl Vsched {
+    fn new(nr_vcpus: usize, tick_ns: u64, cfg: VschedConfig, now: simcore::SimTime) -> Self {
+        Self {
+            vcap: Vcap::new(nr_vcpus, &cfg.tunables),
+            vact: Vact::new(nr_vcpus, tick_ns, &cfg.tunables, now),
+            vtop: Vtop::new(nr_vcpus, cfg.tunables.clone()),
+            ivh: Ivh::new(nr_vcpus, cfg.ivh_prewake),
+            rwc: Rwc::new(nr_vcpus),
+            bvs_stats: BvsStats::default(),
+            vtop_check_armed: false,
+            vtop_ran_once: false,
+            cfg,
+        }
+    }
+
+    /// Applies a freshly probed topology: rebuild domains, update rwc bans,
+    /// retire vcap probers on newly banned vCPUs.
+    fn install_topology(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
+        let Some(topo) = self.vtop.take_installed() else {
+            return;
+        };
+        kern.install_topology(&topo);
+        if self.cfg.rwc {
+            let groups = self.vtop.stacked_groups();
+            let newly_banned = self.rwc.update_stacking(kern, plat, &groups);
+            for v in newly_banned {
+                self.vcap.ban_vcpu(kern, plat, v);
+            }
+            // Unbanned vCPUs may be probed again.
+            for v in 0..self.rwc.banned.len() {
+                if !self.rwc.banned[v] {
+                    self.vcap.unban_vcpu(v);
+                }
+            }
+        }
+    }
+
+    fn arm_vtop_check(&mut self, plat: &mut dyn Platform) {
+        if !self.vtop_check_armed {
+            self.vtop_check_armed = true;
+            let at = plat.now().after(1_000_000);
+            plat.set_timer(TOKEN_VTOP_CHECK, at);
+        }
+    }
+}
+
+impl SchedHooks for Vsched {
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn select_cpu(
+        &mut self,
+        kern: &mut Kernel,
+        plat: &mut dyn Platform,
+        task: TaskId,
+        _prev: VcpuId,
+    ) -> Option<VcpuId> {
+        if !self.cfg.bvs {
+            return None;
+        }
+        bvs::select(
+            kern,
+            plat,
+            &self.vact,
+            &self.vcap,
+            &self.cfg.tunables,
+            &mut self.bvs_stats,
+            task,
+            self.cfg.bvs_state_check,
+        )
+    }
+
+    fn on_tick(&mut self, kern: &mut Kernel, plat: &mut dyn Platform, v: VcpuId) {
+        if self.cfg.vact {
+            let steal = plat.steal_ns(v);
+            self.vact.on_tick(v, plat.now(), steal);
+        }
+        if self.cfg.ivh {
+            self.ivh
+                .on_tick(kern, plat, &self.vact, &self.cfg.tunables, v);
+        }
+    }
+
+    fn on_vcpu_start(&mut self, kern: &mut Kernel, plat: &mut dyn Platform, v: VcpuId) {
+        if self.cfg.ivh {
+            self.ivh
+                .on_vcpu_start(kern, plat, &self.vact, &self.cfg.tunables, v);
+        }
+        if self.cfg.vtop && self.vtop.probing() {
+            self.vtop.update_sessions(kern, plat);
+            self.install_topology(kern, plat);
+        }
+    }
+
+    fn on_vcpu_stop(&mut self, kern: &mut Kernel, plat: &mut dyn Platform, v: VcpuId) {
+        let _ = v;
+        if self.cfg.vtop && self.vtop.probing() {
+            self.vtop.update_sessions(kern, plat);
+            self.install_topology(kern, plat);
+        }
+    }
+
+    fn on_timer(&mut self, kern: &mut Kernel, plat: &mut dyn Platform, token: u64) {
+        match token {
+            TOKEN_VCAP_OPEN => {
+                if self.cfg.vcap && !self.vcap.window_open() {
+                    self.vcap.open_window(kern, plat);
+                }
+                let now = plat.now();
+                // Heavy probers yield their priority once the measurement
+                // has enough runtime (15 ms).
+                plat.set_timer(TOKEN_VCAP_DEMOTE, now.after(15_000_000));
+                plat.set_timer(
+                    TOKEN_VCAP_CLOSE,
+                    now.after(self.cfg.tunables.vcap_sampling_period_ns),
+                );
+                plat.set_timer(
+                    TOKEN_VCAP_OPEN,
+                    now.after(self.cfg.tunables.vcap_light_every_ns),
+                );
+            }
+            TOKEN_VCAP_DEMOTE if self.cfg.vcap => {
+                self.vcap.demote_heavy(kern, plat);
+            }
+            TOKEN_VCAP_CLOSE => {
+                if self.cfg.vcap && self.vcap.window_open() {
+                    self.vcap.close_window(kern, plat);
+                }
+                if self.cfg.vact {
+                    self.vact.close_window(kern, plat.now());
+                }
+                if self.cfg.rwc && self.cfg.vcap {
+                    self.rwc
+                        .update_stragglers(kern, plat, &self.vcap, &self.cfg.tunables);
+                }
+            }
+            TOKEN_VTOP_PERIOD => {
+                if self.cfg.vtop && !self.vtop.probing() {
+                    if self.vtop_ran_once {
+                        self.vtop.start_validation(kern, plat);
+                    } else {
+                        self.vtop.start_full(kern, plat);
+                        self.vtop_ran_once = true;
+                    }
+                    if self.vtop.probing() {
+                        self.arm_vtop_check(plat);
+                    } else {
+                        self.install_topology(kern, plat);
+                    }
+                }
+                let now = plat.now();
+                plat.set_timer(
+                    TOKEN_VTOP_PERIOD,
+                    now.after(self.cfg.tunables.vtop_period_ns),
+                );
+            }
+            TOKEN_VTOP_CHECK => {
+                self.vtop_check_armed = false;
+                let still = self.vtop.update_sessions(kern, plat);
+                self.install_topology(kern, plat);
+                if still {
+                    self.arm_vtop_check(plat);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Installs vSched into a guest: creates the instance, arms the prober
+/// timers, and attaches the hook set (the paper's out-of-tree module + BPF
+/// programs loading at boot).
+pub fn install(guest: &mut GuestOs, plat: &mut dyn Platform, cfg: VschedConfig) {
+    let nr = guest.kern.cfg.nr_vcpus;
+    let tick = guest.kern.cfg.tick_ns;
+    let now = plat.now();
+    let vs = Vsched::new(nr, tick, cfg, now);
+    if vs.cfg.vcap || vs.cfg.vact {
+        plat.set_timer(TOKEN_VCAP_OPEN, now.after(10_000_000));
+    }
+    if vs.cfg.vtop {
+        plat.set_timer(TOKEN_VTOP_PERIOD, now.after(50_000_000));
+    }
+    guest.install_hooks(Box::new(vs));
+}
+
+/// Convenience: borrows the installed [`Vsched`] back out of a guest.
+pub fn instance(guest: &mut GuestOs) -> Option<&mut Vsched> {
+    guest.hooks_mut()?.as_any().downcast_mut::<Vsched>()
+}

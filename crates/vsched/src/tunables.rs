@@ -1,0 +1,121 @@
+//! vSched tunables.
+//!
+//! [`Tunables::paper`] reproduces Table 1 of the paper exactly; the extra
+//! fields below the table are constants the paper mentions in prose (e.g.
+//! the 2 ms ivh threshold "aligned with the scheduler tick", the 10× rwc
+//! straggler criterion) or thresholds any implementation needs but the
+//! paper leaves to the artifact.
+
+use simcore::time::{MS, SEC, US};
+
+/// All vSched knobs, with the paper's chosen values as defaults.
+#[derive(Debug, Clone)]
+pub struct Tunables {
+    // ------ Table 1 ------
+    /// vcap sampling period (Table 1: 100 ms).
+    pub vcap_sampling_period_ns: u64,
+    /// vcap light sampling frequency (Table 1: every 1 second).
+    pub vcap_light_every_ns: u64,
+    /// vcap heavy sampling frequency (Table 1: every 5 light samplings).
+    pub vcap_heavy_every: u32,
+    /// vcap EMA decay (Table 1: 50% per 2 periods), as a half-life in
+    /// samples.
+    pub vcap_ema_half_life: f64,
+    /// vtop sampling frequency (Table 1: every 2 seconds).
+    pub vtop_period_ns: u64,
+    /// vtop targeted cache transfers (Table 1: 500).
+    pub vtop_target_transfers: f64,
+    /// vtop cache transfer timeout (Table 1: 15000 transfer attempts).
+    pub vtop_timeout_attempts: f64,
+    /// ivh migration threshold (Table 1: after 2 milliseconds).
+    pub ivh_migration_threshold_ns: u64,
+
+    // ------ Constants from prose / implementation thresholds ------
+    /// Steal-time jump below this is filtered as noise (vact, §3.1:
+    /// "small jumps are filtered out").
+    pub vact_steal_jump_ns: u64,
+    /// Heartbeat staleness (in ticks) before a vCPU is considered inactive.
+    pub vact_stale_ticks: u64,
+    /// PELT utilization below which a latency-sensitive task counts as
+    /// "small" for bvs.
+    pub bvs_small_task_util: f64,
+    /// Minimum idle duration for bvs's empty-runqueue path (0 accepts any
+    /// idle low-latency vCPU; raise to require prolonged idleness).
+    pub bvs_min_idle_ns: u64,
+    /// PELT utilization above which ivh considers a task CPU-intensive.
+    pub ivh_min_util: f64,
+    /// Cooldown between ivh migrations of the same task.
+    pub ivh_cooldown_ns: u64,
+    /// Pending pre-wake pull requests older than this are dropped.
+    pub ivh_pull_timeout_ns: u64,
+    /// rwc straggler criterion: capacity below this fraction of the mean
+    /// (§3.4: "significantly lower (e.g., 10x lower)").
+    pub rwc_straggler_factor: f64,
+    /// vtop: latency below this is an SMT sibling (ns).
+    pub vtop_smt_threshold_ns: f64,
+    /// vtop: latency below this is same-socket; above, cross-socket (ns).
+    pub vtop_socket_threshold_ns: f64,
+    /// vtop: cost of one failed (spinning) transfer attempt (ns).
+    pub vtop_spin_attempt_ns: f64,
+    /// vtop: maximum timeout extensions before concluding.
+    pub vtop_max_extensions: u8,
+}
+
+impl Tunables {
+    /// The values from Table 1 of the paper.
+    pub fn paper() -> Self {
+        Self {
+            vcap_sampling_period_ns: 100 * MS,
+            vcap_light_every_ns: SEC,
+            vcap_heavy_every: 5,
+            vcap_ema_half_life: 2.0,
+            vtop_period_ns: 2 * SEC,
+            vtop_target_transfers: 500.0,
+            vtop_timeout_attempts: 15_000.0,
+            ivh_migration_threshold_ns: 2 * MS,
+            vact_steal_jump_ns: 300 * US,
+            vact_stale_ticks: 3,
+            bvs_small_task_util: 200.0,
+            bvs_min_idle_ns: 0,
+            ivh_min_util: 400.0,
+            ivh_cooldown_ns: 2 * MS,
+            ivh_pull_timeout_ns: 20 * MS,
+            rwc_straggler_factor: 0.1,
+            vtop_smt_threshold_ns: 20.0,
+            vtop_socket_threshold_ns: 80.0,
+            vtop_spin_attempt_ns: 1_000.0,
+            vtop_max_extensions: 3,
+        }
+    }
+}
+
+impl Default for Tunables {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let t = Tunables::paper();
+        assert_eq!(t.vcap_sampling_period_ns, 100 * MS);
+        assert_eq!(t.vcap_light_every_ns, SEC);
+        assert_eq!(t.vcap_heavy_every, 5);
+        assert_eq!(t.vcap_ema_half_life, 2.0);
+        assert_eq!(t.vtop_period_ns, 2 * SEC);
+        assert_eq!(t.vtop_target_transfers, 500.0);
+        assert_eq!(t.vtop_timeout_attempts, 15_000.0);
+        assert_eq!(t.ivh_migration_threshold_ns, 2 * MS);
+    }
+
+    #[test]
+    fn thresholds_are_ordered() {
+        let t = Tunables::paper();
+        assert!(t.vtop_smt_threshold_ns < t.vtop_socket_threshold_ns);
+        assert!(t.rwc_straggler_factor < 1.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! `vcap`: the vCPU capacity prober (paper §3.1).
+//!
+//! Cooperative, multi-phase sampling. Every second, one prober thread per
+//! vCPU runs for a 100 ms window:
+//!
+//! * **Light phase** (default): probers run at `SCHED_IDLE` priority, only
+//!   consuming cycles the workload leaves idle. Keeping the vCPU busy makes
+//!   steal observable, so the window yields the *share* of core time the
+//!   vCPU receives: `1 − steal/window`. Multiplied by the last known core
+//!   capacity this gives the vCPU capacity.
+//! * **Heavy phase** (every 5th sampling): probers run at high priority and
+//!   the work they complete per unit of active time *is* the hosting core's
+//!   capacity (it folds in DVFS and SMT contention), refreshing the core
+//!   estimate that light phases rely on.
+//!
+//! Samples are smoothed with an EMA (half-life 2 periods, Table 1) and
+//! installed into the kernel as the per-vCPU capacity override — the
+//! "kernel module updating per-vCPU data" of paper §4.
+
+use crate::tunables::Tunables;
+use guestos::{CpuMask, Kernel, Platform, Policy, SpawnSpec, TaskId, TaskProgram, VcpuId};
+use metrics::Ema;
+
+/// High-priority weight used by heavy-phase probers (nice −20).
+const HEAVY_WEIGHT: u64 = 88761;
+
+/// The capacity prober.
+pub struct Vcap {
+    nr_vcpus: usize,
+    period_ns: u64,
+    heavy_every: u32,
+    probers: Vec<Option<TaskId>>,
+    heavy_probers: Vec<Option<TaskId>>,
+    /// vCPUs vcap must not touch (rwc-banned stacked vCPUs).
+    pub skip: Vec<bool>,
+    window_open: bool,
+    window_heavy: bool,
+    light_count: u32,
+    start_steal: Vec<u64>,
+    /// Probed core capacity per vCPU (EMA over heavy samples).
+    pub core_cap: Vec<f64>,
+    /// Published per-vCPU capacity estimates.
+    pub cap: Vec<Ema>,
+    /// Median of published capacities.
+    pub median_cap: f64,
+    /// Mean of published capacities.
+    pub mean_cap: f64,
+}
+
+impl Vcap {
+    /// Creates the prober.
+    pub fn new(nr_vcpus: usize, tun: &Tunables) -> Self {
+        Self {
+            nr_vcpus,
+            period_ns: tun.vcap_sampling_period_ns,
+            heavy_every: tun.vcap_heavy_every,
+            probers: vec![None; nr_vcpus],
+            heavy_probers: vec![None; nr_vcpus],
+            skip: vec![false; nr_vcpus],
+            window_open: false,
+            window_heavy: false,
+            light_count: 0,
+            start_steal: vec![0; nr_vcpus],
+            core_cap: vec![1024.0; nr_vcpus],
+            cap: vec![Ema::from_half_life(tun.vcap_ema_half_life); nr_vcpus],
+            median_cap: 1024.0,
+            mean_cap: 1024.0,
+        }
+    }
+
+    /// Whether a sampling window is currently open.
+    pub fn window_open(&self) -> bool {
+        self.window_open
+    }
+
+    /// The published capacity of a vCPU (1024 scale; 1024 until probed).
+    pub fn capacity(&self, v: VcpuId) -> f64 {
+        if self.cap[v.0].initialized() {
+            self.cap[v.0].get()
+        } else {
+            1024.0
+        }
+    }
+
+    /// Opens a sampling window: wakes one prober per (non-skipped) vCPU at
+    /// the phase-appropriate priority and snapshots the counters.
+    pub fn open_window(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
+        debug_assert!(!self.window_open);
+        self.window_open = true;
+        self.window_heavy = self.light_count.is_multiple_of(self.heavy_every);
+        self.light_count = self.light_count.wrapping_add(1);
+        for v in 0..self.nr_vcpus {
+            if self.skip[v] {
+                continue;
+            }
+            // The persistent light prober: best-effort, only consumes
+            // otherwise-idle cycles, keeps the vCPU busy so steal is
+            // observable.
+            let t = match self.probers[v] {
+                Some(t) => t,
+                None => {
+                    let t = kern.spawn(plat.now(), Self::prober_spec(v, Policy::Idle));
+                    kern.task_mut(t).remaining = guestos::kernel::BUILTIN_SPIN_WORK;
+                    self.probers[v] = Some(t);
+                    t
+                }
+            };
+            self.start_steal[v] = plat.steal_ns(VcpuId(v));
+            kern.wake_to(plat, t, VcpuId(v), None);
+            if self.window_heavy {
+                // A fresh short-lived high-priority prober measures the
+                // core's work rate; it is retired after ~15 ms so the
+                // disturbance stays small ("delicately measuring").
+                let h = kern.spawn(
+                    plat.now(),
+                    Self::prober_spec(
+                        v,
+                        Policy::Normal {
+                            weight: HEAVY_WEIGHT,
+                        },
+                    ),
+                );
+                kern.task_mut(h).remaining = guestos::kernel::BUILTIN_SPIN_WORK;
+                self.heavy_probers[v] = Some(h);
+                kern.wake_to(plat, h, VcpuId(v), None);
+            }
+        }
+    }
+
+    fn prober_spec(v: usize, policy: Policy) -> SpawnSpec {
+        SpawnSpec {
+            policy,
+            affinity: CpuMask::single(v),
+            program: TaskProgram::BuiltinSpin,
+            latency_sensitive: false,
+            comm_group: None,
+            cache_sensitive: false,
+            // Probing must still reach straggler vCPUs that rwc restricted
+            // to best-effort tasks.
+            bypass_cgroup: true,
+        }
+    }
+
+    /// Closes the window: computes shares (and core capacities in heavy
+    /// phase), feeds the EMAs, installs overrides, parks the probers.
+    pub fn close_window(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
+        debug_assert!(self.window_open);
+        self.window_open = false;
+        for v in 0..self.nr_vcpus {
+            if self.skip[v] {
+                continue;
+            }
+            let Some(t) = self.probers[v] else { continue };
+            // Park the light prober first: this settles its accounting
+            // through the regular stop path.
+            kern.block_task(plat, t);
+            let steal_delta = plat.steal_ns(VcpuId(v)).saturating_sub(self.start_steal[v]);
+            let share = 1.0 - (steal_delta as f64 / self.period_ns as f64).clamp(0.0, 1.0);
+            if self.window_heavy {
+                if let Some(h) = self.heavy_probers[v].take() {
+                    kern.kill_task(plat, h); // no-op if already retired
+                    let work = kern.task(h).total_work;
+                    let active = kern.task(h).total_active_ns;
+                    if active > 2_000_000 {
+                        // Work per active nanosecond *is* the core
+                        // capacity; the measurement is direct, so weight
+                        // it heavily over the stale estimate.
+                        let core = work / active as f64;
+                        self.core_cap[v] = 0.15 * self.core_cap[v] + 0.85 * core;
+                    }
+                }
+            }
+            let sample = self.core_cap[v] * share;
+            let ema = self.cap[v].update(sample);
+            kern.vcpus[v].cap_override = Some(ema.max(1.0));
+        }
+        let mut caps: Vec<f64> = (0..self.nr_vcpus)
+            .filter(|&v| !self.skip[v])
+            .map(|v| self.capacity(VcpuId(v)))
+            .collect();
+        if !caps.is_empty() {
+            caps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            self.median_cap = caps[(caps.len() - 1) / 2];
+            self.mean_cap = caps.iter().sum::<f64>() / caps.len() as f64;
+            // Accurate capacity turns capacity-aware balancing back on:
+            // declare asymmetry (SD_ASYM_CPUCAPACITY) when probed capacities
+            // genuinely diverge.
+            let max = *caps.last().expect("non-empty");
+            let min = caps[0].max(1.0);
+            kern.asym_capacity = max / min > 1.3;
+        }
+    }
+
+    /// Retires the heavy-phase probers once they have executed long enough
+    /// for an accurate work-rate measurement ("delicately measuring",
+    /// §3.1): the reading only needs a few milliseconds of guaranteed
+    /// execution, not the whole window. Their totals stay readable until
+    /// the window closes.
+    pub fn demote_heavy(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
+        if !self.window_open || !self.window_heavy {
+            return;
+        }
+        for v in 0..self.nr_vcpus {
+            if let Some(t) = self.heavy_probers[v] {
+                kern.kill_task(plat, t);
+            }
+        }
+    }
+
+    /// Kills the prober of a newly banned vCPU and marks it skipped.
+    pub fn ban_vcpu(&mut self, kern: &mut Kernel, plat: &mut dyn Platform, v: usize) {
+        self.skip[v] = true;
+        if let Some(t) = self.probers[v].take() {
+            kern.kill_task(plat, t);
+        }
+    }
+
+    /// Lifts a ban.
+    pub fn unban_vcpu(&mut self, v: usize) {
+        self.skip[v] = false;
+    }
+}

@@ -1,0 +1,188 @@
+//! Workload combinators.
+//!
+//! * [`MultiWorkload`] — hosts several workloads in one VM (e.g. the mixed
+//!   Matmul + Nginx experiment of Figure 12b, or a benchmark plus
+//!   best-effort background load). Timer tokens are namespaced per child
+//!   and `next_action` is routed by task ownership.
+//! * [`DelayedWorkload`] — starts a workload after a delay (the
+//!   multi-tenant phases of Figure 17, where interfering workloads launch
+//!   and terminate over time).
+
+use guestos::{GuestOs, Platform, RunDelta, TaskAction, TaskId, VcpuId, Workload};
+use simcore::SimTime;
+
+/// Token stride per child in a [`MultiWorkload`].
+const STRIDE: u64 = 1 << 32;
+
+/// A platform proxy that offsets timer tokens into a child's namespace.
+struct OffsetPlat<'a> {
+    inner: &'a mut dyn Platform,
+    offset: u64,
+}
+
+impl Platform for OffsetPlat<'_> {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+    fn steal_ns(&self, v: VcpuId) -> u64 {
+        self.inner.steal_ns(v)
+    }
+    fn vcpu_active(&self, v: VcpuId) -> bool {
+        self.inner.vcpu_active(v)
+    }
+    fn kick(&mut self, v: VcpuId) {
+        self.inner.kick(v)
+    }
+    fn vcpu_idle(&mut self, v: VcpuId) {
+        self.inner.vcpu_idle(v)
+    }
+    fn run_task(&mut self, v: VcpuId, t: TaskId, remaining: f64, factor: f64, cache_penalty: f64) {
+        self.inner.run_task(v, t, remaining, factor, cache_penalty)
+    }
+    fn stop_task(&mut self, v: VcpuId) -> RunDelta {
+        self.inner.stop_task(v)
+    }
+    fn poll_task(&mut self, v: VcpuId) -> RunDelta {
+        self.inner.poll_task(v)
+    }
+    fn update_factor(&mut self, v: VcpuId, factor: f64) {
+        self.inner.update_factor(v, factor)
+    }
+    fn send_ipi(&mut self, to: VcpuId) {
+        self.inner.send_ipi(to)
+    }
+    fn comm_distance(&self, a: VcpuId, b: VcpuId) -> guestos::CommDistance {
+        self.inner.comm_distance(a, b)
+    }
+    fn cacheline_latency_ns(&mut self, a: VcpuId, b: VcpuId) -> Option<f64> {
+        self.inner.cacheline_latency_ns(a, b)
+    }
+    fn set_timer(&mut self, token: u64, at: SimTime) {
+        debug_assert!(token < STRIDE, "child token too large: {token}");
+        self.inner.set_timer(self.offset + token, at)
+    }
+}
+
+/// Several workloads sharing one VM.
+pub struct MultiWorkload {
+    children: Vec<Box<dyn Workload>>,
+}
+
+impl MultiWorkload {
+    /// Combines child workloads; their order determines timer namespaces.
+    pub fn new(children: Vec<Box<dyn Workload>>) -> Self {
+        assert!(!children.is_empty(), "at least one child workload");
+        Self { children }
+    }
+}
+
+impl Workload for MultiWorkload {
+    fn start(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform) {
+        for (i, c) in self.children.iter_mut().enumerate() {
+            let mut proxy = OffsetPlat {
+                inner: plat,
+                offset: i as u64 * STRIDE,
+            };
+            c.start(guest, &mut proxy);
+        }
+    }
+
+    fn on_timer(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform, token: u64) {
+        let child = (token / STRIDE) as usize;
+        if let Some(c) = self.children.get_mut(child) {
+            let mut proxy = OffsetPlat {
+                inner: plat,
+                offset: child as u64 * STRIDE,
+            };
+            c.on_timer(guest, &mut proxy, token % STRIDE);
+        }
+    }
+
+    fn next_action(
+        &mut self,
+        guest: &mut GuestOs,
+        plat: &mut dyn Platform,
+        t: TaskId,
+    ) -> TaskAction {
+        for (i, c) in self.children.iter_mut().enumerate() {
+            if c.owns_task(t) {
+                let mut proxy = OffsetPlat {
+                    inner: plat,
+                    offset: i as u64 * STRIDE,
+                };
+                return c.next_action(guest, &mut proxy, t);
+            }
+        }
+        TaskAction::Exit
+    }
+
+    fn finished(&self) -> bool {
+        self.children.iter().all(|c| c.finished())
+    }
+
+    fn owns_task(&self, t: TaskId) -> bool {
+        self.children.iter().any(|c| c.owns_task(t))
+    }
+
+    fn label(&self) -> &str {
+        "multi"
+    }
+}
+
+/// Reserved token for the delayed-start timer.
+const DELAY_TOKEN: u64 = STRIDE - 1;
+
+/// Starts an inner workload after a delay.
+pub struct DelayedWorkload {
+    inner: Box<dyn Workload>,
+    delay_ns: u64,
+    started: bool,
+}
+
+impl DelayedWorkload {
+    /// Wraps `inner` to begin `delay_ns` after simulation start.
+    pub fn new(inner: Box<dyn Workload>, delay_ns: u64) -> Self {
+        Self {
+            inner,
+            delay_ns,
+            started: false,
+        }
+    }
+}
+
+impl Workload for DelayedWorkload {
+    fn start(&mut self, _guest: &mut GuestOs, plat: &mut dyn Platform) {
+        let at = plat.now().after(self.delay_ns);
+        plat.set_timer(DELAY_TOKEN, at);
+    }
+
+    fn on_timer(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform, token: u64) {
+        if token == DELAY_TOKEN && !self.started {
+            self.started = true;
+            self.inner.start(guest, plat);
+        } else {
+            self.inner.on_timer(guest, plat, token);
+        }
+    }
+
+    fn next_action(
+        &mut self,
+        guest: &mut GuestOs,
+        plat: &mut dyn Platform,
+        t: TaskId,
+    ) -> TaskAction {
+        self.inner.next_action(guest, plat, t)
+    }
+
+    fn finished(&self) -> bool {
+        self.started && self.inner.finished()
+    }
+
+    fn owns_task(&self, t: TaskId) -> bool {
+        self.started && self.inner.owns_task(t)
+    }
+
+    fn label(&self) -> &str {
+        "delayed"
+    }
+}

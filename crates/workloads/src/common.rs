@@ -1,0 +1,108 @@
+//! Shared pieces: work-unit helpers and result collectors.
+//!
+//! Workload objects are owned by the simulated VM, so experiments hold a
+//! shared handle (`Rc<RefCell<…>>`, the simulator is single-threaded by
+//! design) to the statistics and read them after the run.
+
+use metrics::{Histogram, TimeSeries};
+use simcore::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Capacity-ns of work corresponding to `ms` milliseconds on a full
+/// reference core.
+pub fn work_ms(ms: f64) -> f64 {
+    1024.0 * ms * 1.0e6
+}
+
+/// Capacity-ns of work corresponding to `us` microseconds on a full
+/// reference core.
+pub fn work_us(us: f64) -> f64 {
+    1024.0 * us * 1.0e3
+}
+
+/// Latency statistics of a request-serving workload.
+#[derive(Default)]
+pub struct LatencyStats {
+    /// End-to-end (arrival → completion) latency, ns.
+    pub e2e: Histogram,
+    /// Queue time (arrival → service start, including runqueue latency), ns.
+    pub queue: Histogram,
+    /// Service time (service start → completion), ns.
+    pub service: Histogram,
+    /// Completed requests.
+    pub completed: u64,
+    /// Dropped requests (backlog overflow), if a limit is set.
+    pub dropped: u64,
+    /// Completions per window (live throughput).
+    pub series: Option<TimeSeries>,
+}
+
+impl LatencyStats {
+    /// Shared handle constructor.
+    pub fn handle() -> Rc<RefCell<LatencyStats>> {
+        Rc::new(RefCell::new(LatencyStats::default()))
+    }
+
+    /// Mean completion rate (requests/s) over the run.
+    pub fn throughput(&self, duration: SimTime) -> f64 {
+        self.completed as f64 / duration.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Progress statistics of a throughput-oriented workload.
+#[derive(Default)]
+pub struct ThroughputStats {
+    /// Completed work items / rounds / messages (archetype-specific unit).
+    pub completed: u64,
+    /// When the (finite) workload finished, if it did.
+    pub finished_at: Option<SimTime>,
+    /// Total work executed, capacity-ns.
+    pub work_done: f64,
+}
+
+impl ThroughputStats {
+    /// Shared handle constructor.
+    pub fn handle() -> Rc<RefCell<ThroughputStats>> {
+        Rc::new(RefCell::new(ThroughputStats::default()))
+    }
+
+    /// Items per second over `duration` (or until `finished_at`).
+    pub fn rate(&self, duration: SimTime) -> f64 {
+        let d = self
+            .finished_at
+            .map(|t| t.as_secs_f64())
+            .unwrap_or_else(|| duration.as_secs_f64());
+        self.completed as f64 / d.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_units_scale() {
+        assert_eq!(work_ms(1.0), 1024.0 * 1e6);
+        assert_eq!(work_us(1000.0), work_ms(1.0));
+    }
+
+    #[test]
+    fn throughput_uses_finish_time_when_finite() {
+        let s = ThroughputStats {
+            completed: 100,
+            finished_at: Some(SimTime::from_secs(2)),
+            ..Default::default()
+        };
+        assert_eq!(s.rate(SimTime::from_secs(10)), 50.0);
+    }
+
+    #[test]
+    fn latency_throughput_over_duration() {
+        let s = LatencyStats {
+            completed: 500,
+            ..Default::default()
+        };
+        assert_eq!(s.throughput(SimTime::from_secs(5)), 100.0);
+    }
+}

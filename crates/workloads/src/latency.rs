@@ -1,0 +1,226 @@
+//! Open-loop request-serving workloads (Tailbench, Nginx).
+//!
+//! Requests arrive in a Poisson stream; a pool of worker tasks serves them.
+//! An idle (blocked) worker is woken per arrival; when all workers are busy
+//! the request waits in an application backlog. Per-request latency is
+//! decomposed exactly as Table 3 of the paper reports it for Masstree:
+//!
+//! * **queue** — arrival → service start. A woken worker only reaches its
+//!   service burst after traversing the runqueue, so vCPU inactivity
+//!   extends this component exactly as §2.3's *extended runqueue latency*
+//!   describes;
+//! * **service** — service start → completion (a stalled vCPU stretches
+//!   this too);
+//! * **end-to-end** — their sum.
+
+use crate::common::LatencyStats;
+use guestos::{GuestOs, Platform, Policy, SpawnSpec, TaskAction, TaskId, TaskState, Workload};
+use metrics::TimeSeries;
+use simcore::{SimRng, SimTime};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Timer token for request arrivals.
+const ARRIVAL: u64 = 1;
+
+/// Configuration of a latency-server workload.
+#[derive(Debug, Clone)]
+pub struct LatencyServerCfg {
+    /// Worker tasks.
+    pub workers: usize,
+    /// Mean service work per request (capacity-ns).
+    pub service_work: f64,
+    /// Service-time spread (lognormal sigma).
+    pub sigma: f64,
+    /// Mean request inter-arrival time (ns).
+    pub interarrival_ns: f64,
+    /// Spawn one `SCHED_IDLE` best-effort spinner per vCPU (the paper's
+    /// "with best-effort tasks" configuration).
+    pub best_effort: bool,
+    /// Tag worker tasks with a communication group.
+    pub comm_group: Option<u32>,
+    /// Record a live completions-per-window series (Figures 16/17).
+    pub series_window_ns: Option<u64>,
+}
+
+impl LatencyServerCfg {
+    /// A server with the given worker count, mean per-request service work
+    /// (capacity-ns) and mean inter-arrival time.
+    pub fn new(workers: usize, service_work: f64, interarrival_ns: f64) -> Self {
+        Self {
+            workers,
+            service_work,
+            sigma: 0.3,
+            interarrival_ns,
+            best_effort: false,
+            comm_group: None,
+            series_window_ns: None,
+        }
+    }
+
+    /// Enables per-vCPU best-effort spinners.
+    pub fn with_best_effort(mut self) -> Self {
+        self.best_effort = true;
+        self
+    }
+
+    /// Enables the live-throughput series.
+    pub fn with_series(mut self, window_ns: u64) -> Self {
+        self.series_window_ns = Some(window_ns);
+        self
+    }
+
+    /// Tags workers with a communication group.
+    pub fn with_comm_group(mut self, g: u32) -> Self {
+        self.comm_group = Some(g);
+        self
+    }
+}
+
+struct InFlight {
+    arrived: SimTime,
+    issued: SimTime,
+}
+
+/// The workload object.
+pub struct LatencyServer {
+    cfg: LatencyServerCfg,
+    rng: SimRng,
+    stats: Rc<RefCell<LatencyStats>>,
+    workers: Vec<TaskId>,
+    best_effort: Vec<TaskId>,
+    current: Vec<Option<InFlight>>,
+    backlog: VecDeque<SimTime>,
+}
+
+impl LatencyServer {
+    /// Creates the workload and its shared statistics handle.
+    pub fn new(cfg: LatencyServerCfg, rng: SimRng) -> (Self, Rc<RefCell<LatencyStats>>) {
+        let stats = LatencyStats::handle();
+        if let Some(w) = cfg.series_window_ns {
+            stats.borrow_mut().series = Some(TimeSeries::new(w, 0));
+        }
+        (
+            Self {
+                cfg,
+                rng,
+                stats: Rc::clone(&stats),
+                workers: Vec::new(),
+                best_effort: Vec::new(),
+                current: Vec::new(),
+                backlog: VecDeque::new(),
+            },
+            stats,
+        )
+    }
+
+    fn worker_index(&self, t: TaskId) -> Option<usize> {
+        self.workers.iter().position(|&w| w == t)
+    }
+
+    fn draw_service(&mut self) -> f64 {
+        self.rng
+            .lognormal(self.cfg.service_work, self.cfg.sigma)
+            .max(1.0)
+    }
+
+    fn schedule_arrival(&mut self, plat: &mut dyn Platform) {
+        let dt = self.rng.exp(self.cfg.interarrival_ns).max(1.0) as u64;
+        let at = plat.now().after(dt);
+        plat.set_timer(ARRIVAL, at);
+    }
+
+    fn complete(&mut self, now: SimTime, w: usize) {
+        let Some(fl) = self.current[w].take() else {
+            return;
+        };
+        let queue = fl.issued.since(fl.arrived);
+        let e2e = now.since(fl.arrived);
+        let service = e2e.saturating_sub(queue);
+        let mut s = self.stats.borrow_mut();
+        s.queue.record(queue);
+        s.service.record(service);
+        s.e2e.record(e2e);
+        s.completed += 1;
+        if let Some(series) = s.series.as_mut() {
+            series.tick(now.ns());
+        }
+    }
+}
+
+impl Workload for LatencyServer {
+    fn start(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform) {
+        let nr = guest.kern.cfg.nr_vcpus;
+        for _ in 0..self.cfg.workers {
+            let mut spec = SpawnSpec::normal(nr).latency_sensitive();
+            if let Some(g) = self.cfg.comm_group {
+                spec = spec.comm_group(g);
+            }
+            let t = guest.spawn(plat, spec);
+            self.workers.push(t);
+            self.current.push(None);
+        }
+        if self.cfg.best_effort {
+            for _ in 0..nr {
+                let t = guest.spawn(plat, SpawnSpec::normal(nr).policy(Policy::Idle));
+                self.best_effort.push(t);
+                guest.wake_task(plat, t, None);
+            }
+        }
+        self.schedule_arrival(plat);
+    }
+
+    fn on_timer(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform, token: u64) {
+        if token != ARRIVAL {
+            return;
+        }
+        let now = plat.now();
+        self.backlog.push_back(now);
+        // Wake one idle worker; it pulls the request when it actually runs,
+        // so the measured queue time includes the runqueue latency.
+        let idle = (0..self.workers.len()).find(|&w| {
+            self.current[w].is_none()
+                && matches!(guest.kern.task(self.workers[w]).state, TaskState::Blocked)
+        });
+        if let Some(w) = idle {
+            guest.wake_task(plat, self.workers[w], None);
+        }
+        self.schedule_arrival(plat);
+    }
+
+    fn next_action(
+        &mut self,
+        _guest: &mut GuestOs,
+        plat: &mut dyn Platform,
+        t: TaskId,
+    ) -> TaskAction {
+        let now = plat.now();
+        let Some(w) = self.worker_index(t) else {
+            // A best-effort spinner: spin forever.
+            return TaskAction::Compute { work: 1.0e18 };
+        };
+        if self.current[w].is_some() {
+            self.complete(now, w);
+        }
+        match self.backlog.pop_front() {
+            Some(arrived) => {
+                let work = self.draw_service();
+                self.current[w] = Some(InFlight {
+                    arrived,
+                    issued: now,
+                });
+                TaskAction::Compute { work }
+            }
+            None => TaskAction::Block,
+        }
+    }
+
+    fn owns_task(&self, t: TaskId) -> bool {
+        self.workers.contains(&t) || self.best_effort.contains(&t)
+    }
+
+    fn label(&self) -> &str {
+        "latency-server"
+    }
+}

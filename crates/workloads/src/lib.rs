@@ -1,0 +1,40 @@
+//! Workload generators: the paper's benchmark suite as parameterised
+//! archetypes.
+//!
+//! The evaluation (paper §5.1) draws on 34 benchmarks: 8 Tailbench
+//! latency-critical apps, 10 PARSEC and 11 SPLASH-2x parallel programs,
+//! Nginx, Pbzip2, plus the hackbench/fio/sysbench microbenchmarks. Since
+//! the binaries cannot run inside a scheduling simulator, each is modelled
+//! by the archetype that captures its scheduler-relevant behaviour:
+//!
+//! | archetype | module | captures |
+//! |---|---|---|
+//! | open-loop request server | [`latency`] | small-task wakeup latency (Tailbench, Nginx) |
+//! | barrier-parallel (blocking or spinning) | [`parallel`] | data-parallel phases, LHP sensitivity |
+//! | lock-parallel | [`parallel`] | critical-section serialization |
+//! | pipeline | [`pipeline`] | producer/consumer wake chains (dedup, x264) |
+//! | message pairs | [`msgpairs`] | wakeup storms and locality (hackbench) |
+//! | stressor / think-I/O / task queue | [`stress`] | CPU-bound loops, I/O cycles, work pools |
+//!
+//! [`suite::build`] maps each benchmark name to its instance.
+
+pub mod combinators;
+pub mod common;
+pub mod latency;
+pub mod msgpairs;
+pub mod parallel;
+pub mod pipeline;
+pub mod stress;
+pub mod suite;
+
+pub use combinators::{DelayedWorkload, MultiWorkload};
+pub use common::{work_ms, work_us, LatencyStats, ThroughputStats};
+pub use latency::{LatencyServer, LatencyServerCfg};
+pub use msgpairs::{MsgPairs, MsgPairsCfg};
+pub use parallel::{BarrierCfg, BarrierParallel, LockCfg, LockParallel};
+pub use pipeline::{Pipeline, PipelineCfg, StageCfg};
+pub use stress::{Stressor, TaskQueue, ThinkIo};
+pub use suite::{
+    build, build_latency, build_loaded, is_latency_bench, Handle, LATENCY_BENCHES,
+    THROUGHPUT_BENCHES,
+};

@@ -1,0 +1,201 @@
+//! Pipeline workloads (dedup, ferret, x264 archetype).
+//!
+//! Items flow through compute stages connected by queues; each stage has
+//! its own worker pool. Stage imbalance plus cross-stage wakeups make
+//! pipelines sensitive to runqueue latency and LLC locality.
+
+use crate::common::ThroughputStats;
+use guestos::{GuestOs, Platform, SpawnSpec, TaskAction, TaskId, TaskState, Workload};
+use simcore::SimRng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One pipeline stage.
+#[derive(Debug, Clone)]
+pub struct StageCfg {
+    /// Worker tasks in this stage.
+    pub workers: usize,
+    /// Work per item (capacity-ns).
+    pub work: f64,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineCfg {
+    /// The stages, in order.
+    pub stages: Vec<StageCfg>,
+    /// Total items to push through.
+    pub items: u64,
+    /// Communication group for all workers (stages exchange data).
+    pub comm_group: Option<u32>,
+}
+
+impl PipelineCfg {
+    /// A pipeline with the given `(workers, work)` stages and item count.
+    pub fn new(stages: Vec<(usize, f64)>, items: u64) -> Self {
+        Self {
+            stages: stages
+                .into_iter()
+                .map(|(workers, work)| StageCfg { workers, work })
+                .collect(),
+            items,
+            comm_group: None,
+        }
+    }
+
+    /// Tags all workers with a communication group.
+    pub fn with_comm_group(mut self, g: u32) -> Self {
+        self.comm_group = Some(g);
+        self
+    }
+}
+
+/// The pipeline workload.
+pub struct Pipeline {
+    cfg: PipelineCfg,
+    rng: SimRng,
+    stats: Rc<RefCell<ThroughputStats>>,
+    /// Worker tasks per stage.
+    workers: Vec<Vec<TaskId>>,
+    /// Pending item counts per stage queue.
+    queues: Vec<u64>,
+    /// Whether a worker is currently processing an item.
+    busy: Vec<Vec<bool>>,
+    finished: bool,
+    exited: u64,
+}
+
+impl Pipeline {
+    /// Creates the workload and its statistics handle.
+    pub fn new(cfg: PipelineCfg, rng: SimRng) -> (Self, Rc<RefCell<ThroughputStats>>) {
+        let stats = ThroughputStats::handle();
+        let queues = {
+            let mut q = vec![0u64; cfg.stages.len()];
+            q[0] = cfg.items;
+            q
+        };
+        let busy = cfg.stages.iter().map(|s| vec![false; s.workers]).collect();
+        (
+            Self {
+                cfg,
+                rng,
+                stats: Rc::clone(&stats),
+                workers: Vec::new(),
+                queues,
+                busy,
+                finished: false,
+                exited: 0,
+            },
+            stats,
+        )
+    }
+
+    fn locate(&self, t: TaskId) -> Option<(usize, usize)> {
+        for (s, stage) in self.workers.iter().enumerate() {
+            if let Some(w) = stage.iter().position(|&x| x == t) {
+                return Some((s, w));
+            }
+        }
+        None
+    }
+
+    fn stage_work(&mut self, s: usize) -> f64 {
+        let base = self.cfg.stages[s].work;
+        self.rng.normal_at(base, 0.15 * base, 1.0)
+    }
+
+    /// All items delivered and nothing in flight?
+    fn drained(&self) -> bool {
+        self.stats.borrow().completed >= self.cfg.items
+    }
+}
+
+impl Workload for Pipeline {
+    fn start(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform) {
+        let nr = guest.kern.cfg.nr_vcpus;
+        for stage in &self.cfg.stages {
+            let mut tasks = Vec::new();
+            for _ in 0..stage.workers {
+                let mut spec = SpawnSpec::normal(nr);
+                if let Some(g) = self.cfg.comm_group {
+                    spec = spec.comm_group(g);
+                }
+                let t = guest.spawn(plat, spec);
+                tasks.push(t);
+                guest.wake_task(plat, t, None);
+            }
+            self.workers.push(tasks);
+        }
+    }
+
+    fn on_timer(&mut self, _g: &mut GuestOs, _p: &mut dyn Platform, _token: u64) {}
+
+    fn next_action(
+        &mut self,
+        guest: &mut GuestOs,
+        plat: &mut dyn Platform,
+        t: TaskId,
+    ) -> TaskAction {
+        let Some((s, w)) = self.locate(t) else {
+            return TaskAction::Exit;
+        };
+        // Finish the in-flight item: push downstream (or complete).
+        if self.busy[s][w] {
+            self.busy[s][w] = false;
+            if s + 1 < self.cfg.stages.len() {
+                self.queues[s + 1] += 1;
+                // Wake one blocked downstream worker.
+                let waker = guest.kern.task(t).state.vcpu();
+                if let Some(&idle) = self.workers[s + 1]
+                    .iter()
+                    .find(|&&x| matches!(guest.kern.task(x).state, TaskState::Blocked))
+                {
+                    guest.wake_task(plat, idle, waker);
+                }
+            } else {
+                let mut st = self.stats.borrow_mut();
+                st.completed += 1;
+                st.work_done += self.cfg.stages[s].work;
+                if st.completed >= self.cfg.items {
+                    st.finished_at = Some(plat.now());
+                    drop(st);
+                    self.finished = true;
+                    // Wake everyone so they can exit.
+                    let all: Vec<TaskId> = self.workers.iter().flatten().copied().collect();
+                    for task in all {
+                        if matches!(guest.kern.task(task).state, TaskState::Blocked) {
+                            guest.wake_task(plat, task, None);
+                        }
+                    }
+                }
+            }
+        }
+        if self.finished && self.drained() {
+            self.exited += 1;
+            return TaskAction::Exit;
+        }
+        // Pull the next item for this stage.
+        if self.queues[s] > 0 {
+            self.queues[s] -= 1;
+            self.busy[s][w] = true;
+            let work = self.stage_work(s);
+            TaskAction::Compute { work }
+        } else if self.finished {
+            TaskAction::Exit
+        } else {
+            TaskAction::Block
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.finished
+    }
+
+    fn owns_task(&self, t: TaskId) -> bool {
+        self.locate(t).is_some()
+    }
+
+    fn label(&self) -> &str {
+        "pipeline"
+    }
+}

@@ -1,0 +1,13 @@
+//! vsched-repro — umbrella crate for the vSched (EuroSys '25) reproduction.
+//!
+//! This crate re-exports the workspace's public surface so examples and
+//! integration tests can depend on a single crate. See `README.md` for the
+//! architecture overview and `DESIGN.md` for the system inventory.
+
+pub use experiments;
+pub use guestos;
+pub use hostsim;
+pub use metrics;
+pub use simcore;
+pub use vsched;
+pub use workloads;
