@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the tier-1 build + test suite.
+# Everything here must pass without network access (crates/bench, which
+# needs criterion from the registry, sits outside default-members).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "CI OK"

@@ -2,6 +2,7 @@
 //! control, and result formatting helpers.
 
 use hostsim::Machine;
+use trace::{CheckReport, Collector, SharedCollector, TraceSink};
 use vsched::VschedConfig;
 
 /// The three scheduler configurations the paper compares (§5.6).
@@ -69,6 +70,26 @@ impl Scale {
             Scale::Paper => paper,
         }
     }
+}
+
+/// A fresh shared trace collector with the invariant checker enabled and
+/// no ring buffer: checked figure runs want the streaming verdict, not the
+/// raw event log. Use one collector per [`Machine`] — vCPU and task IDs
+/// restart from zero on every machine, so sharing a checker across
+/// machines would cross their state.
+pub fn checked_collector() -> SharedCollector {
+    let (_, shared) = TraceSink::shared(Collector::default().with_checker());
+    shared
+}
+
+/// Extracts the checker's report from a [`checked_collector`].
+pub fn check_report(shared: &SharedCollector) -> CheckReport {
+    shared
+        .borrow()
+        .checker
+        .as_ref()
+        .expect("collector has a checker")
+        .report()
 }
 
 /// Formats a ratio as `xx.x%`.

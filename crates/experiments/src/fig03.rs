@@ -10,7 +10,9 @@
 //! (paper: "the vCPU utilization is doubled").
 
 use crate::common::Scale;
-use guestos::{GuestOs, Platform, SpawnSpec, TaskAction, TaskId, TaskState, VcpuId, Workload};
+use guestos::{
+    GuestOs, MigrateKind, Platform, SpawnSpec, TaskAction, TaskId, TaskState, VcpuId, Workload,
+};
 use hostsim::{HostSpec, Machine, ScenarioBuilder, ScriptAction, VmSpec};
 use metrics::Table;
 use simcore::time::MS;
@@ -51,7 +53,9 @@ impl Workload for SelfMigrating {
                 if plat.vcpu_active(v) {
                     let cand = VcpuId((v.0 + 1) % self.nr_vcpus);
                     if guest.kern.vcpu_is_idle(cand) {
-                        guest.kern.migrate_running(plat, v, cand);
+                        guest
+                            .kern
+                            .migrate_running(plat, v, cand, MigrateKind::Active);
                     }
                 }
             }
@@ -131,9 +135,17 @@ impl fmt::Display for Fig03 {
     }
 }
 
-fn run_mode(migrate: bool, secs: u64, seed: u64) -> ModeResult {
+fn run_mode(
+    migrate: bool,
+    secs: u64,
+    seed: u64,
+    check: Option<&trace::SharedCollector>,
+) -> ModeResult {
     let (b, vm) = ScenarioBuilder::new(HostSpec::flat(4), seed).vm(VmSpec::pinned(4, 0));
     let mut m: Machine = b.build();
+    if let Some(shared) = check {
+        m.attach_trace(shared);
+    }
     m.trace_activity = true;
     // Staggered 5 ms on / 5 ms off phases: bandwidth installed at offsets.
     for v in 0..4 {
@@ -172,7 +184,27 @@ fn run_mode(migrate: bool, secs: u64, seed: u64) -> ModeResult {
 pub fn run(seed: u64, scale: Scale) -> Fig03 {
     let secs = scale.secs(5, 20);
     Fig03 {
-        default_mode: run_mode(false, secs, seed),
-        migration_mode: run_mode(true, secs, seed),
+        default_mode: run_mode(false, secs, seed, None),
+        migration_mode: run_mode(true, secs, seed, None),
     }
+}
+
+/// Runs the figure with the streaming invariant checker attached to each
+/// machine, returning one report per mode.
+pub fn run_checked(seed: u64, scale: Scale) -> (Fig03, Vec<trace::CheckReport>) {
+    let secs = scale.secs(5, 20);
+    let c0 = crate::common::checked_collector();
+    let default_mode = run_mode(false, secs, seed, Some(&c0));
+    let c1 = crate::common::checked_collector();
+    let migration_mode = run_mode(true, secs, seed, Some(&c1));
+    (
+        Fig03 {
+            default_mode,
+            migration_mode,
+        },
+        vec![
+            crate::common::check_report(&c0),
+            crate::common::check_report(&c1),
+        ],
+    )
 }

@@ -95,9 +95,17 @@ impl fmt::Display for Fig11 {
     }
 }
 
-fn run_asym(with_vcap: bool, secs: u64, seed: u64) -> AsymResult {
+fn run_asym(
+    with_vcap: bool,
+    secs: u64,
+    seed: u64,
+    check: Option<&trace::SharedCollector>,
+) -> AsymResult {
     let (b, vm) = ScenarioBuilder::new(HostSpec::flat(16), seed).vm(VmSpec::pinned(16, 0));
     let mut m = b.build();
+    if let Some(shared) = check {
+        m.attach_trace(shared);
+    }
     // First 12 cores at half frequency: last 4 vCPUs have 2x capacity.
     for core in 0..12 {
         m.at(SimTime::ZERO, ScriptAction::SetFreq { core, factor: 0.5 });
@@ -125,10 +133,18 @@ fn run_asym(with_vcap: bool, secs: u64, seed: u64) -> AsymResult {
     }
 }
 
-fn run_sym(with_vcap: bool, secs: u64, seed: u64) -> SymResult {
+fn run_sym(
+    with_vcap: bool,
+    secs: u64,
+    seed: u64,
+    check: Option<&trace::SharedCollector>,
+) -> SymResult {
     let (b, vm) = ScenarioBuilder::new(HostSpec::flat(16), seed).vm(VmSpec::pinned(16, 0));
     let (b, stress_vm) = b.vm(VmSpec::pinned(16, 0));
     let mut m = b.build();
+    if let Some(shared) = check {
+        m.attach_trace(shared);
+    }
     let (wl, handle) = build("sysbench", 4, SimRng::new(seed ^ 0xA2));
     m.set_workload(vm, wl);
     let (sw, _s) = Stressor::new(16, work_ms(10.0));
@@ -149,9 +165,23 @@ fn run_sym(with_vcap: bool, secs: u64, seed: u64) -> SymResult {
 pub fn run(seed: u64, scale: Scale) -> Fig11 {
     let secs = scale.secs(10, 40);
     Fig11 {
-        asym_cfs: run_asym(false, secs, seed),
-        asym_vcap: run_asym(true, secs, seed),
-        sym_cfs: run_sym(false, secs, seed),
-        sym_vcap: run_sym(true, secs, seed),
+        asym_cfs: run_asym(false, secs, seed, None),
+        asym_vcap: run_asym(true, secs, seed, None),
+        sym_cfs: run_sym(false, secs, seed, None),
+        sym_vcap: run_sym(true, secs, seed, None),
     }
+}
+
+/// Runs the figure with the streaming invariant checker attached to each
+/// machine, returning one report per configuration.
+pub fn run_checked(seed: u64, scale: Scale) -> (Fig11, Vec<trace::CheckReport>) {
+    let secs = scale.secs(10, 40);
+    let cols: Vec<_> = (0..4).map(|_| crate::common::checked_collector()).collect();
+    let fig = Fig11 {
+        asym_cfs: run_asym(false, secs, seed, Some(&cols[0])),
+        asym_vcap: run_asym(true, secs, seed, Some(&cols[1])),
+        sym_cfs: run_sym(false, secs, seed, Some(&cols[2])),
+        sym_vcap: run_sym(true, secs, seed, Some(&cols[3])),
+    };
+    (fig, cols.iter().map(crate::common::check_report).collect())
 }

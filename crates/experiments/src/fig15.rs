@@ -103,7 +103,35 @@ pub fn build_machine(seed: u64) -> (Machine, usize) {
 
 /// Runs one cell; returns the completion rate.
 pub fn run_cell(bench: &str, threads: usize, with_ivh: bool, secs: u64, seed: u64) -> f64 {
+    run_cell_traced(bench, threads, with_ivh, secs, seed, None)
+}
+
+/// Runs one cell with the invariant checker attached; returns the
+/// completion rate and the checker's verdict.
+pub fn run_cell_checked(
+    bench: &str,
+    threads: usize,
+    with_ivh: bool,
+    secs: u64,
+    seed: u64,
+) -> (f64, trace::CheckReport) {
+    let shared = crate::common::checked_collector();
+    let rate = run_cell_traced(bench, threads, with_ivh, secs, seed, Some(&shared));
+    (rate, crate::common::check_report(&shared))
+}
+
+fn run_cell_traced(
+    bench: &str,
+    threads: usize,
+    with_ivh: bool,
+    secs: u64,
+    seed: u64,
+    check: Option<&trace::SharedCollector>,
+) -> f64 {
     let (mut m, vm) = build_machine(seed);
+    if let Some(shared) = check {
+        m.attach_trace(shared);
+    }
     let (wl, handle) = build(bench, threads, SimRng::new(seed ^ 0xE1));
     m.set_workload(vm, wl);
     let cfg = if with_ivh {

@@ -10,7 +10,7 @@
 //! steering work to high-capacity vCPUs only when capacity is probed
 //! correctly).
 
-use crate::kernel::{Kernel, VcpuId};
+use crate::kernel::{Kernel, MigrateKind, VcpuId};
 use crate::platform::Platform;
 use crate::task::{TaskId, TaskState};
 
@@ -119,7 +119,7 @@ fn try_pull(
     if new_dst.max(new_src) >= src_ratio.max(dst_ratio) && !dst_idle {
         return PullResult::Balanced;
     }
-    kern.migrate_runnable(plat, t, dst);
+    kern.migrate_runnable(plat, t, dst, MigrateKind::Balance);
     kern.stats.balance_migrations.inc();
     PullResult::Pulled
 }
@@ -154,7 +154,8 @@ fn maybe_active_balance(
         return false;
     }
     kern.vcpus[src.0].balance_failed = 0;
-    kern.migrate_running(plat, src, dst).is_some()
+    kern.migrate_running(plat, src, dst, MigrateKind::Active)
+        .is_some()
 }
 
 /// Misfit / active balance: if `dst` is idle and some vCPU runs a task too
@@ -186,7 +187,7 @@ fn try_misfit(kern: &mut Kernel, plat: &mut dyn Platform, dst: VcpuId) -> bool {
             // Cache-hot gate: leave freshly (re)started tasks alone.
             && now.since(kern.task(curr).run_started) >= kern.cfg.migration_cost_ns;
         if misfit && worth_it {
-            kern.migrate_running(plat, src, dst);
+            kern.migrate_running(plat, src, dst, MigrateKind::Active);
             return true;
         }
     }
@@ -231,13 +232,15 @@ fn try_smt_spread(kern: &mut Kernel, plat: &mut dyn Platform, dst: VcpuId) -> bo
         }
         // Prefer a queued task; otherwise actively migrate the running one.
         if let Some(t) = movable_task(kern, src, dst, now) {
-            kern.migrate_runnable(plat, t, dst);
+            kern.migrate_runnable(plat, t, dst, MigrateKind::Balance);
             kern.stats.balance_migrations.inc();
             return true;
         }
         if let Some(curr) = kern.vcpus[src.0].curr {
             if kern.placement_mask(curr).contains(dst.0) {
-                return kern.migrate_running(plat, src, dst).is_some();
+                return kern
+                    .migrate_running(plat, src, dst, MigrateKind::Active)
+                    .is_some();
             }
         }
     }

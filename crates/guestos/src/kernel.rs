@@ -21,6 +21,9 @@ use crate::stats::KernelStats;
 use crate::task::{SpawnSpec, Task, TaskId, TaskState};
 use crate::weight::calc_delta_vruntime;
 use simcore::SimTime;
+use trace::{EventKind, SwitchReason, TraceSink};
+
+pub use trace::MigrateKind;
 
 /// Identifies a vCPU within one guest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -145,6 +148,18 @@ enum PutReason {
     Migrate,
 }
 
+impl PutReason {
+    fn switch_reason(self) -> SwitchReason {
+        match self {
+            PutReason::Preempt => SwitchReason::Preempt,
+            PutReason::Sleep => SwitchReason::Sleep,
+            PutReason::Block => SwitchReason::Block,
+            PutReason::Exit => SwitchReason::Exit,
+            PutReason::Migrate => SwitchReason::Migrate,
+        }
+    }
+}
+
 /// The guest scheduler state and CFS mechanics.
 pub struct Kernel {
     /// Tunables.
@@ -159,6 +174,9 @@ pub struct Kernel {
     pub cgroup: CpuAllow,
     /// Scheduler statistics.
     pub stats: KernelStats,
+    /// Trace emission sink; [`TraceSink::Off`] (the default) makes every
+    /// emit site a branch over a stack value.
+    pub trace: TraceSink,
     /// Tasks per communication group (so locality factors don't scan the
     /// whole arena).
     comm_groups: Vec<(u32, Vec<TaskId>)>,
@@ -180,6 +198,7 @@ impl Kernel {
             domains: DomainTree::flat(nr),
             cgroup: CpuAllow::unrestricted(nr),
             stats: KernelStats::new(),
+            trace: TraceSink::default(),
             comm_groups: Vec::new(),
             asym_capacity: false,
         }
@@ -333,6 +352,15 @@ impl Kernel {
         task.last_vcpu = v;
         if migrated && wakeup {
             self.stats.wake_migrations.inc();
+            self.trace.emit(
+                now,
+                EventKind::TaskMigrate {
+                    task: t.0,
+                    from: slept_on.0 as u16,
+                    to: v.0 as u16,
+                    kind: MigrateKind::Wake,
+                },
+            );
         }
         let (vrt, w, is_idle, load) = {
             let task = self.task(t);
@@ -367,14 +395,28 @@ impl Kernel {
 
     /// Charges a run delta to a task: vruntime, PELT, work, statistics.
     fn charge(&mut self, now: SimTime, t: TaskId, delta: RunDelta) {
-        let task = self.task_mut(t);
-        task.vruntime = task
-            .vruntime
-            .saturating_add(calc_delta_vruntime(delta.active_ns, task.weight()));
-        task.pelt.update_mixed(now, delta.active_ns);
-        task.remaining = (task.remaining - delta.work).max(0.0);
-        task.total_active_ns += delta.active_ns;
-        task.total_work += delta.work;
+        let vcpu = {
+            let task = self.task_mut(t);
+            task.vruntime = task
+                .vruntime
+                .saturating_add(calc_delta_vruntime(delta.active_ns, task.weight()));
+            task.pelt.update_mixed(now, delta.active_ns);
+            task.remaining = (task.remaining - delta.work).max(0.0);
+            task.total_active_ns += delta.active_ns;
+            task.total_work += delta.work;
+            task.last_vcpu
+        };
+        if delta.active_ns > 0 || delta.work > 0.0 {
+            self.trace.emit(
+                now,
+                EventKind::TaskCharge {
+                    task: t.0,
+                    vcpu: vcpu.0 as u16,
+                    active_ns: delta.active_ns,
+                    work: delta.work,
+                },
+            );
+        }
     }
 
     /// Makes `t` current on `v`, informing the platform so work accrues.
@@ -406,6 +448,16 @@ impl Kernel {
         }
         self.vcpus[v.0].curr = Some(t);
         self.stats.context_switches.inc();
+        self.trace.emit(
+            now,
+            EventKind::ContextSwitch {
+                vcpu: v.0 as u16,
+                prev: None,
+                next: Some(t.0),
+                reason: SwitchReason::Pick,
+                min_vruntime: self.vcpus[v.0].rq.min_vruntime,
+            },
+        );
         let factor = self.comm_factor(plat, t, v);
         let remaining = self.task(t).remaining;
         let penalty = if self.task(t).cache_sensitive {
@@ -430,6 +482,16 @@ impl Kernel {
         self.charge(now, t, delta);
         let vrt = self.task(t).vruntime;
         self.vcpus[v.0].rq.update_min_vruntime(Some(vrt));
+        self.trace.emit(
+            now,
+            EventKind::ContextSwitch {
+                vcpu: v.0 as u16,
+                prev: Some(t.0),
+                next: None,
+                reason: reason.switch_reason(),
+                min_vruntime: self.vcpus[v.0].rq.min_vruntime,
+            },
+        );
         match reason {
             PutReason::Preempt => {
                 self.task_mut(t).state = TaskState::Blocked; // transient; enqueue fixes it
@@ -492,11 +554,26 @@ impl Kernel {
             TaskState::Sleeping | TaskState::Blocked => {}
             _ => return, // spurious wake
         }
+        self.trace.emit(
+            plat.now(),
+            EventKind::TaskWake {
+                task: t.0,
+                vcpu: v.0 as u16,
+                waker: waker.map(|w| w.0 as u32),
+            },
+        );
         let was_idle = self.vcpu_is_idle(v);
         self.enqueue_task(plat, t, v, true);
         if let Some(w) = waker {
             if w != v {
                 self.stats.resched_ipis.inc();
+                self.trace.emit(
+                    plat.now(),
+                    EventKind::ReschedIpi {
+                        from: Some(w.0 as u16),
+                        to: v.0 as u16,
+                    },
+                );
                 if plat.comm_distance(w, v) == CommDistance::CrossSocket {
                     self.stats.cross_llc_ipis.inc();
                 }
@@ -622,31 +699,41 @@ impl Kernel {
     /// The current task on `v` goes to sleep; schedules the next task.
     /// Call after [`Self::on_burst_complete`] (accounting already settled).
     pub fn curr_sleeps(&mut self, plat: &mut dyn Platform, v: VcpuId) -> Option<TaskId> {
-        let t = self.put_curr_settled(v, PutReason::Sleep)?;
+        let t = self.put_curr_settled(plat.now(), v, PutReason::Sleep)?;
         self.schedule(plat, v);
         Some(t)
     }
 
     /// The current task on `v` blocks on a workload event.
     pub fn curr_blocks(&mut self, plat: &mut dyn Platform, v: VcpuId) -> Option<TaskId> {
-        let t = self.put_curr_settled(v, PutReason::Block)?;
+        let t = self.put_curr_settled(plat.now(), v, PutReason::Block)?;
         self.schedule(plat, v);
         Some(t)
     }
 
     /// The current task on `v` exits.
     pub fn curr_exits(&mut self, plat: &mut dyn Platform, v: VcpuId) -> Option<TaskId> {
-        let t = self.put_curr_settled(v, PutReason::Exit)?;
+        let t = self.put_curr_settled(plat.now(), v, PutReason::Exit)?;
         self.schedule(plat, v);
         Some(t)
     }
 
     /// Removes `curr` without consulting the platform (accounting was
     /// settled by `on_burst_complete`).
-    fn put_curr_settled(&mut self, v: VcpuId, reason: PutReason) -> Option<TaskId> {
+    fn put_curr_settled(&mut self, now: SimTime, v: VcpuId, reason: PutReason) -> Option<TaskId> {
         let t = self.vcpus[v.0].curr.take()?;
         let vrt = self.task(t).vruntime;
         self.vcpus[v.0].rq.update_min_vruntime(Some(vrt));
+        self.trace.emit(
+            now,
+            EventKind::ContextSwitch {
+                vcpu: v.0 as u16,
+                prev: Some(t.0),
+                next: None,
+                reason: reason.switch_reason(),
+                min_vruntime: self.vcpus[v.0].rq.min_vruntime,
+            },
+        );
         self.task_mut(t).state = match reason {
             PutReason::Sleep => TaskState::Sleeping,
             PutReason::Block => TaskState::Blocked,
@@ -661,8 +748,14 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Migrates a *waiting* task to vCPU `to`, renormalizing vruntime
-    /// across queues as Linux does.
-    pub fn migrate_runnable(&mut self, plat: &mut dyn Platform, t: TaskId, to: VcpuId) {
+    /// across queues as Linux does. `kind` labels the migration in traces.
+    pub fn migrate_runnable(
+        &mut self,
+        plat: &mut dyn Platform,
+        t: TaskId,
+        to: VcpuId,
+        kind: MigrateKind,
+    ) {
         let from = match self.task(t).state {
             TaskState::Runnable(v) => v,
             _ => return,
@@ -682,6 +775,15 @@ impl Kernel {
         }
         let was_idle = self.vcpu_is_idle(to);
         self.enqueue_task(plat, t, to, false);
+        self.trace.emit(
+            plat.now(),
+            EventKind::TaskMigrate {
+                task: t.0,
+                from: from.0 as u16,
+                to: to.0 as u16,
+                kind,
+            },
+        );
         if was_idle {
             plat.kick(to);
         }
@@ -695,6 +797,7 @@ impl Kernel {
         plat: &mut dyn Platform,
         src: VcpuId,
         to: VcpuId,
+        kind: MigrateKind,
     ) -> Option<TaskId> {
         if src == to {
             return None;
@@ -708,6 +811,15 @@ impl Kernel {
         }
         let was_idle = self.vcpu_is_idle(to);
         self.enqueue_task(plat, t, to, false);
+        self.trace.emit(
+            plat.now(),
+            EventKind::TaskMigrate {
+                task: t.0,
+                from: src.0 as u16,
+                to: to.0 as u16,
+                kind,
+            },
+        );
         self.stats.active_migrations.inc();
         if plat.comm_distance(src, to) == CommDistance::CrossSocket {
             self.stats.cross_llc_ipis.inc();
@@ -1138,7 +1250,7 @@ mod tests {
         p.advance(10_000);
         k.wake_to(&mut p, b, VcpuId(0), None);
         k.vcpus[1].rq.min_vruntime = 500_000_000;
-        k.migrate_runnable(&mut p, b, VcpuId(1));
+        k.migrate_runnable(&mut p, b, VcpuId(1), MigrateKind::Balance);
         assert!(matches!(k.task(b).state, TaskState::Runnable(VcpuId(1))));
         assert!(k.task(b).vruntime >= 500_000_000 - k.cfg.sched_latency_ns);
         assert_eq!(k.task(b).migrations, 1);
@@ -1152,7 +1264,7 @@ mod tests {
         k.schedule(&mut p, VcpuId(0));
         k.task_mut(a).remaining = 1e12;
         p.advance(2_000_000);
-        let moved = k.migrate_running(&mut p, VcpuId(0), VcpuId(1));
+        let moved = k.migrate_running(&mut p, VcpuId(0), VcpuId(1), MigrateKind::Active);
         assert_eq!(moved, Some(a));
         assert!(k.vcpus[0].curr.is_none());
         assert!(matches!(k.task(a).state, TaskState::Runnable(VcpuId(1))));

@@ -2,104 +2,133 @@
 //!
 //! Every placement decision — wake selection, domain membership, cgroup
 //! restriction — goes through this type; its set algebra and cyclic
-//! iteration must be exact.
+//! iteration must be exact. Driven by simcore's in-tree `propcheck`
+//! harness (deterministic, offline).
 
-use proptest::prelude::*;
+use simcore::propcheck::forall;
+use simcore::SimRng;
 use std::collections::BTreeSet;
 use vsched_guestos::CpuMask;
 
 const MAX: usize = 256;
 
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "property-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
+
 fn to_set(m: &CpuMask) -> BTreeSet<usize> {
     m.iter().collect()
 }
 
-prop_compose! {
-    fn cpu_set()(bits in prop::collection::btree_set(0usize..MAX, 0..64)) -> BTreeSet<usize> {
-        bits
-    }
+fn cpu_set(rng: &mut SimRng) -> BTreeSet<usize> {
+    let n = rng.index(64);
+    (0..n).map(|_| rng.index(MAX)).collect()
 }
 
-proptest! {
-    /// `from_iter` / `iter` round-trip exactly.
-    #[test]
-    fn iter_roundtrip(s in cpu_set()) {
+/// `from_iter` / `iter` round-trip exactly.
+#[test]
+fn iter_roundtrip() {
+    forall(0x71, cases(64), |rng| {
+        let s = cpu_set(rng);
         let m = CpuMask::from_iter(s.iter().copied());
-        prop_assert_eq!(to_set(&m), s.clone());
-        prop_assert_eq!(m.count(), s.len());
-        prop_assert_eq!(m.is_empty(), s.is_empty());
-        prop_assert_eq!(m.first(), s.iter().next().copied());
-    }
+        assert_eq!(to_set(&m), s);
+        assert_eq!(m.count(), s.len());
+        assert_eq!(m.is_empty(), s.is_empty());
+        assert_eq!(m.first(), s.iter().next().copied());
+    });
+}
 
-    /// and/or/minus agree with BTreeSet set algebra.
-    #[test]
-    fn set_algebra_matches(a in cpu_set(), b in cpu_set()) {
+/// and/or/minus agree with BTreeSet set algebra.
+#[test]
+fn set_algebra_matches() {
+    forall(0x72, cases(64), |rng| {
+        let a = cpu_set(rng);
+        let b = cpu_set(rng);
         let ma = CpuMask::from_iter(a.iter().copied());
         let mb = CpuMask::from_iter(b.iter().copied());
         let inter: BTreeSet<_> = a.intersection(&b).copied().collect();
         let union: BTreeSet<_> = a.union(&b).copied().collect();
         let diff: BTreeSet<_> = a.difference(&b).copied().collect();
-        prop_assert_eq!(to_set(&ma.and(&mb)), inter.clone());
-        prop_assert_eq!(to_set(&ma.or(&mb)), union);
-        prop_assert_eq!(to_set(&ma.minus(&mb)), diff);
-        prop_assert_eq!(ma.intersects(&mb), !inter.is_empty());
-        prop_assert_eq!(ma.subset_of(&mb), a.is_subset(&b));
-    }
+        assert_eq!(to_set(&ma.and(&mb)), inter);
+        assert_eq!(to_set(&ma.or(&mb)), union);
+        assert_eq!(to_set(&ma.minus(&mb)), diff);
+        assert_eq!(ma.intersects(&mb), !inter.is_empty());
+        assert_eq!(ma.subset_of(&mb), a.is_subset(&b));
+    });
+}
 
-    /// set/clear/contains behave like single-bit mutations.
-    #[test]
-    fn set_clear_contains(s in cpu_set(), cpu in 0usize..MAX) {
+/// set/clear/contains behave like single-bit mutations.
+#[test]
+fn set_clear_contains() {
+    forall(0x73, cases(64), |rng| {
+        let s = cpu_set(rng);
+        let cpu = rng.index(MAX);
         let mut m = CpuMask::from_iter(s.iter().copied());
         m.set(cpu);
-        prop_assert!(m.contains(cpu));
-        prop_assert_eq!(m.count(), s.len() + usize::from(!s.contains(&cpu)));
+        assert!(m.contains(cpu));
+        assert_eq!(m.count(), s.len() + usize::from(!s.contains(&cpu)));
         m.clear(cpu);
-        prop_assert!(!m.contains(cpu));
+        assert!(!m.contains(cpu));
         let mut expect = s.clone();
         expect.remove(&cpu);
-        prop_assert_eq!(to_set(&m), expect);
-    }
+        assert_eq!(to_set(&m), expect);
+    });
+}
 
-    /// `iter_from(start)` visits every set bit exactly once, beginning with
-    /// the first set bit at or after `start`, wrapping cyclically.
-    #[test]
-    fn iter_from_is_a_cyclic_permutation(s in cpu_set(), start in 0usize..MAX) {
+/// `iter_from(start)` visits every set bit exactly once, beginning with
+/// the first set bit at or after `start`, wrapping cyclically.
+#[test]
+fn iter_from_is_a_cyclic_permutation() {
+    forall(0x74, cases(64), |rng| {
+        let s = cpu_set(rng);
+        let start = rng.index(MAX);
         let m = CpuMask::from_iter(s.iter().copied());
         let visited: Vec<usize> = m.iter_from(start).collect();
         // Exactly the set, once each.
         let as_set: BTreeSet<usize> = visited.iter().copied().collect();
-        prop_assert_eq!(visited.len(), s.len(), "duplicates or misses");
-        prop_assert_eq!(as_set, s.clone());
+        assert_eq!(visited.len(), s.len(), "duplicates or misses");
+        assert_eq!(as_set, s);
         // Ordering: all >= start first (ascending), then the wrap (ascending).
         if let Some(split) = visited.iter().position(|&c| c < start) {
             let (hi, lo) = visited.split_at(split);
-            prop_assert!(hi.windows(2).all(|w| w[0] < w[1]));
-            prop_assert!(lo.windows(2).all(|w| w[0] < w[1]));
-            prop_assert!(hi.iter().all(|&c| c >= start));
-            prop_assert!(lo.iter().all(|&c| c < start));
+            assert!(hi.windows(2).all(|w| w[0] < w[1]));
+            assert!(lo.windows(2).all(|w| w[0] < w[1]));
+            assert!(hi.iter().all(|&c| c >= start));
+            assert!(lo.iter().all(|&c| c < start));
         } else {
-            prop_assert!(visited.windows(2).all(|w| w[0] < w[1]));
+            assert!(visited.windows(2).all(|w| w[0] < w[1]));
         }
-    }
+    });
+}
 
-    /// `first_n` is the interval `[0, n)`.
-    #[test]
-    fn first_n_is_prefix(n in 0usize..MAX) {
+/// `first_n` is the interval `[0, n)`.
+#[test]
+fn first_n_is_prefix() {
+    forall(0x75, cases(64), |rng| {
+        let n = rng.index(MAX + 1);
         let m = CpuMask::first_n(n);
-        prop_assert_eq!(m.count(), n);
+        assert_eq!(m.count(), n);
         for c in 0..MAX {
-            prop_assert_eq!(m.contains(c), c < n);
+            assert_eq!(m.contains(c), c < n);
         }
-    }
+    });
+}
 
-    /// De Morgan-ish sanity: `a.minus(b)` and `a.and(b)` partition `a`.
-    #[test]
-    fn minus_and_partition(a in cpu_set(), b in cpu_set()) {
+/// De Morgan-ish sanity: `a.minus(b)` and `a.and(b)` partition `a`.
+#[test]
+fn minus_and_partition() {
+    forall(0x76, cases(64), |rng| {
+        let a = cpu_set(rng);
+        let b = cpu_set(rng);
         let ma = CpuMask::from_iter(a.iter().copied());
         let mb = CpuMask::from_iter(b.iter().copied());
         let kept = ma.and(&mb);
         let dropped = ma.minus(&mb);
-        prop_assert!(!kept.intersects(&dropped));
-        prop_assert_eq!(to_set(&kept.or(&dropped)), a);
-    }
+        assert!(!kept.intersects(&dropped));
+        assert_eq!(to_set(&kept.or(&dropped)), a);
+    });
 }

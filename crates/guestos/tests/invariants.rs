@@ -9,12 +9,14 @@
 //! * `min_vruntime` never decreases;
 //! * a vCPU with waiting tasks and no current is never silently abandoned
 //!   (the wake path kicked it).
+//!
+//! Driven by simcore's in-tree `propcheck` harness (deterministic, offline).
 
-use proptest::prelude::*;
-use simcore::SimTime;
+use simcore::propcheck::{forall, vec_of};
+use simcore::{SimRng, SimTime};
 use vsched_guestos::{
-    CommDistance, GuestConfig, Kernel, Platform, Policy, RunDelta, SpawnSpec, TaskId, TaskState,
-    VcpuId,
+    CommDistance, GuestConfig, Kernel, MigrateKind, Platform, Policy, RunDelta, SpawnSpec, TaskId,
+    TaskState, VcpuId,
 };
 
 /// An always-active platform that advances a synthetic clock and lets tasks
@@ -101,19 +103,36 @@ enum Op {
     Advance { ns: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<bool>().prop_map(|idle_policy| Op::Spawn { idle_policy }),
-        (0usize..24, 0usize..4).prop_map(|(task, vcpu)| Op::Wake { task, vcpu }),
-        (0usize..4).prop_map(|vcpu| Op::Tick { vcpu }),
-        (0usize..24).prop_map(|task| Op::Block { task }),
-        (0usize..24, 0usize..4).prop_map(|(task, to)| Op::MigrateRunnable { task, to }),
-        (0usize..4, 0usize..4).prop_map(|(from, to)| Op::MigrateRunning { from, to }),
-        (0usize..24).prop_map(|task| Op::Kill { task }),
-        (0usize..4).prop_map(|vcpu| Op::Ban { vcpu }),
-        (0usize..4).prop_map(|vcpu| Op::Allow { vcpu }),
-        (1u64..5_000_000).prop_map(|ns| Op::Advance { ns }),
-    ]
+fn gen_op(rng: &mut SimRng) -> Op {
+    match rng.index(10) {
+        0 => Op::Spawn {
+            idle_policy: rng.chance(0.5),
+        },
+        1 => Op::Wake {
+            task: rng.index(24),
+            vcpu: rng.index(4),
+        },
+        2 => Op::Tick { vcpu: rng.index(4) },
+        3 => Op::Block {
+            task: rng.index(24),
+        },
+        4 => Op::MigrateRunnable {
+            task: rng.index(24),
+            to: rng.index(4),
+        },
+        5 => Op::MigrateRunning {
+            from: rng.index(4),
+            to: rng.index(4),
+        },
+        6 => Op::Kill {
+            task: rng.index(24),
+        },
+        7 => Op::Ban { vcpu: rng.index(4) },
+        8 => Op::Allow { vcpu: rng.index(4) },
+        _ => Op::Advance {
+            ns: rng.range(1, 5_000_000),
+        },
+    }
 }
 
 fn check_invariants(kern: &Kernel, min_floor: &mut [u64]) {
@@ -176,11 +195,15 @@ fn check_invariants(kern: &Kernel, min_floor: &mut [u64]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn kernel_invariants_hold(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn kernel_invariants_hold() {
+    let cases = if cfg!(feature = "property-tests") {
+        512
+    } else {
+        64
+    };
+    forall(0x81, cases, |rng| {
+        let ops = vec_of(rng, 1, 120, gen_op);
         let nr = 4;
         let mut kern = Kernel::new(GuestConfig::new(nr), SimTime::ZERO);
         let mut plat = FakePlat::new(nr);
@@ -218,11 +241,11 @@ proptest! {
                 }
                 Op::MigrateRunnable { task, to } => {
                     if let Some(&t) = ids.get(task) {
-                        kern.migrate_runnable(&mut plat, t, VcpuId(to));
+                        kern.migrate_runnable(&mut plat, t, VcpuId(to), MigrateKind::Balance);
                     }
                 }
                 Op::MigrateRunning { from, to } => {
-                    kern.migrate_running(&mut plat, VcpuId(from), VcpuId(to));
+                    kern.migrate_running(&mut plat, VcpuId(from), VcpuId(to), MigrateKind::Active);
                 }
                 Op::Kill { task } => {
                     if let Some(&t) = ids.get(task) {
@@ -235,5 +258,5 @@ proptest! {
             }
             check_invariants(&kern, &mut min_floor);
         }
-    }
+    });
 }

@@ -26,6 +26,7 @@ use guestos::{
 };
 use simcore::{EventQueue, Integrator, SimRng, SimTime};
 use std::collections::VecDeque;
+use trace::{EventKind, PreemptReason, SharedCollector, TraceSink};
 
 /// Global vCPU index across all VMs.
 pub type GVcpu = usize;
@@ -300,6 +301,9 @@ pub struct Machine {
     samplers: Vec<Sampler>,
     /// Record running segments per vCPU (Figure 3 timelines).
     pub trace_activity: bool,
+    /// Host-side trace sink; [`Machine::attach_trace`] turns it on and
+    /// propagates per-VM scoped sinks into every guest kernel.
+    pub trace: TraceSink,
     finished: bool,
 }
 
@@ -329,7 +333,19 @@ impl Machine {
             script: Vec::new(),
             samplers: Vec::new(),
             trace_activity: false,
+            trace: TraceSink::default(),
             finished: false,
+        }
+    }
+
+    /// Turns on tracing: the machine emits host-side events (resume,
+    /// preempt, steal accrual) and every guest kernel — current and
+    /// later-added — emits guest-side events, all into `shared`, each
+    /// stamped with its VM index.
+    pub fn attach_trace(&mut self, shared: &SharedCollector) {
+        self.trace = TraceSink::for_vm(shared, 0);
+        for (i, vm) in self.vms.iter_mut().enumerate() {
+            vm.guest.kern.trace = TraceSink::for_vm(shared, i as u16);
         }
     }
 
@@ -377,8 +393,10 @@ impl Machine {
                 trace_segments: Vec::new(),
             });
         }
+        let mut guest = GuestOs::new(guest_cfg, now);
+        guest.kern.trace = self.trace.scoped(vm_idx as u16);
         self.vms.push(Vm {
-            guest: GuestOs::new(guest_cfg, now),
+            guest,
             workload: None,
             gvcpu_base: base,
             nr_vcpus: nr,
@@ -495,8 +513,12 @@ impl Machine {
         let now = self.q.now();
         let v = &mut self.vcpus[gv];
         let dt = now.since(v.state_since);
+        let mut stolen = 0;
         match v.state {
-            HostState::Runnable | HostState::Throttled => v.steal_ns += dt,
+            HostState::Runnable | HostState::Throttled => {
+                v.steal_ns += dt;
+                stolen = dt;
+            }
             HostState::Running(_) => {
                 v.active_ns += dt;
                 if let Some(bw) = v.bandwidth.as_mut() {
@@ -506,6 +528,17 @@ impl Machine {
             HostState::Halted => {}
         }
         v.state_since = now;
+        if stolen > 0 {
+            let (vm, idx) = (self.vcpus[gv].vm, self.vcpus[gv].idx);
+            self.trace.emit_vm(
+                now,
+                vm as u16,
+                EventKind::StealAccrue {
+                    vcpu: idx as u16,
+                    delta_ns: stolen,
+                },
+            );
+        }
     }
 
     fn set_vcpu_state(&mut self, gv: GVcpu, st: HostState) {
@@ -524,6 +557,38 @@ impl Machine {
             && !matches!(st, HostState::Running(_) | HostState::Halted)
         {
             self.vcpus[gv].preemptions += 1;
+        }
+        if self.trace.is_on() {
+            let (vm, idx) = (self.vcpus[gv].vm as u16, self.vcpus[gv].idx as u16);
+            let kind = match (old, st) {
+                (HostState::Running(_), HostState::Running(_)) => None,
+                (_, HostState::Running(th)) => Some(EventKind::VcpuResume {
+                    vcpu: idx,
+                    thread: th as u16,
+                }),
+                (HostState::Running(_), HostState::Runnable) => Some(EventKind::VcpuPreempt {
+                    vcpu: idx,
+                    reason: PreemptReason::Preempt,
+                }),
+                (HostState::Running(_), HostState::Throttled) => Some(EventKind::VcpuPreempt {
+                    vcpu: idx,
+                    reason: PreemptReason::Throttle,
+                }),
+                (HostState::Running(_), HostState::Halted) => Some(EventKind::VcpuPreempt {
+                    vcpu: idx,
+                    reason: PreemptReason::Halt,
+                }),
+                (HostState::Halted, HostState::Runnable | HostState::Throttled) => {
+                    Some(EventKind::VcpuWake { vcpu: idx })
+                }
+                (HostState::Runnable | HostState::Throttled, HostState::Halted) => {
+                    Some(EventKind::VcpuHalt { vcpu: idx })
+                }
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                self.trace.emit_vm(now, vm, kind);
+            }
         }
         if self.trace_activity {
             match (old, st) {

@@ -2,34 +2,47 @@
 //!
 //! Every latency number in EXPERIMENTS.md flows through this structure, so
 //! its quantile math gets adversarial treatment: conservation, monotonicity,
-//! bounded relative error, and merge associativity.
+//! bounded relative error, and merge associativity. Driven by simcore's
+//! in-tree `propcheck` harness (deterministic, offline).
 
-use proptest::prelude::*;
+use simcore::propcheck::{forall, vec_of};
 use vsched_metrics::Histogram;
 
-proptest! {
-    /// Count is conserved and min/max bracket every recorded value's bucket.
-    #[test]
-    fn count_and_bounds_conserved(values in prop::collection::vec(0u64..u64::MAX / 2, 1..500)) {
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "property-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
+
+/// Count is conserved and min/max bracket every recorded value's bucket.
+#[test]
+fn count_and_bounds_conserved() {
+    forall(0x61, cases(64), |rng| {
+        let values = vec_of(rng, 1, 500, |r| r.range(0, u64::MAX / 2));
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.count(), values.len() as u64);
         let lo = *values.iter().min().expect("non-empty");
         let hi = *values.iter().max().expect("non-empty");
         // Bucket midpoints stay within ~6.25% of the true value (32
         // sub-buckets per doubling), with slack for the smallest buckets.
         let tol_lo = lo / 8 + 2;
         let tol_hi = hi / 8 + 2;
-        prop_assert!(h.min() <= lo + tol_lo, "min {} vs {}", h.min(), lo);
-        prop_assert!(h.max() + tol_hi >= hi, "max {} vs {}", h.max(), hi);
-    }
+        assert!(h.min() <= lo + tol_lo, "min {} vs {}", h.min(), lo);
+        assert!(h.max() + tol_hi >= hi, "max {} vs {}", h.max(), hi);
+    });
+}
 
-    /// Percentiles are monotone in `p` and stay within the recorded range
-    /// (modulo bucket rounding).
-    #[test]
-    fn percentiles_monotone(values in prop::collection::vec(0u64..1_000_000_000, 1..300)) {
+/// Percentiles are monotone in `p` and stay within the recorded range
+/// (modulo bucket rounding).
+#[test]
+fn percentiles_monotone() {
+    forall(0x62, cases(64), |rng| {
+        let values = vec_of(rng, 1, 300, |r| r.range(0, 1_000_000_000));
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -38,17 +51,20 @@ proptest! {
         let mut last = 0u64;
         for &p in &ps {
             let q = h.percentile(p);
-            prop_assert!(q >= last, "p{p} = {q} < previous {last}");
+            assert!(q >= last, "p{p} = {q} < previous {last}");
             last = q;
         }
-        prop_assert!(h.percentile(100.0) <= h.max());
-        prop_assert!(h.percentile(0.0) >= h.min());
-    }
+        assert!(h.percentile(100.0) <= h.max());
+        assert!(h.percentile(0.0) >= h.min());
+    });
+}
 
-    /// The median of a recorded set lands within one bucket of the true
-    /// median (relative error ≤ ~7%).
-    #[test]
-    fn median_relative_error_bounded(values in prop::collection::vec(100u64..1_000_000_000, 3..300)) {
+/// The median of a recorded set lands within one bucket of the true
+/// median (relative error ≤ ~7%).
+#[test]
+fn median_relative_error_bounded() {
+    forall(0x63, cases(64), |rng| {
+        let values = vec_of(rng, 3, 300, |r| r.range(100, 1_000_000_000));
         let mut h = Histogram::new();
         let mut sorted = values.clone();
         sorted.sort_unstable();
@@ -57,17 +73,20 @@ proptest! {
         }
         let truth = sorted[(sorted.len() - 1) / 2] as f64;
         let got = h.p50() as f64;
-        prop_assert!((got - truth).abs() <= 0.07 * truth + 2.0,
-            "p50 {got} vs true median {truth}");
-    }
+        assert!(
+            (got - truth).abs() <= 0.07 * truth + 2.0,
+            "p50 {got} vs true median {truth}"
+        );
+    });
+}
 
-    /// Merging histograms equals recording the union, and merge order
-    /// does not matter.
-    #[test]
-    fn merge_is_union_and_commutative(
-        a in prop::collection::vec(0u64..1_000_000, 0..200),
-        b in prop::collection::vec(0u64..1_000_000, 0..200),
-    ) {
+/// Merging histograms equals recording the union, and merge order
+/// does not matter.
+#[test]
+fn merge_is_union_and_commutative() {
+    forall(0x64, cases(64), |rng| {
+        let a = vec_of(rng, 0, 200, |r| r.range(0, 1_000_000));
+        let b = vec_of(rng, 0, 200, |r| r.range(0, 1_000_000));
         let mut ha = Histogram::new();
         let mut hb = Histogram::new();
         let mut hu = Histogram::new();
@@ -83,52 +102,66 @@ proptest! {
         ab.merge(&hb);
         let mut ba = hb.clone();
         ba.merge(&ha);
-        prop_assert_eq!(ab.count(), hu.count());
-        prop_assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.count(), hu.count());
+        assert_eq!(ab.count(), ba.count());
         for &p in &[50.0, 95.0, 99.0] {
-            prop_assert_eq!(ab.percentile(p), hu.percentile(p));
-            prop_assert_eq!(ab.percentile(p), ba.percentile(p));
+            assert_eq!(ab.percentile(p), hu.percentile(p));
+            assert_eq!(ab.percentile(p), ba.percentile(p));
         }
-        prop_assert_eq!(ab.min(), ba.min());
-        prop_assert_eq!(ab.max(), ba.max());
-    }
+        assert_eq!(ab.min(), ba.min());
+        assert_eq!(ab.max(), ba.max());
+    });
+}
 
-    /// `record_n` equals `n` separate `record`s.
-    #[test]
-    fn record_n_equals_repeated_record(v in 0u64..10_000_000, n in 1u64..1000) {
+/// `record_n` equals `n` separate `record`s.
+#[test]
+fn record_n_equals_repeated_record() {
+    forall(0x65, cases(128), |rng| {
+        let v = rng.range(0, 10_000_000);
+        let n = rng.range(1, 1000);
         let mut bulk = Histogram::new();
         bulk.record_n(v, n);
         let mut single = Histogram::new();
         for _ in 0..n {
             single.record(v);
         }
-        prop_assert_eq!(bulk.count(), single.count());
-        prop_assert_eq!(bulk.p50(), single.p50());
-        prop_assert_eq!(bulk.mean(), single.mean());
-    }
+        assert_eq!(bulk.count(), single.count());
+        assert_eq!(bulk.p50(), single.p50());
+        assert_eq!(bulk.mean(), single.mean());
+    });
+}
 
-    /// The mean tracks the true mean within bucket resolution.
-    #[test]
-    fn mean_tracks_truth(values in prop::collection::vec(1000u64..100_000_000, 1..300)) {
+/// The mean tracks the true mean within bucket resolution.
+#[test]
+fn mean_tracks_truth() {
+    forall(0x66, cases(64), |rng| {
+        let values = vec_of(rng, 1, 300, |r| r.range(1000, 100_000_000));
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
         }
         let truth = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
-        prop_assert!((h.mean() - truth).abs() <= 0.05 * truth,
-            "mean {} vs {}", h.mean(), truth);
-    }
+        assert!(
+            (h.mean() - truth).abs() <= 0.05 * truth,
+            "mean {} vs {}",
+            h.mean(),
+            truth
+        );
+    });
+}
 
-    /// `clear` returns the histogram to its pristine state.
-    #[test]
-    fn clear_resets(values in prop::collection::vec(0u64..1_000_000, 1..100)) {
+/// `clear` returns the histogram to its pristine state.
+#[test]
+fn clear_resets() {
+    forall(0x67, cases(64), |rng| {
+        let values = vec_of(rng, 1, 100, |r| r.range(0, 1_000_000));
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
         }
         h.clear();
-        prop_assert_eq!(h.count(), 0);
+        assert_eq!(h.count(), 0);
         let fresh = Histogram::new();
-        prop_assert_eq!(h.p99(), fresh.p99());
-    }
+        assert_eq!(h.p99(), fresh.p99());
+    });
 }

@@ -8,17 +8,20 @@
 //! * [`EventQueue`] — a total-order event heap generic over the event
 //!   payload; ties are broken by insertion sequence so simulations are
 //!   deterministic and independent of heap internals.
-//! * [`SimRng`] — a seeded PRNG wrapper with the distributions the workload
-//!   generators need (exponential, lognormal-ish, uniform).
+//! * [`SimRng`] — a self-contained xoshiro256++ PRNG with the distributions
+//!   the workload generators need (exponential, lognormal-ish, uniform).
 //! * [`Integrator`] — a piecewise-constant-rate work integrator, the
 //!   mechanism by which tasks accrue work only while their vCPU is actually
 //!   running on a physical core (the paper's central observable).
+//! * [`propcheck`] — a minimal deterministic property-test harness used by
+//!   the workspace's randomized test suites (no external deps).
 //!
 //! The engine is single-threaded by design: determinism is a feature, every
 //! experiment is exactly reproducible from its seed.
 
 pub mod event;
 pub mod integrator;
+pub mod propcheck;
 pub mod rng;
 pub mod time;
 

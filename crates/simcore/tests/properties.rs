@@ -3,15 +3,25 @@
 //! The whole reproduction rests on two invariants: the event queue
 //! delivers in nondecreasing time with FIFO tie order, and integrators
 //! account work exactly under arbitrary rate changes. Both are exercised
-//! here under randomized operation sequences.
+//! here under randomized operation sequences driven by the in-tree
+//! `propcheck` harness (deterministic, offline).
 
-use proptest::prelude::*;
+use vsched_simcore::propcheck::{forall, vec_of};
 use vsched_simcore::{EventQueue, Integrator, SimTime};
 
-proptest! {
-    /// Pops come out in nondecreasing time order no matter the post order.
-    #[test]
-    fn queue_pops_in_time_order(delays in prop::collection::vec(0u64..1_000_000, 1..200)) {
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "property-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
+
+/// Pops come out in nondecreasing time order no matter the post order.
+#[test]
+fn queue_pops_in_time_order() {
+    forall(0x51, cases(64), |rng| {
+        let delays = vec_of(rng, 1, 200, |r| r.range(0, 1_000_000));
         let mut q: EventQueue<usize> = EventQueue::new();
         for (i, &d) in delays.iter().enumerate() {
             q.post(SimTime(d), i);
@@ -19,20 +29,21 @@ proptest! {
         let mut last = SimTime(0);
         let mut n = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last, "time went backwards: {t:?} after {last:?}");
-            prop_assert_eq!(q.now(), t);
+            assert!(t >= last, "time went backwards: {t:?} after {last:?}");
+            assert_eq!(q.now(), t);
             last = t;
             n += 1;
         }
-        prop_assert_eq!(n, delays.len());
-    }
+        assert_eq!(n, delays.len());
+    });
+}
 
-    /// Events posted at the same instant pop in insertion order (FIFO ties) —
-    /// the determinism guarantee every scheduler decision relies on.
-    #[test]
-    fn queue_ties_are_fifo(
-        times in prop::collection::vec(0u64..16, 2..100),
-    ) {
+/// Events posted at the same instant pop in insertion order (FIFO ties) —
+/// the determinism guarantee every scheduler decision relies on.
+#[test]
+fn queue_ties_are_fifo() {
+    forall(0x52, cases(64), |rng| {
+        let times = vec_of(rng, 2, 100, |r| r.range(0, 16));
         let mut q: EventQueue<usize> = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.post(SimTime(t), i);
@@ -41,26 +52,27 @@ proptest! {
         while let Some((t, id)) = q.pop() {
             if let Some((lt, lid)) = last {
                 if lt == t {
-                    prop_assert!(id > lid, "tie at {t:?} broke FIFO: {id} after {lid}");
+                    assert!(id > lid, "tie at {t:?} broke FIFO: {id} after {lid}");
                 }
             }
             last = Some((t, id));
         }
-    }
+    });
+}
 
-    /// Interleaved post/pop never lets `post_after` schedule into the past
-    /// and never loses an event.
-    #[test]
-    fn queue_interleaved_conserves_events(
-        ops in prop::collection::vec((any::<bool>(), 0u64..10_000), 1..300),
-    ) {
+/// Interleaved post/pop never lets `post_after` schedule into the past
+/// and never loses an event.
+#[test]
+fn queue_interleaved_conserves_events() {
+    forall(0x53, cases(64), |rng| {
+        let ops = vec_of(rng, 1, 300, |r| (r.chance(0.5), r.range(0, 10_000)));
         let mut q: EventQueue<u64> = EventQueue::new();
         let mut posted = 0u64;
         let mut popped = 0u64;
         for &(pop, delay) in &ops {
             if pop {
                 if let Some((t, _)) = q.pop() {
-                    prop_assert!(t >= q.now() || t == q.now());
+                    assert!(t >= q.now() || t == q.now());
                     popped += 1;
                 }
             } else {
@@ -68,19 +80,20 @@ proptest! {
                 posted += 1;
             }
         }
-        prop_assert_eq!(posted - popped, q.len() as u64);
+        assert_eq!(posted - popped, q.len() as u64);
         while q.pop().is_some() {
             popped += 1;
         }
-        prop_assert_eq!(posted, popped);
-    }
+        assert_eq!(posted, popped);
+    });
+}
 
-    /// The integrator's value equals the exact piecewise-constant integral
-    /// of the rates applied, for any sequence of rate changes.
-    #[test]
-    fn integrator_matches_exact_integral(
-        steps in prop::collection::vec((0u64..1_000_000, 0u32..2048), 1..100),
-    ) {
+/// The integrator's value equals the exact piecewise-constant integral
+/// of the rates applied, for any sequence of rate changes.
+#[test]
+fn integrator_matches_exact_integral() {
+    forall(0x54, cases(64), |rng| {
+        let steps = vec_of(rng, 1, 100, |r| (r.range(0, 1_000_000), r.range(0, 2048)));
         let mut now = SimTime(0);
         let mut ig = Integrator::new(now);
         let mut exact = 0.0f64;
@@ -92,36 +105,45 @@ proptest! {
             ig.set_rate(now, rate);
             // Up to rounding slack from accumulation order.
             let got = ig.value_at(now);
-            prop_assert!((got - exact).abs() <= 1e-6 * exact.max(1.0),
-                "value {got} vs exact {exact}");
+            assert!(
+                (got - exact).abs() <= 1e-6 * exact.max(1.0),
+                "value {got} vs exact {exact}"
+            );
         }
-    }
+    });
+}
 
-    /// `eta_ns` inverts `value_at`: advancing by the returned delta reaches
-    /// (at least) the target, and one nanosecond less does not overshoot it
-    /// by a full rate step.
-    #[test]
-    fn integrator_eta_reaches_target(
-        rate in 1u32..4096,
-        dt in 1u64..10_000_000,
-    ) {
+/// `eta_ns` inverts `value_at`: advancing by the returned delta reaches
+/// (at least) the target, and one nanosecond less does not overshoot it
+/// by a full rate step.
+#[test]
+fn integrator_eta_reaches_target() {
+    forall(0x55, cases(128), |rng| {
+        let rate = rng.range(1, 4096) as u32;
+        let dt = rng.range(1, 10_000_000);
         let mut ig = Integrator::new(SimTime(0));
         ig.set_rate(SimTime(0), rate as f64);
         let target = rate as f64 * dt as f64 * 0.7;
-        let eta = ig.eta_ns(SimTime(0), target).expect("positive rate has an ETA");
+        let eta = ig
+            .eta_ns(SimTime(0), target)
+            .expect("positive rate has an ETA");
         let reached = ig.value_at(SimTime(eta));
-        prop_assert!(reached >= target - 1e-6, "reached {reached} target {target}");
+        assert!(
+            reached >= target - 1e-6,
+            "reached {reached} target {target}"
+        );
         if eta > 0 {
             let before = ig.value_at(SimTime(eta - 1));
-            prop_assert!(before < target + rate as f64, "eta not minimal");
+            assert!(before < target + rate as f64, "eta not minimal");
         }
-    }
+    });
+}
 
-    /// `settle` is idempotent and never changes the observable value.
-    #[test]
-    fn integrator_settle_is_transparent(
-        steps in prop::collection::vec((0u64..100_000, 0u32..1024), 1..50),
-    ) {
+/// `settle` is idempotent and never changes the observable value.
+#[test]
+fn integrator_settle_is_transparent() {
+    forall(0x56, cases(64), |rng| {
+        let steps = vec_of(rng, 1, 50, |r| (r.range(0, 100_000), r.range(0, 1024)));
         let mut now = SimTime(0);
         let mut a = Integrator::new(now);
         let mut b = Integrator::new(now);
@@ -132,19 +154,22 @@ proptest! {
             a.settle(now);
             a.set_rate(now, r as f64);
             b.set_rate(now, r as f64);
-            prop_assert!((a.value() - b.value()).abs() <= 1e-6 * b.value().max(1.0));
+            assert!((a.value() - b.value()).abs() <= 1e-6 * b.value().max(1.0));
         }
-        prop_assert!((a.value_at(now) - b.value_at(now)).abs() <= 1e-6 * b.value_at(now).max(1.0));
-    }
+        assert!((a.value_at(now) - b.value_at(now)).abs() <= 1e-6 * b.value_at(now).max(1.0));
+    });
+}
 
-    /// Zero rate freezes the value for any horizon.
-    #[test]
-    fn integrator_zero_rate_freezes(horizon in 0u64..u64::MAX / 2) {
+/// Zero rate freezes the value for any horizon.
+#[test]
+fn integrator_zero_rate_freezes() {
+    forall(0x57, cases(128), |rng| {
+        let horizon = rng.range(0, u64::MAX / 2);
         let mut ig = Integrator::new(SimTime(0));
         ig.set_rate(SimTime(0), 512.0);
         ig.set_rate(SimTime(1000), 0.0);
         let frozen = ig.value_at(SimTime(1000));
-        prop_assert_eq!(ig.value_at(SimTime(1000 + horizon)), frozen);
-        prop_assert!(ig.eta_ns(SimTime(1000), frozen + 1.0).is_none());
-    }
+        assert_eq!(ig.value_at(SimTime(1000 + horizon)), frozen);
+        assert!(ig.eta_ns(SimTime(1000), frozen + 1.0).is_none());
+    });
 }

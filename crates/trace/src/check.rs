@@ -1,0 +1,656 @@
+//! Streaming conservation-law checker.
+//!
+//! Consumes the event stream online (no buffering of the full run) and
+//! validates the simulator's structural invariants:
+//!
+//! * a task runs on at most one vCPU at any instant, and switch-in/out
+//!   events pair up per vCPU;
+//! * per-vCPU host accounting conserves wall time: every waiting window
+//!   (preempt/throttle/kick → resume or halt) is fully covered by
+//!   `StealAccrue` deltas, so `run + steal + idle == wall`;
+//! * accrued work never exceeds `capacity × active-time`;
+//! * per-runqueue `min_vruntime` never moves backwards across switches;
+//! * every ivh pull attempt resolves to exactly one of completed/abandoned.
+//!
+//! The first violation is retained with the events leading up to it, so a
+//! failing figure run points straight at the broken transition.
+
+use crate::event::{EventKind, IvhPhase, PreemptReason, TraceEvent};
+use simcore::SimTime;
+use std::collections::HashMap;
+use std::fmt;
+
+/// How many events of context precede a reported violation.
+const CONTEXT: usize = 8;
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A task was switched in while already running on another vCPU.
+    DoubleRun,
+    /// Switch-in on a vCPU whose previous task never switched out.
+    SwitchInWhileBusy,
+    /// Switch-out of a task that was not the vCPU's current.
+    MismatchedSwitchOut,
+    /// A runqueue's `min_vruntime` moved backwards.
+    VruntimeInversion,
+    /// A waiting window's steal deltas do not sum to its wall time.
+    StealAccountingGap,
+    /// Steal accrued to a vCPU that was not waiting.
+    StealWhileNotWaiting,
+    /// A vCPU resumed while already running (host double-schedule).
+    RunOverlap,
+    /// A run delta accrued more work than capacity × active-time allows.
+    WorkExceedsCapacity,
+    /// An ivh pull completed/abandoned with no outstanding attempt, or
+    /// resolved twice.
+    IvhUnmatchedResolution,
+    /// A second ivh pull attempt targeted a vCPU with one still pending.
+    IvhDuplicateAttempt,
+    /// A task migrated while recorded as running.
+    MigrateWhileRunning,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One detected violation, with the triggering event and recent context.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Classification.
+    pub kind: ViolationKind,
+    /// The event that exposed the inconsistency.
+    pub event: TraceEvent,
+    /// Human-readable specifics (expected vs observed).
+    pub detail: String,
+    /// Up to [`CONTEXT`] events preceding `event`, oldest first.
+    pub context: Vec<TraceEvent>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} at {} (vm {}): {}",
+            self.kind, self.event.at, self.event.vm, self.detail
+        )?;
+        writeln!(f, "  event: {:?}", self.event.kind)?;
+        for ev in &self.context {
+            writeln!(f, "  before: {} {:?}", ev.at, ev.kind)?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary of a completed check.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Events observed.
+    pub events: u64,
+    /// Total violations detected.
+    pub violations: u64,
+    /// The first violation, with context.
+    pub first: Option<Violation>,
+    /// ivh pulls still in flight when the stream ended (not a violation).
+    pub pending_ivh: usize,
+}
+
+impl CheckReport {
+    /// Whether the stream satisfied every invariant.
+    pub fn ok(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.first {
+            None => write!(
+                f,
+                "{} events checked, 0 violations ({} ivh pulls in flight)",
+                self.events, self.pending_ivh
+            ),
+            Some(v) => write!(
+                f,
+                "{} events checked, {} violations; first:\n{v}",
+                self.events, self.violations
+            ),
+        }
+    }
+}
+
+/// Host-side occupancy state of one vCPU, as reconstructed from events.
+#[derive(Debug, Clone, Copy)]
+enum HostCpu {
+    /// No event seen yet; first transition initializes without checking.
+    Unknown,
+    /// Halted (guest idle).
+    Idle,
+    /// Runnable or throttled since `since`, with `steal` ns accrued so far.
+    Waiting { since: SimTime, steal: u64 },
+    /// On a hardware thread.
+    Running,
+}
+
+/// The streaming checker. Feed with [`InvariantChecker::observe`]; collect
+/// with [`InvariantChecker::report`].
+#[derive(Debug)]
+pub struct InvariantChecker {
+    /// Max work per nanosecond of active time (1024 = a full-speed core).
+    cap_ceiling: f64,
+    running: HashMap<(u16, u32), u16>,
+    curr: HashMap<(u16, u16), u32>,
+    min_vr: HashMap<(u16, u16), u64>,
+    host: HashMap<(u16, u16), HostCpu>,
+    ivh_pending: HashMap<(u16, u16), u32>,
+    recent: std::collections::VecDeque<TraceEvent>,
+    events: u64,
+    violations: u64,
+    first: Option<Violation>,
+}
+
+impl Default for InvariantChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InvariantChecker {
+    /// A checker with the default capacity ceiling (full-speed core, 1024
+    /// work units per ns).
+    pub fn new() -> Self {
+        Self {
+            cap_ceiling: 1024.0,
+            running: HashMap::new(),
+            curr: HashMap::new(),
+            min_vr: HashMap::new(),
+            host: HashMap::new(),
+            ivh_pending: HashMap::new(),
+            recent: std::collections::VecDeque::with_capacity(CONTEXT + 1),
+            events: 0,
+            violations: 0,
+            first: None,
+        }
+    }
+
+    /// Raises the work-rate ceiling (hosts with boosted cores).
+    pub fn set_capacity_ceiling(&mut self, per_ns: f64) {
+        self.cap_ceiling = per_ns;
+    }
+
+    /// Violations detected so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The first violation, if any.
+    pub fn first(&self) -> Option<&Violation> {
+        self.first.as_ref()
+    }
+
+    /// Final report for the stream seen so far.
+    pub fn report(&self) -> CheckReport {
+        CheckReport {
+            events: self.events,
+            violations: self.violations,
+            first: self.first.clone(),
+            pending_ivh: self.ivh_pending.len(),
+        }
+    }
+
+    fn flag(&mut self, kind: ViolationKind, event: TraceEvent, detail: String) {
+        self.violations += 1;
+        if self.first.is_none() {
+            self.first = Some(Violation {
+                kind,
+                event,
+                detail,
+                context: self.recent.iter().copied().collect(),
+            });
+        }
+    }
+
+    /// Feeds one event through every applicable invariant.
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        let ev = *ev;
+        match ev.kind {
+            EventKind::ContextSwitch {
+                vcpu,
+                prev,
+                next,
+                min_vruntime,
+                ..
+            } => {
+                let key = (ev.vm, vcpu);
+                let floor = self.min_vr.entry(key).or_insert(0);
+                if min_vruntime < *floor {
+                    let was = *floor;
+                    self.flag(
+                        ViolationKind::VruntimeInversion,
+                        ev,
+                        format!("min_vruntime {min_vruntime} after {was} on vcpu {vcpu}"),
+                    );
+                } else {
+                    *floor = min_vruntime;
+                }
+                if let Some(t) = next {
+                    if let Some(&on) = self.running.get(&(ev.vm, t)) {
+                        self.flag(
+                            ViolationKind::DoubleRun,
+                            ev,
+                            format!("task {t} switched in on vcpu {vcpu} while running on {on}"),
+                        );
+                    }
+                    if let Some(&busy) = self.curr.get(&key) {
+                        self.flag(
+                            ViolationKind::SwitchInWhileBusy,
+                            ev,
+                            format!("vcpu {vcpu} still runs task {busy}"),
+                        );
+                    }
+                    self.running.insert((ev.vm, t), vcpu);
+                    self.curr.insert(key, t);
+                }
+                if let Some(t) = prev {
+                    match self.curr.get(&key) {
+                        Some(&c) if c == t => {
+                            self.curr.remove(&key);
+                            self.running.remove(&(ev.vm, t));
+                        }
+                        other => {
+                            let have = other.copied();
+                            self.flag(
+                                ViolationKind::MismatchedSwitchOut,
+                                ev,
+                                format!("switch-out of task {t} but vcpu {vcpu} runs {have:?}"),
+                            );
+                        }
+                    }
+                }
+            }
+            EventKind::TaskMigrate { task, from, to, .. } => {
+                if let Some(&on) = self.running.get(&(ev.vm, task)) {
+                    self.flag(
+                        ViolationKind::MigrateWhileRunning,
+                        ev,
+                        format!("task {task} migrated {from}->{to} while running on {on}"),
+                    );
+                }
+            }
+            EventKind::VcpuResume { vcpu, .. } => {
+                let key = (ev.vm, vcpu);
+                let state = *self.host.get(&key).unwrap_or(&HostCpu::Unknown);
+                match state {
+                    HostCpu::Running => self.flag(
+                        ViolationKind::RunOverlap,
+                        ev,
+                        format!("vcpu {vcpu} resumed while already running"),
+                    ),
+                    HostCpu::Waiting { since, steal } => {
+                        let wall = ev.at.since(since);
+                        if steal != wall {
+                            self.flag(
+                                ViolationKind::StealAccountingGap,
+                                ev,
+                                format!(
+                                    "vcpu {vcpu} waited {wall} ns but accrued {steal} ns steal"
+                                ),
+                            );
+                        }
+                    }
+                    HostCpu::Idle | HostCpu::Unknown => {}
+                }
+                self.host.insert(key, HostCpu::Running);
+            }
+            EventKind::VcpuPreempt { vcpu, reason } => {
+                let key = (ev.vm, vcpu);
+                let next = match reason {
+                    PreemptReason::Halt => HostCpu::Idle,
+                    _ => HostCpu::Waiting {
+                        since: ev.at,
+                        steal: 0,
+                    },
+                };
+                self.host.insert(key, next);
+            }
+            EventKind::VcpuWake { vcpu } => {
+                self.host.insert(
+                    (ev.vm, vcpu),
+                    HostCpu::Waiting {
+                        since: ev.at,
+                        steal: 0,
+                    },
+                );
+            }
+            EventKind::VcpuHalt { vcpu } => {
+                let key = (ev.vm, vcpu);
+                if let Some(HostCpu::Waiting { since, steal }) = self.host.get(&key).copied() {
+                    let wall = ev.at.since(since);
+                    if steal != wall {
+                        self.flag(
+                            ViolationKind::StealAccountingGap,
+                            ev,
+                            format!(
+                                "vcpu {vcpu} halted after waiting {wall} ns with {steal} ns steal"
+                            ),
+                        );
+                    }
+                }
+                self.host.insert(key, HostCpu::Idle);
+            }
+            EventKind::StealAccrue { vcpu, delta_ns } => {
+                let key = (ev.vm, vcpu);
+                match self.host.get_mut(&key) {
+                    Some(HostCpu::Waiting { since, steal }) => {
+                        *steal += delta_ns;
+                        let elapsed = ev.at.since(*since);
+                        if *steal > elapsed {
+                            let got = *steal;
+                            self.flag(
+                                ViolationKind::StealAccountingGap,
+                                ev,
+                                format!(
+                                    "vcpu {vcpu} accrued {got} ns steal in {elapsed} ns of waiting"
+                                ),
+                            );
+                        }
+                    }
+                    Some(HostCpu::Unknown) | None => {}
+                    _ => self.flag(
+                        ViolationKind::StealWhileNotWaiting,
+                        ev,
+                        format!("vcpu {vcpu} accrued {delta_ns} ns steal while not waiting"),
+                    ),
+                }
+            }
+            EventKind::TaskCharge {
+                task,
+                active_ns,
+                work,
+                ..
+            } => {
+                let ceiling = self.cap_ceiling * active_ns as f64 * (1.0 + 1e-6) + 1e-6;
+                if work > ceiling {
+                    self.flag(
+                        ViolationKind::WorkExceedsCapacity,
+                        ev,
+                        format!(
+                            "task {task} accrued {work:.1} work in {active_ns} active ns \
+                             (ceiling {ceiling:.1})"
+                        ),
+                    );
+                }
+            }
+            EventKind::IvhPull { target, phase, .. } => {
+                let key = (ev.vm, target);
+                match phase {
+                    IvhPhase::Attempt => {
+                        if let Some(&t) = self.ivh_pending.get(&key) {
+                            self.flag(
+                                ViolationKind::IvhDuplicateAttempt,
+                                ev,
+                                format!("pull toward vcpu {target} already pending (task {t})"),
+                            );
+                        }
+                        if let EventKind::IvhPull { task, .. } = ev.kind {
+                            self.ivh_pending.insert(key, task);
+                        }
+                    }
+                    IvhPhase::Complete | IvhPhase::Abandon => {
+                        if self.ivh_pending.remove(&key).is_none() {
+                            self.flag(
+                                ViolationKind::IvhUnmatchedResolution,
+                                ev,
+                                format!("{phase:?} with no outstanding attempt on vcpu {target}"),
+                            );
+                        }
+                    }
+                }
+            }
+            EventKind::TaskWake { .. }
+            | EventKind::ReschedIpi { .. }
+            | EventKind::ProbeSample { .. }
+            | EventKind::BvsSelect { .. } => {}
+        }
+        self.recent.push_back(ev);
+        if self.recent.len() > CONTEXT {
+            self.recent.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MigrateKind, SwitchReason};
+
+    fn ev(at: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime(at),
+            vm: 0,
+            kind,
+        }
+    }
+
+    fn switch_in(at: u64, vcpu: u16, task: u32, min_vruntime: u64) -> TraceEvent {
+        ev(
+            at,
+            EventKind::ContextSwitch {
+                vcpu,
+                prev: None,
+                next: Some(task),
+                reason: SwitchReason::Pick,
+                min_vruntime,
+            },
+        )
+    }
+
+    fn switch_out(at: u64, vcpu: u16, task: u32, min_vruntime: u64) -> TraceEvent {
+        ev(
+            at,
+            EventKind::ContextSwitch {
+                vcpu,
+                prev: Some(task),
+                next: None,
+                reason: SwitchReason::Sleep,
+                min_vruntime,
+            },
+        )
+    }
+
+    fn check(events: &[TraceEvent]) -> InvariantChecker {
+        let mut c = InvariantChecker::new();
+        for e in events {
+            c.observe(e);
+        }
+        c
+    }
+
+    #[test]
+    fn clean_stream_has_no_violations() {
+        let c = check(&[
+            ev(0, EventKind::VcpuWake { vcpu: 0 }),
+            ev(
+                100,
+                EventKind::StealAccrue {
+                    vcpu: 0,
+                    delta_ns: 100,
+                },
+            ),
+            ev(100, EventKind::VcpuResume { vcpu: 0, thread: 0 }),
+            switch_in(100, 0, 7, 0),
+            ev(
+                600,
+                EventKind::TaskCharge {
+                    task: 7,
+                    vcpu: 0,
+                    active_ns: 500,
+                    work: 500.0 * 1024.0,
+                },
+            ),
+            switch_out(600, 0, 7, 500),
+            ev(
+                600,
+                EventKind::VcpuPreempt {
+                    vcpu: 0,
+                    reason: PreemptReason::Halt,
+                },
+            ),
+        ]);
+        let r = c.report();
+        assert!(r.ok(), "unexpected violation: {:?}", r.first);
+        assert_eq!(r.events, 7);
+    }
+
+    #[test]
+    fn double_run_detected() {
+        let c = check(&[switch_in(10, 0, 7, 0), switch_in(20, 1, 7, 0)]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::DoubleRun);
+    }
+
+    #[test]
+    fn switch_in_while_busy_detected() {
+        let c = check(&[switch_in(10, 0, 7, 0), switch_in(20, 0, 8, 0)]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::SwitchInWhileBusy);
+    }
+
+    #[test]
+    fn mismatched_switch_out_detected() {
+        let c = check(&[switch_in(10, 0, 7, 0), switch_out(20, 0, 9, 0)]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::MismatchedSwitchOut);
+    }
+
+    #[test]
+    fn steal_accounting_gap_detected_on_resume() {
+        // Waits 1000 ns but only 400 ns of steal were accrued.
+        let c = check(&[
+            ev(0, EventKind::VcpuWake { vcpu: 2 }),
+            ev(
+                1000,
+                EventKind::StealAccrue {
+                    vcpu: 2,
+                    delta_ns: 400,
+                },
+            ),
+            ev(1000, EventKind::VcpuResume { vcpu: 2, thread: 0 }),
+        ]);
+        let v = c.first().unwrap();
+        assert_eq!(v.kind, ViolationKind::StealAccountingGap);
+        assert!(!v.context.is_empty(), "violation carries context");
+    }
+
+    #[test]
+    fn over_accrued_steal_detected_immediately() {
+        let c = check(&[
+            ev(0, EventKind::VcpuWake { vcpu: 2 }),
+            ev(
+                100,
+                EventKind::StealAccrue {
+                    vcpu: 2,
+                    delta_ns: 400,
+                },
+            ),
+        ]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::StealAccountingGap);
+    }
+
+    #[test]
+    fn steal_while_running_detected() {
+        let c = check(&[
+            ev(0, EventKind::VcpuResume { vcpu: 1, thread: 0 }),
+            ev(
+                50,
+                EventKind::StealAccrue {
+                    vcpu: 1,
+                    delta_ns: 50,
+                },
+            ),
+        ]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::StealWhileNotWaiting);
+    }
+
+    #[test]
+    fn vruntime_inversion_detected() {
+        let c = check(&[
+            switch_in(10, 0, 7, 1_000_000),
+            switch_out(20, 0, 7, 999_000),
+        ]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::VruntimeInversion);
+    }
+
+    #[test]
+    fn work_exceeding_capacity_detected() {
+        let c = check(&[ev(
+            10,
+            EventKind::TaskCharge {
+                task: 3,
+                vcpu: 0,
+                active_ns: 100,
+                work: 200.0 * 1024.0,
+            },
+        )]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::WorkExceedsCapacity);
+    }
+
+    #[test]
+    fn migrate_while_running_detected() {
+        let c = check(&[
+            switch_in(10, 0, 7, 0),
+            ev(
+                20,
+                EventKind::TaskMigrate {
+                    task: 7,
+                    from: 0,
+                    to: 1,
+                    kind: MigrateKind::Balance,
+                },
+            ),
+        ]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::MigrateWhileRunning);
+    }
+
+    #[test]
+    fn ivh_pull_lifecycle_checked() {
+        let pull = |at, phase| {
+            ev(
+                at,
+                EventKind::IvhPull {
+                    task: 5,
+                    src: 0,
+                    target: 3,
+                    phase,
+                },
+            )
+        };
+        // Attempt → complete is clean.
+        let c = check(&[pull(10, IvhPhase::Attempt), pull(20, IvhPhase::Complete)]);
+        assert!(c.report().ok());
+        // Resolution without an attempt.
+        let c = check(&[pull(10, IvhPhase::Abandon)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::IvhUnmatchedResolution
+        );
+        // Double attempt on one target.
+        let c = check(&[pull(10, IvhPhase::Attempt), pull(20, IvhPhase::Attempt)]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::IvhDuplicateAttempt);
+        // In-flight at stream end: reported, not a violation.
+        let c = check(&[pull(10, IvhPhase::Attempt)]);
+        let r = c.report();
+        assert!(r.ok());
+        assert_eq!(r.pending_ivh, 1);
+    }
+
+    #[test]
+    fn run_overlap_detected() {
+        let c = check(&[
+            ev(0, EventKind::VcpuResume { vcpu: 1, thread: 0 }),
+            ev(10, EventKind::VcpuResume { vcpu: 1, thread: 1 }),
+        ]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::RunOverlap);
+    }
+}

@@ -1,0 +1,478 @@
+//! Chrome trace-event JSON exporter (Perfetto-loadable).
+//!
+//! Maps the event log onto the trace-event format: one *process* per VM,
+//! two *threads* per vCPU — the host track (`vCPU n (host)`) carrying
+//! "running" slices between `VcpuResume`/`VcpuPreempt`, and the guest track
+//! (`vCPU n (guest)`) carrying per-task slices between context switches —
+//! plus instants for wakes/IPIs/ivh, counter tracks for prober samples, and
+//! flow events chaining each task's migrations. Open `chrome://tracing` or
+//! <https://ui.perfetto.dev> and load the file.
+//!
+//! The emitter writes JSON by hand (the workspace carries no serialization
+//! dependency); [`validate_json`] is a minimal syntax checker used by tests
+//! to keep it honest.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::ring::RingBuffer;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Offset separating guest-task tracks from host tracks within a process.
+const GUEST_TID_BASE: u32 = 10_000;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+struct Writer {
+    out: String,
+    first: bool,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self {
+            out: String::from("{\"traceEvents\":["),
+            first: true,
+        }
+    }
+
+    /// Appends one pre-rendered event object body (without braces).
+    fn event(&mut self, body: String) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('{');
+        self.out.push_str(&body);
+        self.out.push('}');
+    }
+
+    fn finish(mut self, dropped: u64) -> String {
+        let _ = write!(
+            self.out,
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_events\":\"{dropped}\"}}}}"
+        );
+        self.out
+    }
+}
+
+/// Renders the retained events as Chrome trace-event JSON.
+pub fn chrome_trace(ring: &RingBuffer) -> String {
+    let mut w = Writer::new();
+
+    // Metadata: name every process (VM) and thread (vCPU track) that appears.
+    let mut vms: BTreeSet<u16> = BTreeSet::new();
+    let mut tracks: BTreeSet<(u16, u16)> = BTreeSet::new();
+    for ev in ring.iter() {
+        vms.insert(ev.vm);
+        if let Some(v) = vcpu_of(ev) {
+            tracks.insert((ev.vm, v));
+        }
+    }
+    for vm in &vms {
+        w.event(format!(
+            "\"ph\":\"M\",\"pid\":{vm},\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"VM {vm}\"}}"
+        ));
+    }
+    for &(vm, v) in &tracks {
+        w.event(format!(
+            "\"ph\":\"M\",\"pid\":{vm},\"tid\":{v},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"vCPU {v} (host)\"}}"
+        ));
+        w.event(format!(
+            "\"ph\":\"M\",\"pid\":{vm},\"tid\":{},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"vCPU {v} (guest)\"}}",
+            GUEST_TID_BASE + v as u32
+        ));
+    }
+
+    // Open-slice bookkeeping so B/E stay balanced even when the ring starts
+    // mid-slice (dropped prefix) or the run ends mid-slice.
+    let mut host_open: BTreeMap<(u16, u16), ()> = BTreeMap::new();
+    let mut guest_open: BTreeMap<(u16, u16), u32> = BTreeMap::new();
+    let mut last_ts = 0u64;
+
+    for ev in ring.iter() {
+        let t = us(ev.at.ns());
+        last_ts = last_ts.max(ev.at.ns());
+        let vm = ev.vm;
+        match ev.kind {
+            EventKind::VcpuResume { vcpu, thread } => {
+                w.event(format!(
+                    "\"ph\":\"B\",\"ts\":{t},\"pid\":{vm},\"tid\":{vcpu},\
+                     \"cat\":\"host\",\"name\":\"running\",\
+                     \"args\":{{\"thread\":{thread}}}"
+                ));
+                host_open.insert((vm, vcpu), ());
+            }
+            EventKind::VcpuPreempt { vcpu, reason } => {
+                if host_open.remove(&(vm, vcpu)).is_some() {
+                    w.event(format!(
+                        "\"ph\":\"E\",\"ts\":{t},\"pid\":{vm},\"tid\":{vcpu},\
+                         \"cat\":\"host\",\"args\":{{\"reason\":\"{reason:?}\"}}"
+                    ));
+                }
+            }
+            EventKind::VcpuWake { vcpu } | EventKind::VcpuHalt { vcpu } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"t\",\"ts\":{t},\"pid\":{vm},\"tid\":{vcpu},\
+                     \"cat\":\"host\",\"name\":\"{}\"",
+                    esc(ev.kind.name())
+                ));
+            }
+            EventKind::ContextSwitch {
+                vcpu, prev, next, ..
+            } => {
+                let tid = GUEST_TID_BASE + vcpu as u32;
+                if prev.is_some() && guest_open.remove(&(vm, vcpu)).is_some() {
+                    w.event(format!(
+                        "\"ph\":\"E\",\"ts\":{t},\"pid\":{vm},\"tid\":{tid},\"cat\":\"guest\""
+                    ));
+                }
+                if let Some(task) = next {
+                    w.event(format!(
+                        "\"ph\":\"B\",\"ts\":{t},\"pid\":{vm},\"tid\":{tid},\
+                         \"cat\":\"guest\",\"name\":\"T{task}\""
+                    ));
+                    guest_open.insert((vm, vcpu), task);
+                }
+            }
+            EventKind::TaskWake { task, vcpu, waker } => {
+                let waker = waker.map_or("null".into(), |x| x.to_string());
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"t\",\"ts\":{t},\"pid\":{vm},\
+                     \"tid\":{},\"cat\":\"guest\",\"name\":\"wake T{task}\",\
+                     \"args\":{{\"waker\":{waker}}}",
+                    GUEST_TID_BASE + vcpu as u32
+                ));
+            }
+            EventKind::TaskMigrate {
+                task,
+                from,
+                to,
+                kind,
+            } => {
+                let to_tid = GUEST_TID_BASE + to as u32;
+                let from_tid = GUEST_TID_BASE + from as u32;
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"t\",\"ts\":{t},\"pid\":{vm},\"tid\":{to_tid},\
+                     \"cat\":\"guest\",\"name\":\"migrate T{task} ({kind:?})\",\
+                     \"args\":{{\"from\":{from},\"to\":{to}}}"
+                ));
+                // Flow pair: chains this task's migrations into one arrow
+                // sequence (flow id = task id).
+                w.event(format!(
+                    "\"ph\":\"s\",\"ts\":{t},\"pid\":{vm},\"tid\":{from_tid},\
+                     \"cat\":\"migration\",\"name\":\"T{task} flow\",\"id\":{task}"
+                ));
+                w.event(format!(
+                    "\"ph\":\"f\",\"bp\":\"e\",\"ts\":{t},\"pid\":{vm},\"tid\":{to_tid},\
+                     \"cat\":\"migration\",\"name\":\"T{task} flow\",\"id\":{task}"
+                ));
+            }
+            EventKind::ReschedIpi { from, to } => {
+                let from = from.map_or("null".into(), |x| x.to_string());
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"t\",\"ts\":{t},\"pid\":{vm},\"tid\":{to},\
+                     \"cat\":\"host\",\"name\":\"resched_ipi\",\"args\":{{\"from\":{from}}}"
+                ));
+            }
+            EventKind::ProbeSample { vcpu, probe, value } => {
+                w.event(format!(
+                    "\"ph\":\"C\",\"ts\":{t},\"pid\":{vm},\
+                     \"name\":\"{probe:?} v{vcpu}\",\"args\":{{\"value\":{}}}",
+                    json_f64(value)
+                ));
+            }
+            EventKind::BvsSelect { task, chosen } => {
+                let chosen = chosen.map_or("null".into(), |x| x.to_string());
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"p\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"vsched\",\"name\":\"bvs T{task}\",\
+                     \"args\":{{\"chosen\":{chosen}}}"
+                ));
+            }
+            EventKind::IvhPull {
+                task,
+                src,
+                target,
+                phase,
+            } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"t\",\"ts\":{t},\"pid\":{vm},\"tid\":{target},\
+                     \"cat\":\"vsched\",\"name\":\"ivh {phase:?} T{task}\",\
+                     \"args\":{{\"src\":{src}}}"
+                ));
+            }
+            // High-volume accounting deltas stay out of the visual trace;
+            // they feed the schedstat totals and the checker instead.
+            EventKind::StealAccrue { .. } | EventKind::TaskCharge { .. } => {}
+        }
+    }
+
+    // Close any still-open slice so every B has a matching E.
+    let t = us(last_ts);
+    for ((vm, vcpu), _) in host_open {
+        w.event(format!(
+            "\"ph\":\"E\",\"ts\":{t},\"pid\":{vm},\"tid\":{vcpu},\"cat\":\"host\""
+        ));
+    }
+    for ((vm, vcpu), _) in guest_open {
+        w.event(format!(
+            "\"ph\":\"E\",\"ts\":{t},\"pid\":{vm},\"tid\":{},\"cat\":\"guest\"",
+            GUEST_TID_BASE + vcpu as u32
+        ));
+    }
+
+    w.finish(ring.dropped())
+}
+
+/// JSON has no NaN/Infinity; clamp weird samples to null.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+fn vcpu_of(ev: &TraceEvent) -> Option<u16> {
+    match ev.kind {
+        EventKind::TaskWake { vcpu, .. }
+        | EventKind::ContextSwitch { vcpu, .. }
+        | EventKind::VcpuResume { vcpu, .. }
+        | EventKind::VcpuPreempt { vcpu, .. }
+        | EventKind::VcpuWake { vcpu }
+        | EventKind::VcpuHalt { vcpu }
+        | EventKind::StealAccrue { vcpu, .. }
+        | EventKind::ProbeSample { vcpu, .. }
+        | EventKind::TaskCharge { vcpu, .. } => Some(vcpu),
+        EventKind::ReschedIpi { to, .. } => Some(to),
+        EventKind::TaskMigrate { to, .. } => Some(to),
+        EventKind::IvhPull { target, .. } => Some(target),
+        EventKind::BvsSelect { .. } => None,
+    }
+}
+
+/// Minimal JSON syntax validator (objects, arrays, strings, numbers,
+/// literals). Returns the byte offset and message of the first error.
+/// Exists so tests can verify the hand-written exporter without pulling a
+/// JSON dependency into the workspace.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, i);
+                    string(b, i)?;
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    *i += 1;
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, "true"),
+            Some(b'f') => literal(b, i, "false"),
+            Some(b'n') => literal(b, i, "null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                *i += 1;
+                while *i < b.len()
+                    && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    *i += 1;
+                }
+                Ok(())
+            }
+            other => Err(format!("unexpected {other:?} at {i}")),
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at {i}"));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+    fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+        if b[*i..].starts_with(lit.as_bytes()) {
+            *i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at {i}"))
+        }
+    }
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(format!("trailing content at {i}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MigrateKind, PreemptReason, SwitchReason};
+    use simcore::SimTime;
+
+    fn sample_ring() -> RingBuffer {
+        let mut r = RingBuffer::new(64);
+        let mut push = |at: u64, vm: u16, kind: EventKind| {
+            r.push(TraceEvent {
+                at: SimTime(at),
+                vm,
+                kind,
+            })
+        };
+        push(0, 0, EventKind::VcpuWake { vcpu: 0 });
+        push(100, 0, EventKind::VcpuResume { vcpu: 0, thread: 1 });
+        push(
+            150,
+            0,
+            EventKind::ContextSwitch {
+                vcpu: 0,
+                prev: None,
+                next: Some(3),
+                reason: SwitchReason::Pick,
+                min_vruntime: 10,
+            },
+        );
+        push(
+            200,
+            0,
+            EventKind::TaskWake {
+                task: 4,
+                vcpu: 1,
+                waker: Some(3),
+            },
+        );
+        push(
+            300,
+            0,
+            EventKind::TaskMigrate {
+                task: 4,
+                from: 1,
+                to: 0,
+                kind: MigrateKind::Balance,
+            },
+        );
+        push(
+            400,
+            0,
+            EventKind::VcpuPreempt {
+                vcpu: 0,
+                reason: PreemptReason::Preempt,
+            },
+        );
+        push(
+            500,
+            0,
+            EventKind::ProbeSample {
+                vcpu: 0,
+                probe: crate::event::ProbeKind::Vcap,
+                value: 512.25,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn exporter_produces_valid_json() {
+        let json = chrome_trace(&sample_ring());
+        validate_json(&json).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{json}"));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("migrate T4"));
+    }
+
+    #[test]
+    fn slices_stay_balanced() {
+        let json = chrome_trace(&sample_ring());
+        let b = json.matches("\"ph\":\"B\"").count();
+        let e = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, e, "unbalanced B/E:\n{json}");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("[1,2").is_err());
+        assert!(validate_json("{\"a\" 1}").is_err());
+        assert!(validate_json("{} extra").is_err());
+        assert!(validate_json("{\"a\":[1,2,{\"b\":null}]}").is_ok());
+    }
+}

@@ -1,0 +1,169 @@
+//! Typed, `SimTime`-stamped scheduler events.
+//!
+//! Every event is a small `Copy` value: constructing one at an emit site
+//! never allocates, so the disabled path ([`crate::TraceSink::Off`]) costs a
+//! branch and nothing else. Identifiers are raw integers (`u32` task ids,
+//! `u16` vCPU indices) rather than the guest kernel's newtypes — the trace
+//! crate sits *below* `guestos` in the dependency graph so both the guest
+//! and the host simulator can emit into it.
+
+use simcore::SimTime;
+
+/// Why a task migrated between vCPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateKind {
+    /// Wakeup placement chose a different vCPU than the task last ran on.
+    Wake,
+    /// Periodic or newidle load balancing pulled the task.
+    Balance,
+    /// Active balance pushed the currently running task away.
+    Active,
+    /// vSched's idle-vCPU harvesting (ivh) pulled the task.
+    Ivh,
+}
+
+/// Lifecycle of one ivh pull request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IvhPhase {
+    /// A pull was initiated for a running task on a slower vCPU.
+    Attempt,
+    /// The task landed on the harvesting vCPU.
+    Complete,
+    /// The pull arrived too late (source idle, task moved, or stale).
+    Abandon,
+}
+
+/// Why the host descheduled a vCPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreemptReason {
+    /// Another entity's turn on the hardware thread.
+    Preempt,
+    /// CFS bandwidth throttling (quota exhausted).
+    Throttle,
+    /// The guest halted the vCPU (went idle).
+    Halt,
+}
+
+/// Why the guest kernel switched a task out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// Switch-in: the task was picked to run.
+    Pick,
+    /// Preempted by tick or wakeup.
+    Preempt,
+    /// Voluntary sleep.
+    Sleep,
+    /// Blocked on I/O or a lock.
+    Block,
+    /// Task exited.
+    Exit,
+    /// Descheduled so it can migrate.
+    Migrate,
+}
+
+/// Which vProber produced a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// vcap: per-vCPU capacity estimate (1024 scale).
+    Vcap,
+    /// vcap heavy phase: hosting core capacity.
+    VcapCore,
+    /// vact: vCPU activity / latency estimate.
+    Vact,
+    /// vtop: probed inter-vCPU latency.
+    Vtop,
+}
+
+/// One scheduler event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A sleeping/blocked task became runnable on `vcpu`.
+    TaskWake {
+        task: u32,
+        vcpu: u16,
+        waker: Option<u32>,
+    },
+    /// A task moved from `from` to `to`.
+    TaskMigrate {
+        task: u32,
+        from: u16,
+        to: u16,
+        kind: MigrateKind,
+    },
+    /// The guest switched a task in (`next`) or out (`prev`) on `vcpu`.
+    /// `min_vruntime` snapshots the runqueue floor at the switch.
+    ContextSwitch {
+        vcpu: u16,
+        prev: Option<u32>,
+        next: Option<u32>,
+        reason: SwitchReason,
+        min_vruntime: u64,
+    },
+    /// The host put `vcpu` on hardware thread `thread`.
+    VcpuResume { vcpu: u16, thread: u16 },
+    /// The host descheduled a running `vcpu`.
+    VcpuPreempt { vcpu: u16, reason: PreemptReason },
+    /// A halted `vcpu` was kicked runnable (host-side wake).
+    VcpuWake { vcpu: u16 },
+    /// A waiting (never resumed) `vcpu` halted.
+    VcpuHalt { vcpu: u16 },
+    /// `delta_ns` of steal time accrued to a waiting `vcpu`.
+    StealAccrue { vcpu: u16, delta_ns: u64 },
+    /// A rescheduling IPI was sent to `to`.
+    ReschedIpi { from: Option<u16>, to: u16 },
+    /// A vProber published a sample for `vcpu`.
+    ProbeSample {
+        vcpu: u16,
+        probe: ProbeKind,
+        value: f64,
+    },
+    /// bvs wake selection ran for `task` and chose `chosen` (or deferred to
+    /// CFS with `None`).
+    BvsSelect { task: u32, chosen: Option<u16> },
+    /// One phase of an ivh pull of `task` from `src` toward `target`.
+    IvhPull {
+        task: u32,
+        src: u16,
+        target: u16,
+        phase: IvhPhase,
+    },
+    /// The guest charged `task` for a run delta on `vcpu`.
+    TaskCharge {
+        task: u32,
+        vcpu: u16,
+        active_ns: u64,
+        work: f64,
+    },
+}
+
+/// A stamped event: simulated time, owning VM, payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated timestamp.
+    pub at: SimTime,
+    /// VM index (host scope); 0 for single-VM runs.
+    pub vm: u16,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl EventKind {
+    /// Short stable name used by exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TaskWake { .. } => "task_wake",
+            EventKind::TaskMigrate { .. } => "task_migrate",
+            EventKind::ContextSwitch { .. } => "context_switch",
+            EventKind::VcpuResume { .. } => "vcpu_resume",
+            EventKind::VcpuPreempt { .. } => "vcpu_preempt",
+            EventKind::VcpuWake { .. } => "vcpu_wake",
+            EventKind::VcpuHalt { .. } => "vcpu_halt",
+            EventKind::StealAccrue { .. } => "steal_accrue",
+            EventKind::ReschedIpi { .. } => "resched_ipi",
+            EventKind::ProbeSample { .. } => "probe_sample",
+            EventKind::BvsSelect { .. } => "bvs_select",
+            EventKind::IvhPull { .. } => "ivh_pull",
+            EventKind::TaskCharge { .. } => "task_charge",
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Bounded ring buffer for trace events.
+//!
+//! Overwrites the oldest events once full — the tail of a run is what you
+//! want when diagnosing why it ended the way it did — and counts what it
+//! dropped so exporters can say the record is partial.
+
+use crate::event::TraceEvent;
+
+/// A fixed-capacity event log.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest retained event once the buffer has wrapped.
+    start: usize,
+    /// Events overwritten because the buffer was full.
+    dropped: u64,
+    cap: usize,
+}
+
+impl RingBuffer {
+    /// Creates a buffer retaining at most `cap` events (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
+            dropped: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Appends an event, overwriting the oldest if full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.start] = ev;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Iterates retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = self.buf.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use simcore::SimTime;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent {
+            at: SimTime(n),
+            vm: 0,
+            kind: EventKind::VcpuWake { vcpu: 0 },
+        }
+    }
+
+    #[test]
+    fn retains_in_order_before_wrap() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        let times: Vec<u64> = r.iter().map(|e| e.at.0).collect();
+        assert_eq!(times, vec![0, 1, 2]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn wraps_dropping_oldest_and_counts() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        let times: Vec<u64> = r.iter().map(|e| e.at.0).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.capacity(), 4);
+    }
+}

@@ -21,8 +21,19 @@
 
 use crate::tunables::Tunables;
 use crate::vact::{ActState, Vact};
-use guestos::{Kernel, Platform, TaskId, VcpuId};
+use guestos::{Kernel, MigrateKind, Platform, TaskId, VcpuId};
 use simcore::SimTime;
+use trace::{EventKind, IvhPhase};
+
+/// Builds the trace payload for one ivh pull phase.
+fn pull_event(task: TaskId, src: VcpuId, target: VcpuId, phase: IvhPhase) -> EventKind {
+    EventKind::IvhPull {
+        task: task.0,
+        src: src.0 as u16,
+        target: target.0 as u16,
+        phase,
+    }
+}
 
 /// A pre-wake pull request pending on a target vCPU.
 #[derive(Debug, Clone, Copy)]
@@ -111,11 +122,15 @@ impl Ivh {
             return;
         };
         kern.stats.ivh_attempts.inc();
+        kern.trace
+            .emit(now, pull_event(curr, v, target, IvhPhase::Attempt));
         if !self.prewake {
             // Activity-unaware ablation: migrate immediately, whatever the
             // target's state.
-            kern.migrate_running(plat, v, target);
+            kern.migrate_running(plat, v, target, MigrateKind::Ivh);
             kern.stats.ivh_completed.inc();
+            kern.trace
+                .emit(now, pull_event(curr, v, target, IvhPhase::Complete));
             self.note_migration(curr, now);
             return;
         }
@@ -151,6 +166,8 @@ impl Ivh {
         };
         let now = plat.now();
         if now.since(p.initiated) > tun.ivh_pull_timeout_ns {
+            kern.trace
+                .emit(now, pull_event(p.task, p.src, v, IvhPhase::Abandon));
             return; // stale request
         }
         // The pull only helps if the task is still running on an active
@@ -159,6 +176,8 @@ impl Ivh {
         let src_active = matches!(vact.state(p.src, now, true), ActState::Active { .. });
         if kern.vcpus[p.src.0].curr != Some(p.task) || !src_active {
             kern.stats.ivh_abandoned.inc();
+            kern.trace
+                .emit(now, pull_event(p.task, p.src, v, IvhPhase::Abandon));
             return;
         }
         self.complete(kern, plat, p.src, v, p.task, now);
@@ -173,8 +192,13 @@ impl Ivh {
         task: TaskId,
         now: SimTime,
     ) {
-        if kern.migrate_running(plat, src, target).is_some() {
+        if kern
+            .migrate_running(plat, src, target, MigrateKind::Ivh)
+            .is_some()
+        {
             kern.stats.ivh_completed.inc();
+            kern.trace
+                .emit(now, pull_event(task, src, target, IvhPhase::Complete));
             self.note_migration(task, now);
             // If the target currently runs a best-effort task, preempt it
             // so the harvested task starts immediately.
@@ -183,6 +207,11 @@ impl Ivh {
                     kern.resched(plat, target);
                 }
             }
+        } else {
+            // Nothing moved (the source lost its task in the meantime);
+            // resolve the attempt so every pull has exactly one outcome.
+            kern.trace
+                .emit(now, pull_event(task, src, target, IvhPhase::Abandon));
         }
     }
 

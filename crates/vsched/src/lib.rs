@@ -211,7 +211,7 @@ impl SchedHooks for Vsched {
         if !self.cfg.bvs {
             return None;
         }
-        bvs::select(
+        let chosen = bvs::select(
             kern,
             plat,
             &self.vact,
@@ -220,7 +220,15 @@ impl SchedHooks for Vsched {
             &mut self.bvs_stats,
             task,
             self.cfg.bvs_state_check,
-        )
+        );
+        kern.trace.emit(
+            plat.now(),
+            trace::EventKind::BvsSelect {
+                task: task.0,
+                chosen: chosen.map(|v| v.0 as u16),
+            },
+        );
+        chosen
     }
 
     fn on_tick(&mut self, kern: &mut Kernel, plat: &mut dyn Platform, v: VcpuId) {

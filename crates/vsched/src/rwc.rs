@@ -18,7 +18,7 @@
 
 use crate::tunables::Tunables;
 use crate::vcap::Vcap;
-use guestos::{Kernel, Platform, VcpuId};
+use guestos::{Kernel, MigrateKind, Platform, VcpuId};
 
 /// The relaxed-work-conservation policy engine.
 pub struct Rwc {
@@ -119,7 +119,7 @@ impl Rwc {
             let now = plat.now();
             let to = kern.select_cpu_fair(plat, t, now);
             if to != v {
-                kern.migrate_runnable(plat, t, to);
+                kern.migrate_runnable(plat, t, to, MigrateKind::Balance);
             }
         }
         // Then the current task.
@@ -130,7 +130,7 @@ impl Rwc {
                 let now = plat.now();
                 let to = kern.select_cpu_fair(plat, curr, now);
                 if to != v {
-                    kern.migrate_running(plat, v, to);
+                    kern.migrate_running(plat, v, to, MigrateKind::Active);
                 }
             }
         }

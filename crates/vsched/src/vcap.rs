@@ -173,6 +173,14 @@ impl Vcap {
             let sample = self.core_cap[v] * share;
             let ema = self.cap[v].update(sample);
             kern.vcpus[v].cap_override = Some(ema.max(1.0));
+            kern.trace.emit(
+                plat.now(),
+                trace::EventKind::ProbeSample {
+                    vcpu: v as u16,
+                    probe: trace::ProbeKind::Vcap,
+                    value: ema,
+                },
+            );
         }
         let mut caps: Vec<f64> = (0..self.nr_vcpus)
             .filter(|&v| !self.skip[v])

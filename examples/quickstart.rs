@@ -1,5 +1,7 @@
 //! Quickstart: build a small overcommitted cloud host, run a benchmark
-//! under stock CFS and under vSched, and compare.
+//! under stock CFS and under vSched, and compare. The vSched run is traced:
+//! a Chrome trace-event file and a schedstat dump land in `target/`, and
+//! the streaming invariant checker audits the run as it happens.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,16 +9,20 @@
 
 use hostsim::{HostSpec, ScenarioBuilder, VmSpec};
 use simcore::{SimRng, SimTime};
+use trace::{chrome_trace, Collector, SharedCollector, TraceSink};
 use vsched::VschedConfig;
 use workloads::{build, work_ms, Stressor};
 
-fn run(with_vsched: bool) -> f64 {
+fn run(with_vsched: bool, trace_to: Option<&SharedCollector>) -> f64 {
     // A 16-core host: our 16-vCPU VM shares every core with a competing
     // VM's stressor, so each vCPU gets ~50% and experiences inactive
     // periods — the dynamic vCPU resources the paper targets.
     let (b, vm) = ScenarioBuilder::new(HostSpec::flat(16), 42).vm(VmSpec::pinned(16, 0));
     let (b, competitor) = b.vm(VmSpec::pinned(16, 0));
     let mut machine = b.build();
+    if let Some(shared) = trace_to {
+        machine.attach_trace(shared);
+    }
 
     // The guest runs canneal (lock-heavy PARSEC benchmark) with 4 threads:
     // plenty of unused vCPUs whose cycles a stalled task could harvest.
@@ -41,12 +47,44 @@ fn run(with_vsched: bool) -> f64 {
 
 fn main() {
     println!("vSched quickstart: canneal x4 threads on an overcommitted 16-vCPU VM\n");
-    let cfs = run(false);
+    let cfs = run(false, None);
     println!("  stock CFS : {cfs:8.1} lock sections/s");
-    let vsched = run(true);
+
+    // Trace the vSched run: ring buffer for the exporters, checker for the
+    // conservation laws, schedstat aggregates always-on.
+    let (_, shared) = TraceSink::shared(Collector::with_ring(1 << 18).with_checker());
+    let vsched = run(true, Some(&shared));
     println!("  vSched    : {vsched:8.1} lock sections/s");
     println!(
         "\n  improvement: {:+.1}% (ivh harvests cycles the stalled task would waste)",
         100.0 * (vsched / cfs - 1.0)
     );
+
+    let collector = shared.borrow();
+    let ring = collector.ring.as_ref().expect("ring attached");
+    println!(
+        "\ntrace: {} events captured ({} dropped by the ring)",
+        ring.len(),
+        ring.dropped()
+    );
+    let report = collector
+        .checker
+        .as_ref()
+        .expect("checker attached")
+        .report();
+    println!("invariant checker: {report}");
+
+    let _ = std::fs::create_dir_all("target");
+    let json_path = "target/quickstart_trace.json";
+    if let Err(e) = std::fs::write(json_path, chrome_trace(ring)) {
+        eprintln!("could not write {json_path}: {e}");
+    } else {
+        println!("wrote {json_path} — open it at https://ui.perfetto.dev (or chrome://tracing)");
+    }
+    let stat_path = "target/quickstart_schedstat.txt";
+    if let Err(e) = std::fs::write(stat_path, collector.stats.render(SimTime::from_secs(10))) {
+        eprintln!("could not write {stat_path}: {e}");
+    } else {
+        println!("wrote {stat_path} — Linux /proc/schedstat-style per-vCPU aggregates");
+    }
 }

@@ -9,5 +9,6 @@ pub use guestos;
 pub use hostsim;
 pub use metrics;
 pub use simcore;
+pub use trace;
 pub use vsched;
 pub use workloads;

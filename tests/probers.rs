@@ -1,10 +1,10 @@
 //! Workspace-level prober accuracy tests (Figure 10 claims) plus
 //! cross-stack property tests on the simulator's conservation laws.
 
-use proptest::prelude::*;
 use vsched_repro::experiments::{fig10, Scale};
 use vsched_repro::guestos::{GuestOs, Platform, SpawnSpec, TaskAction, TaskId, Workload};
 use vsched_repro::hostsim::{HostSpec, ScenarioBuilder, VmSpec};
+use vsched_repro::simcore::propcheck::forall;
 use vsched_repro::simcore::{SimRng, SimTime};
 
 #[test]
@@ -58,36 +58,44 @@ impl Workload for Spinners {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Conservation: across any host shape and task count, total delivered
-    /// work never exceeds host capacity, and with enough spinners it
-    /// saturates most of it.
-    #[test]
-    fn work_is_conserved(
-        cores in 1usize..6,
-        tasks in 1usize..10,
-        seed in 0u64..1000,
-    ) {
-        let (b, vm) = ScenarioBuilder::new(HostSpec::flat(cores), seed)
-            .vm(VmSpec::pinned(cores, 0));
+/// Conservation: across any host shape and task count, total delivered
+/// work never exceeds host capacity, and with enough spinners it
+/// saturates most of it.
+#[test]
+fn work_is_conserved() {
+    forall(0x91, 12, |rng| {
+        let cores = 1 + rng.index(5);
+        let tasks = 1 + rng.index(9);
+        let seed = rng.range(0, 1000);
+        let (b, vm) =
+            ScenarioBuilder::new(HostSpec::flat(cores), seed).vm(VmSpec::pinned(cores, 0));
         let mut m = b.build();
         m.set_workload(vm, Box::new(Spinners(tasks)));
         m.start();
         let secs = 1u64;
         m.run_until(SimTime::from_secs(secs));
-        let work: f64 = (0..cores).map(|i| m.vcpus[m.gv(vm, i)].delivered_work).sum();
+        let work: f64 = (0..cores)
+            .map(|i| m.vcpus[m.gv(vm, i)].delivered_work)
+            .sum();
         let capacity = cores as f64 * 1024.0 * 1e9 * secs as f64;
-        prop_assert!(work <= capacity * 1.001, "work {work:.3e} > capacity {capacity:.3e}");
+        assert!(
+            work <= capacity * 1.001,
+            "work {work:.3e} > capacity {capacity:.3e}"
+        );
         let usable = cores.min(tasks) as f64 * 1024.0 * 1e9 * secs as f64;
-        prop_assert!(work >= usable * 0.9, "work {work:.3e} < usable {usable:.3e}");
-    }
+        assert!(
+            work >= usable * 0.9,
+            "work {work:.3e} < usable {usable:.3e}"
+        );
+    });
+}
 
-    /// Steal accounting: a vCPU's active + steal time never exceeds wall
-    /// time, and on a fully contended core the split is roughly even.
-    #[test]
-    fn steal_plus_active_bounded_by_wall(seed in 0u64..1000) {
+/// Steal accounting: a vCPU's active + steal time never exceeds wall
+/// time, and on a fully contended core the split is roughly even.
+#[test]
+fn steal_plus_active_bounded_by_wall() {
+    forall(0x92, 12, |rng| {
+        let seed = rng.range(0, 1000);
         let (b, vm0) = ScenarioBuilder::new(HostSpec::flat(1), seed).vm(VmSpec::pinned(1, 0));
         let (b, vm1) = b.vm(VmSpec::pinned(1, 0));
         let mut m = b.build();
@@ -97,21 +105,20 @@ proptest! {
         m.run_until(SimTime::from_secs(1));
         let gv = m.gv(vm0, 0);
         let total = m.vcpu_steal(gv) + m.vcpu_active_ns(gv);
-        prop_assert!(total <= 1_000_000_001, "active+steal {total}");
-        prop_assert!(total >= 990_000_000, "vCPU unaccounted for: {total}");
-    }
+        assert!(total <= 1_000_000_001, "active+steal {total}");
+        assert!(total >= 990_000_000, "vCPU unaccounted for: {total}");
+    });
+}
 
-    /// Determinism: identical seeds give identical results end to end.
-    #[test]
-    fn simulation_is_deterministic(seed in 0u64..50) {
+/// Determinism: identical seeds give identical results end to end.
+#[test]
+fn simulation_is_deterministic() {
+    forall(0x93, 8, |rng| {
+        let seed = rng.range(0, 50);
         let run = |seed: u64| -> f64 {
             let (b, vm) = ScenarioBuilder::new(HostSpec::flat(3), seed).vm(VmSpec::pinned(3, 0));
             let mut m = b.build();
-            let (wl, handle) = vsched_repro::workloads::build(
-                "canneal",
-                3,
-                SimRng::new(seed),
-            );
+            let (wl, handle) = vsched_repro::workloads::build("canneal", 3, SimRng::new(seed));
             m.set_workload(vm, wl);
             m.with_vm(vm, |g, p| {
                 vsched_repro::vsched::install(g, p, vsched_repro::vsched::VschedConfig::full())
@@ -120,6 +127,6 @@ proptest! {
             m.run_until(SimTime::from_ms(1500));
             handle.rate(SimTime::from_ms(1500))
         };
-        prop_assert_eq!(run(seed), run(seed));
-    }
+        assert_eq!(run(seed), run(seed));
+    });
 }

@@ -1,0 +1,95 @@
+//! Trace-driven invariant gates on the tier-1 figure experiments.
+//!
+//! Each checked run replays a figure with the streaming conservation-law
+//! checker attached: a task runs on at most one vCPU, steal accounting
+//! closes every waiting window exactly, delivered work never exceeds
+//! capacity × active time, per-vCPU `min_vruntime` is monotonic, and every
+//! ivh pull attempt resolves exactly once. A violation here means the
+//! simulator broke a scheduler law, not that a figure's numbers drifted.
+
+use vsched_repro::experiments::{fig03, fig11, fig15, Scale};
+use vsched_repro::hostsim::{HostSpec, ScenarioBuilder, VmSpec};
+use vsched_repro::simcore::SimTime;
+use vsched_repro::trace::{chrome_trace, validate_json, CheckReport, Collector, TraceSink};
+use vsched_repro::vsched::VschedConfig;
+use vsched_repro::workloads;
+
+fn assert_clean(figure: &str, reports: &[CheckReport]) {
+    for (i, r) in reports.iter().enumerate() {
+        assert!(r.events > 0, "{figure} run {i} produced no trace events");
+        assert!(r.ok(), "{figure} run {i} violated an invariant:\n{r}");
+    }
+}
+
+#[test]
+fn fig03_invariants_hold() {
+    let (fig, reports) = fig03::run_checked(42, Scale::Quick);
+    assert_clean("fig03", &reports);
+    // The checked run is still the real experiment.
+    assert!(fig.improvement() > 1.2, "improvement {}", fig.improvement());
+}
+
+#[test]
+fn fig11_invariants_hold() {
+    let (_, reports) = fig11::run_checked(42, Scale::Quick);
+    assert_clean("fig11", &reports);
+}
+
+#[test]
+fn fig15_cell_invariants_hold() {
+    // One ivh-enabled cell exercises the full pull lifecycle (attempt /
+    // complete / abandon) under the checker.
+    let (rate, report) = fig15::run_cell_checked("canneal", 4, true, 4, 42);
+    assert!(rate > 0.0);
+    assert_clean("fig15[canneal,4,ivh]", &[report]);
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    // Bit-identical figure results with the sink off (the default) and
+    // with a full collector attached: emitting must never branch the
+    // simulation.
+    let plain = fig03::run(7, Scale::Quick);
+    let (checked, _) = fig03::run_checked(7, Scale::Quick);
+    assert_eq!(
+        plain.default_mode.utilization.to_bits(),
+        checked.default_mode.utilization.to_bits()
+    );
+    assert_eq!(
+        plain.migration_mode.utilization.to_bits(),
+        checked.migration_mode.utilization.to_bits()
+    );
+    assert_eq!(plain.default_mode.segments, checked.default_mode.segments);
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_events() {
+    // A small two-VM contention scenario with full vSched, traced into a
+    // ring, exported to Chrome trace-event JSON.
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(4), 42).vm(VmSpec::pinned(4, 0));
+    let (b, stress_vm) = b.vm(VmSpec::pinned(4, 0));
+    let mut m = b.build();
+    let (_, shared) = TraceSink::shared(Collector::with_ring(1 << 16).with_checker());
+    m.attach_trace(&shared);
+    let (wl, _h) = workloads::build("sysbench", 2, vsched_repro::simcore::SimRng::new(1));
+    m.set_workload(vm, wl);
+    let (sw, _s) = workloads::Stressor::new(4, workloads::work_ms(10.0));
+    m.set_workload(stress_vm, Box::new(sw));
+    m.with_vm(vm, |g, p| {
+        vsched_repro::vsched::install(g, p, VschedConfig::full())
+    });
+    m.start();
+    m.run_until(SimTime::from_secs(2));
+
+    let c = shared.borrow();
+    let ring = c.ring.as_ref().expect("ring attached");
+    assert!(!ring.is_empty(), "no events captured");
+    let json = chrome_trace(ring);
+    validate_json(&json).expect("exporter emits well-formed JSON");
+    assert!(json.contains("\"traceEvents\""));
+    // Schedstat aggregates ride along on the same collector.
+    let stats = c.stats.render(SimTime::from_secs(2));
+    assert!(stats.contains("vcpu"), "schedstat render:\n{stats}");
+    let report = c.checker.as_ref().expect("checker").report();
+    assert!(report.ok(), "invariant violation:\n{report}");
+}
