@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Offline CI gate: formatting, lints, and the tier-1 build + test suite.
-# Everything here must pass without network access (crates/bench, which
-# needs criterion from the registry, sits outside default-members).
+# Offline CI gate: formatting, lints, the tier-1 build + test suite, a
+# serial-vs-parallel determinism smoke of the suite runner, and a bench
+# harness regeneration pass. Everything here must pass without network
+# access.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,5 +15,17 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "== suite runner: serial vs parallel output equality (fig03, smoke scale)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+VSCHED_SCALE=smoke ./target/release/suite --filter fig03 --jobs 1 --seed 42 \
+    > "$tmpdir/serial.txt" 2>/dev/null
+VSCHED_SCALE=smoke ./target/release/suite --filter fig03 --jobs 4 --seed 42 \
+    > "$tmpdir/parallel.txt" 2>/dev/null
+diff "$tmpdir/serial.txt" "$tmpdir/parallel.txt"
+
+echo "== regenerate BENCH_vsched.json (quick scale)"
+./target/release/vsched-bench
 
 echo "CI OK"

@@ -1,0 +1,289 @@
+//! Offline wall-clock bench harness.
+//!
+//! Times the simulator's hot paths end to end — no criterion, no registry
+//! deps, runs anywhere tier-1 builds — and writes the results to
+//! `BENCH_vsched.json` at the repo root. Four micro benches plus the suite
+//! wall clock:
+//!
+//! * `hostsim_dispatch` — events/sec through `Machine::run_until` on a
+//!   two-VM contention scenario (the simulator's outer loop).
+//! * `guest_context_switch` — guest context switches/sec under a
+//!   wakeup-heavy hackbench workload (the guest scheduler's inner loop).
+//! * `pelt_update` — ns per `Pelt::update` (the per-event decay math the
+//!   fixed-point table optimizes).
+//! * `figure_fig03_quick` — one full quick-scale figure, as simulated
+//!   seconds per wall second (everything composed).
+//! * `suite` — the full figure/table suite, serial (`--jobs 1`) vs
+//!   parallel (auto-sized pool): the speedup column is the tentpole's
+//!   acceptance metric on multi-core runners.
+//!
+//! Scale comes from `VSCHED_SCALE` (default quick) or `--scale`; use
+//! `--skip-suite` for a micro-only pass and `--out` to redirect the JSON.
+
+use experiments::runner::{run_suite, SuiteOptions};
+use experiments::Scale;
+use guestos::pelt::{Pelt, PeltState};
+use hostsim::{HostSpec, ScenarioBuilder, VmSpec};
+use simcore::{SimRng, SimTime};
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::{build, work_ms, Stressor};
+
+/// One micro bench: `units` operations in `secs` of wall time.
+struct Micro {
+    name: &'static str,
+    /// What one unit is (for the JSON's self-description).
+    unit: &'static str,
+    units: u64,
+    secs: f64,
+}
+
+impl Micro {
+    fn per_sec(&self) -> f64 {
+        self.units as f64 / self.secs.max(1e-12)
+    }
+}
+
+/// Host event dispatch: two stressor VMs contending on 8 threads, counting
+/// popped events per wall second.
+fn bench_hostsim_dispatch(sim_secs: u64) -> Micro {
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(8), 1).vm(VmSpec::pinned(8, 0));
+    let (b, vm2) = b.vm(VmSpec::pinned(8, 0));
+    let mut m = b.build();
+    let (w0, _h0) = Stressor::new(8, work_ms(10.0));
+    let (w1, _h1) = Stressor::new(8, work_ms(10.0));
+    m.set_workload(vm, Box::new(w0));
+    m.set_workload(vm2, Box::new(w1));
+    m.start();
+    let t0 = Instant::now();
+    m.run_until(SimTime::from_secs(sim_secs));
+    Micro {
+        name: "hostsim_dispatch",
+        unit: "events",
+        units: m.events_dispatched,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Guest context switches under a wakeup-heavy hackbench workload on an
+/// overcommitted VM.
+fn bench_guest_context_switch(sim_secs: u64) -> Micro {
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(8), 1).vm(VmSpec::pinned(8, 0));
+    let (b, stress_vm) = b.vm(VmSpec::pinned(8, 0));
+    let mut m = b.build();
+    let (wl, _h) = build("hackbench", 16, SimRng::new(7));
+    m.set_workload(vm, wl);
+    let (sw, _s) = Stressor::new(8, work_ms(10.0));
+    m.set_workload(stress_vm, Box::new(sw));
+    m.start();
+    let t0 = Instant::now();
+    m.run_until(SimTime::from_secs(sim_secs));
+    let switches = m.vms[vm].guest.kern.stats.context_switches.get();
+    Micro {
+        name: "guest_context_switch",
+        unit: "switches",
+        units: switches,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Raw PELT decay math: a realistic spread of update deltas cycling through
+/// all three entity states.
+fn bench_pelt_update(iters: u64) -> Micro {
+    let mut p = Pelt::new(SimTime(0));
+    let mut now = 0u64;
+    // Deltas spanning sub-tick to multi-half-life gaps, like real runs mix.
+    let deltas = [50_000u64, 350_000, 1_000_000, 4_000_000, 48_000_000];
+    let states = [PeltState::Running, PeltState::Runnable, PeltState::Sleeping];
+    let t0 = Instant::now();
+    for i in 0..iters {
+        now += deltas[(i % deltas.len() as u64) as usize];
+        p.update(SimTime(now), states[(i % 3) as usize]);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    // Keep the accumulated averages observable so the loop can't be
+    // dead-code-eliminated.
+    assert!(p.util() >= 0.0 && p.load() >= 0.0);
+    Micro {
+        name: "pelt_update",
+        unit: "updates",
+        units: iters,
+        secs,
+    }
+}
+
+/// One complete quick-scale figure: simulated seconds per wall second.
+fn bench_figure_fig03() -> Micro {
+    let t0 = Instant::now();
+    let fig = experiments::fig03::run(42, Scale::Quick);
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(fig.improvement() > 0.0);
+    // Two modes at quick scale's 5 simulated seconds each.
+    Micro {
+        name: "figure_fig03_quick",
+        unit: "simulated_secs",
+        units: 10,
+        secs,
+    }
+}
+
+struct SuiteTiming {
+    serial_secs: f64,
+    parallel_secs: f64,
+    workers: usize,
+    jobs: usize,
+    cells: usize,
+}
+
+/// The full suite, serial then parallel with an auto-sized pool.
+fn bench_suite(scale: Scale) -> SuiteTiming {
+    let serial = run_suite(&SuiteOptions {
+        jobs: 1,
+        filter: None,
+        scale,
+        seed: 42,
+    });
+    let parallel = run_suite(&SuiteOptions {
+        jobs: 0,
+        filter: None,
+        scale,
+        seed: 42,
+    });
+    for (s, p) in serial.reports.iter().zip(&parallel.reports) {
+        assert_eq!(
+            s.output, p.output,
+            "suite output diverged between serial and parallel on {}",
+            s.name
+        );
+    }
+    SuiteTiming {
+        serial_secs: serial.wall_secs,
+        parallel_secs: parallel.wall_secs,
+        workers: parallel.workers,
+        jobs: parallel.reports.len(),
+        cells: parallel.reports.iter().map(|r| r.cells).sum(),
+    }
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let mut out = format!("{}/../../BENCH_vsched.json", env!("CARGO_MANIFEST_DIR"));
+    let mut skip_suite = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("bad --scale {v:?} (smoke|quick|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--skip-suite" => skip_suite = true,
+            other => {
+                eprintln!("unknown flag: {other} (--scale, --out, --skip-suite)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Sized so each micro bench runs long enough to time stably (hundreds
+    // of ms) but the whole pass stays CI-friendly.
+    eprintln!("# micro benches (scale-independent)");
+    let micros = [
+        bench_hostsim_dispatch(30),
+        bench_guest_context_switch(30),
+        bench_pelt_update(20_000_000),
+        bench_figure_fig03(),
+    ];
+    for m in &micros {
+        eprintln!(
+            "#   {:<22} {:>12} {} in {:>7.3}s = {:>14.0} /s",
+            m.name,
+            m.units,
+            m.unit,
+            m.secs,
+            m.per_sec()
+        );
+    }
+
+    let suite = if skip_suite {
+        None
+    } else {
+        eprintln!("# suite ({} scale), serial then parallel...", scale.label());
+        let s = bench_suite(scale);
+        eprintln!(
+            "#   suite: {} jobs / {} cells, serial {:.2}s, parallel {:.2}s on {} workers = {:.2}x",
+            s.jobs,
+            s.cells,
+            s.serial_secs,
+            s.parallel_secs,
+            s.workers,
+            s.serial_secs / s.parallel_secs.max(1e-9)
+        );
+        Some(s)
+    };
+
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": \"vsched-bench-v1\",");
+    let _ = writeln!(j, "  \"scale\": \"{}\",", scale.label());
+    let _ = writeln!(j, "  \"micro\": {{");
+    for (i, m) in micros.iter().enumerate() {
+        let comma = if i + 1 < micros.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    \"{}\": {{\"unit\": \"{}\", \"units\": {}, \"secs\": {}, \"per_sec\": {}}}{comma}",
+            m.name,
+            m.unit,
+            m.units,
+            json_f(m.secs),
+            json_f(m.per_sec())
+        );
+    }
+    let _ = writeln!(j, "  }},");
+    match &suite {
+        Some(s) => {
+            let _ = writeln!(j, "  \"suite\": {{");
+            let _ = writeln!(j, "    \"jobs\": {},", s.jobs);
+            let _ = writeln!(j, "    \"cells\": {},", s.cells);
+            let _ = writeln!(j, "    \"workers\": {},", s.workers);
+            let _ = writeln!(j, "    \"serial_wall_secs\": {},", json_f(s.serial_secs));
+            let _ = writeln!(
+                j,
+                "    \"parallel_wall_secs\": {},",
+                json_f(s.parallel_secs)
+            );
+            let _ = writeln!(
+                j,
+                "    \"speedup\": {}",
+                json_f(s.serial_secs / s.parallel_secs.max(1e-9))
+            );
+            let _ = writeln!(j, "  }}");
+        }
+        None => {
+            let _ = writeln!(j, "  \"suite\": null");
+        }
+    }
+    let _ = writeln!(j, "}}");
+
+    std::fs::write(&out, &j).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("# wrote {out}");
+}

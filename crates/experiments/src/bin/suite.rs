@@ -1,0 +1,94 @@
+//! Runs the figure/table suite on the deterministic parallel runner.
+//!
+//! Figure outputs go to stdout (stable across `--jobs` values for a given
+//! seed); the timing summary goes to stderr so output equality can be
+//! checked with a plain `diff`.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin suite -- [--jobs N] [--filter S]
+//!     [--scale smoke|quick|paper] [--seed N] [--list]
+//! ```
+
+use experiments::runner::{registry, run_suite, SuiteOptions};
+use experiments::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: suite [--jobs N] [--filter SUBSTR] [--scale smoke|quick|paper] [--seed N] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = SuiteOptions {
+        scale: Scale::from_env(),
+        ..SuiteOptions::default()
+    };
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                opts.jobs = value("--jobs").parse().unwrap_or_else(|_| usage());
+            }
+            "--filter" | "-f" => opts.filter = Some(value("--filter")),
+            "--scale" | "-s" => {
+                opts.scale = Scale::parse(&value("--scale")).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                opts.seed = value("--seed").parse().unwrap_or_else(|_| usage());
+            }
+            "--list" => list = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+
+    if list {
+        for j in registry() {
+            println!("{} ({} cells)", j.name, j.cells.len());
+        }
+        return;
+    }
+
+    let res = run_suite(&opts);
+    if res.reports.is_empty() {
+        eprintln!("no jobs match filter {:?}", opts.filter);
+        std::process::exit(1);
+    }
+    for r in &res.reports {
+        println!("=== {} ===", r.name);
+        println!("{}", r.output);
+    }
+
+    let cpu: f64 = res.reports.iter().map(|r| r.cpu_secs).sum();
+    eprintln!(
+        "# suite: {} jobs, {} cells, scale={}, seed={}, workers={}",
+        res.reports.len(),
+        res.reports.iter().map(|r| r.cells).sum::<usize>(),
+        opts.scale.label(),
+        opts.seed,
+        res.workers,
+    );
+    for r in &res.reports {
+        eprintln!(
+            "#   {:<8} {:>4} cells {:>8.2}s cpu",
+            r.name, r.cells, r.cpu_secs
+        );
+    }
+    eprintln!(
+        "# wall {:.2}s, cpu {:.2}s, speedup {:.2}x",
+        res.wall_secs,
+        cpu,
+        cpu / res.wall_secs.max(1e-9)
+    );
+}

@@ -43,10 +43,14 @@ impl Mode {
     }
 }
 
-/// Experiment scale: `Quick` shrinks durations for CI and `cargo bench`
-/// runs; `Paper` uses durations closer to the paper's.
+/// Experiment scale: `Smoke` is for determinism gates and CI smoke runs,
+/// `Quick` shrinks durations for CI and bench runs, and `Paper` uses
+/// durations closer to the paper's.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Minimal runs (a fraction of quick): enough simulated time to
+    /// exercise every code path, short enough for debug-build gates.
+    Smoke,
     /// Short runs (seconds of simulated time).
     Quick,
     /// Longer runs for tighter statistics.
@@ -54,18 +58,39 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads `VSCHED_SCALE=paper` from the environment, defaulting to
-    /// quick.
+    /// Reads `VSCHED_SCALE=paper|quick|smoke` from the environment,
+    /// defaulting to quick.
     pub fn from_env() -> Scale {
         match std::env::var("VSCHED_SCALE").as_deref() {
             Ok("paper") | Ok("full") => Scale::Paper,
+            Ok("smoke") => Scale::Smoke,
             _ => Scale::Quick,
+        }
+    }
+
+    /// Parses a scale name (the suite binary's `--scale` flag).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
         }
     }
 
     /// Scales a base duration (seconds of simulated time).
     pub fn secs(&self, quick: u64, paper: u64) -> u64 {
         match self {
+            Scale::Smoke => (quick / 4).max(1),
             Scale::Quick => quick,
             Scale::Paper => paper,
         }

@@ -78,7 +78,13 @@ impl fmt::Display for Fig02 {
 
 /// Runs one cell: a 16-vCPU VM against a stressor VM with the host quantum
 /// set to the target vCPU latency.
-fn run_cell(bench: &'static str, best_effort: bool, latency_ms: u64, secs: u64, seed: u64) -> Cell {
+pub(crate) fn run_cell(
+    bench: &'static str,
+    best_effort: bool,
+    latency_ms: u64,
+    secs: u64,
+    seed: u64,
+) -> Cell {
     let n = 16;
     let mut host = HostSpec::flat(n);
     host.quantum_ns = latency_ms * MS;

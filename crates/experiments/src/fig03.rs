@@ -135,7 +135,7 @@ impl fmt::Display for Fig03 {
     }
 }
 
-fn run_mode(
+pub(crate) fn run_mode(
     migrate: bool,
     secs: u64,
     seed: u64,

@@ -86,7 +86,7 @@ impl fmt::Display for Fig04 {
     }
 }
 
-fn straggler_cell(bench: &'static str, exclude: bool, secs: u64, seed: u64) -> f64 {
+pub(crate) fn straggler_cell(bench: &'static str, exclude: bool, secs: u64, seed: u64) -> f64 {
     let (b, vm) = ScenarioBuilder::new(HostSpec::flat(16), seed).vm(VmSpec::pinned(16, 0));
     let mut m = b.host_load(15, 15 * 1024).build();
     if exclude {
@@ -100,7 +100,7 @@ fn straggler_cell(bench: &'static str, exclude: bool, secs: u64, seed: u64) -> f
     handle.rate(dur)
 }
 
-fn stacking_cell(
+pub(crate) fn stacking_cell(
     bench: &'static str,
     exclude: bool,
     with_best_effort: bool,

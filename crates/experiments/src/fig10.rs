@@ -87,7 +87,7 @@ impl fmt::Display for Fig10 {
 }
 
 /// Runs part (a): step the real capacity of vCPU 0 and sample the EMA.
-fn run_capacity_tracking(seed: u64, secs: u64) -> Vec<CapSample> {
+pub(crate) fn run_capacity_tracking(seed: u64, secs: u64) -> Vec<CapSample> {
     let (b, vm) = ScenarioBuilder::new(HostSpec::flat(2), seed).vm(VmSpec::pinned(2, 0));
     let mut m = b.build();
     // Capacity schedule for vCPU 0 via DVFS steps on core 0 (share styles
@@ -139,7 +139,7 @@ fn run_capacity_tracking(seed: u64, secs: u64) -> Vec<CapSample> {
 }
 
 /// Runs part (b): probe the 8-vCPU mixed topology.
-fn run_matrix(seed: u64) -> Vec<Vec<f64>> {
+pub(crate) fn run_matrix(seed: u64) -> Vec<Vec<f64>> {
     let host = HostSpec::new(2, 2, 2);
     let (b, vm) = ScenarioBuilder::new(host, seed).vm(VmSpec {
         nr_vcpus: 8,

@@ -95,7 +95,7 @@ impl fmt::Display for Fig11 {
     }
 }
 
-fn run_asym(
+pub(crate) fn run_asym(
     with_vcap: bool,
     secs: u64,
     seed: u64,
@@ -133,7 +133,7 @@ fn run_asym(
     }
 }
 
-fn run_sym(
+pub(crate) fn run_sym(
     with_vcap: bool,
     secs: u64,
     seed: u64,

@@ -94,7 +94,7 @@ fn smt_host() -> HostSpec {
     HostSpec::new(1, 16, 2) // 16 cores x 2 threads
 }
 
-fn run_underloaded(with_vtop: bool, secs: u64, seed: u64) -> ActiveCores {
+pub(crate) fn run_underloaded(with_vtop: bool, secs: u64, seed: u64) -> ActiveCores {
     let (b, vm) = ScenarioBuilder::new(smt_host(), seed).vm(VmSpec {
         nr_vcpus: 32,
         pinning: Pinning::OneToOne((0..32).collect()),
@@ -147,7 +147,7 @@ fn run_underloaded(with_vtop: bool, secs: u64, seed: u64) -> ActiveCores {
     ActiveCores { histogram, mean }
 }
 
-fn run_mixed(partner: &'static str, with_vtop: bool, secs: u64, seed: u64) -> Mixed {
+pub(crate) fn run_mixed(partner: &'static str, with_vtop: bool, secs: u64, seed: u64) -> Mixed {
     let (b, vm) = ScenarioBuilder::new(smt_host(), seed).vm(VmSpec {
         nr_vcpus: 32,
         pinning: Pinning::OneToOne((0..32).collect()),

@@ -100,7 +100,7 @@ fn instance(
     }
 }
 
-fn run_cell(name: &'static str, with_vtop: bool, secs: u64, seed: u64) -> LlcCell {
+pub(crate) fn run_cell(name: &'static str, with_vtop: bool, secs: u64, seed: u64) -> LlcCell {
     // Two sockets x 16 cores, SMT off: vCPU i on thread i.
     let host = HostSpec::new(2, 16, 1);
     let (b, vm) = ScenarioBuilder::new(host, seed).vm(VmSpec {

@@ -60,7 +60,7 @@ impl fmt::Display for Fig16 {
     }
 }
 
-fn run_mode(mode: Mode, phase_secs: u64, seed: u64) -> Vec<f64> {
+pub(crate) fn run_mode(mode: Mode, phase_secs: u64, seed: u64) -> Vec<f64> {
     let (b, vm) = ScenarioBuilder::new(HostSpec::flat(16), seed).vm(VmSpec::pinned(16, 0));
     let mut m = b.build();
     let p = phase_secs;

@@ -69,7 +69,7 @@ struct Neighbour {
     phase: usize,
 }
 
-fn run_mode(mode: Mode, phase_secs: u64, seed: u64) -> ModeOutcome {
+pub(crate) fn run_mode(mode: Mode, phase_secs: u64, seed: u64) -> ModeOutcome {
     let threads: Vec<usize> = (0..16).collect();
     let (mut b, nginx_vm) =
         ScenarioBuilder::new(HostSpec::flat(16), seed).vm(VmSpec::floating(16, threads.clone()));

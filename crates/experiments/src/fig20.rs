@@ -57,7 +57,7 @@ impl fmt::Display for Fig20 {
     }
 }
 
-fn run_cell(kind: ProfileKind, bench: &str, mode: Mode, secs: u64, seed: u64) -> Cost {
+pub(crate) fn run_cell(kind: ProfileKind, bench: &str, mode: Mode, secs: u64, seed: u64) -> Cost {
     let mut p = match kind {
         ProfileKind::Rcvm => rcvm(seed),
         ProfileKind::Hpvm => hpvm(seed),

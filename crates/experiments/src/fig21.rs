@@ -66,7 +66,7 @@ impl fmt::Display for Fig21 {
     }
 }
 
-fn run_cell(bench: &str, mode: Mode, secs: u64, seed: u64) -> f64 {
+pub(crate) fn run_cell(bench: &str, mode: Mode, secs: u64, seed: u64) -> f64 {
     let (b, vm) = ScenarioBuilder::new(HostSpec::flat(16), seed).vm(VmSpec::pinned(16, 0));
     let mut m = b.build();
     let (wl, handle) = build_loaded(bench, 16, 0.15, SimRng::new(seed ^ 0xDD));

@@ -28,6 +28,7 @@ pub mod fig20;
 pub mod fig21;
 pub mod oracle;
 pub mod profiles;
+pub mod runner;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -48,7 +48,7 @@ impl fmt::Display for Table2 {
     }
 }
 
-fn measure(mut p: Profile, secs: u64) -> (u64, u64) {
+pub(crate) fn measure(mut p: Profile, secs: u64) -> (u64, u64) {
     let vm = p.vm;
     // A light background so the system resembles the evaluation setting.
     let (wl, _s) = Stressor::new(2, work_ms(5.0));

@@ -25,7 +25,7 @@ pub struct Breakdown {
 }
 
 impl Breakdown {
-    fn from_handle(h: &Handle) -> Breakdown {
+    pub(crate) fn from_handle(h: &Handle) -> Breakdown {
         match h {
             Handle::Latency(s) => {
                 let s = s.borrow();
@@ -88,7 +88,7 @@ impl fmt::Display for Table3 {
     }
 }
 
-fn bvs_cfg() -> VschedConfig {
+pub(crate) fn bvs_cfg() -> VschedConfig {
     VschedConfig {
         ivh: false,
         rwc: false,

@@ -67,7 +67,12 @@ impl fmt::Display for Table4 {
     }
 }
 
-fn run_cell(threads: usize, prewake: bool, secs: u64, seed: u64) -> (f64, (u64, u64, u64)) {
+pub(crate) fn run_cell(
+    threads: usize,
+    prewake: bool,
+    secs: u64,
+    seed: u64,
+) -> (f64, (u64, u64, u64)) {
     let (mut m, vm) = build_machine(seed);
     let (wl, handle) = build("canneal", threads, SimRng::new(seed ^ 0xE2));
     m.set_workload(vm, wl);

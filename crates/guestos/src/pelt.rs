@@ -17,6 +17,56 @@ use simcore::SimTime;
 /// PELT half-life: 32 ms, as in Linux.
 pub const PELT_HALF_LIFE_NS: f64 = 32.0 * 1_000_000.0;
 
+/// Sub-half-life resolution of the precomputed decay table: one half-life
+/// is split into 64 steps, as Linux splits its 32 ms half-life into 32
+/// 1024 µs periods (`runnable_avg_yN_inv`), just finer.
+const DECAY_STEPS: usize = 64;
+
+/// `round(2^32 * 0.5^(i / 64))` for `i in 0..=64`: one half-life of decay
+/// factors in Q32 fixed point. The last entry is exactly `2^31` (one full
+/// half-life), so chaining whole half-lives reduces to an exponent shift.
+/// `decay_accuracy_vs_powf` in the tests below pins every entry (and the
+/// interpolation between entries) against the closed-form `powf` path.
+const DECAY_TABLE: [u64; DECAY_STEPS + 1] = [
+    4294967296, 4248701965, 4202935003, 4157661043, 4112874773, 4068570940, 4024744348, 3981389855,
+    3938502376, 3896076880, 3854108391, 3812591987, 3771522796, 3730896002, 3690706840, 3650950594,
+    3611622603, 3572718252, 3534232978, 3496162267, 3458501653, 3421246719, 3384393094, 3347936457,
+    3311872529, 3276197082, 3240905930, 3205994934, 3171459999, 3137297074, 3103502151, 3070071267,
+    3037000500, 3004285971, 2971923842, 2939910317, 2908241642, 2876914102, 2845924021, 2815267765,
+    2784941738, 2754942382, 2725266179, 2695909648, 2666869345, 2638141863, 2609723834, 2581611923,
+    2553802834, 2526293303, 2499080105, 2472160047, 2445529972, 2419186755, 2393127307, 2367348571,
+    2341847524, 2316621173, 2291666561, 2266980759, 2242560872, 2218404036, 2194507417, 2170868212,
+    2147483648,
+];
+
+/// Decay below this is indistinguishable from zero at `UTIL_MAX` scale
+/// (2^-64 × 1024 « f64 epsilon of any accumulated average).
+const DECAY_ZERO_HALF_LIVES: f64 = 64.0;
+
+/// `0.5^(dt / half_life)` via the fixed-point table: whole half-lives
+/// become an exponent decrement, the fractional part a linear interpolation
+/// between adjacent table entries. Replaces a `powf` call (tens of ns) with
+/// a table lookup (~ns) on the per-event accounting path; relative error
+/// against the closed form is < 2e-5 (see `decay_accuracy_vs_powf`).
+#[inline]
+fn decay_factor(dt_ns: u64) -> f64 {
+    let half_lives = dt_ns as f64 * (1.0 / PELT_HALF_LIFE_NS);
+    if half_lives >= DECAY_ZERO_HALF_LIVES {
+        return 0.0;
+    }
+    let scaled = half_lives * DECAY_STEPS as f64;
+    let idx = scaled as usize; // floor: scaled >= 0
+    let frac = scaled - idx as f64;
+    let whole = idx / DECAY_STEPS;
+    let step = idx % DECAY_STEPS;
+    let lo = DECAY_TABLE[step] as f64;
+    let hi = DECAY_TABLE[step + 1] as f64;
+    let interp = lo + (hi - lo) * frac;
+    // 2^-whole, exact for whole < 64: build the f64 exponent directly.
+    let pow2 = f64::from_bits((1023 - whole as u64) << 52);
+    interp * (1.0 / 4294967296.0) * pow2
+}
+
 /// Maximum utilization value (a task running 100% of the time).
 pub const UTIL_MAX: f64 = 1024.0;
 
@@ -70,7 +120,7 @@ impl Pelt {
         if dt == 0 {
             return;
         }
-        let decay = 0.5f64.powf(dt as f64 / PELT_HALF_LIFE_NS);
+        let decay = decay_factor(dt);
         let running_target = match state {
             PeltState::Running => UTIL_MAX,
             _ => 0.0,
@@ -174,5 +224,40 @@ mod tests {
     fn new_full_is_half_charged() {
         let p = Pelt::new_full(t(0));
         assert_eq!(p.util(), UTIL_MAX / 2.0);
+    }
+
+    #[test]
+    fn decay_accuracy_vs_powf() {
+        // The fixed-point table must track the closed form to < 1e-3
+        // relative error over 0..16 half-lives, sampled densely enough to
+        // hit every table entry and the interpolated points between them.
+        let max_dt = (16.0 * PELT_HALF_LIFE_NS) as u64;
+        let step = max_dt / 4096;
+        let mut worst = 0.0f64;
+        for i in 0..=4096u64 {
+            let dt = i * step;
+            let exact = 0.5f64.powf(dt as f64 / PELT_HALF_LIFE_NS);
+            let table = decay_factor(dt);
+            let rel = (table - exact).abs() / exact;
+            worst = worst.max(rel);
+            assert!(
+                rel < 1e-3,
+                "dt {dt} ns: table {table} vs exact {exact} (rel {rel:.2e})"
+            );
+        }
+        // The table is far better than the requirement; catch regressions
+        // that would silently coarsen it.
+        assert!(worst < 1e-4, "worst relative error {worst:.2e}");
+    }
+
+    #[test]
+    fn decay_edge_cases() {
+        assert_eq!(decay_factor(0), 1.0);
+        // One exact half-life: table entry 64 is exactly 2^31 / 2^32.
+        assert_eq!(decay_factor(PELT_HALF_LIFE_NS as u64), 0.5);
+        // Past the cutoff the factor clamps to zero rather than denormals.
+        assert_eq!(decay_factor((65.0 * PELT_HALF_LIFE_NS) as u64), 0.0);
+        // Just below the cutoff stays positive.
+        assert!(decay_factor((63.5 * PELT_HALF_LIFE_NS) as u64) > 0.0);
     }
 }

@@ -12,6 +12,11 @@ use std::collections::BTreeSet;
 #[derive(Debug, Clone, Default)]
 pub struct CfsRq {
     tree: BTreeSet<(u64, TaskId)>,
+    /// Cached leftmost `(vruntime, task)` — Linux's `rb_leftmost`. Pick-next
+    /// peeks the queue on every context switch; the cache makes that O(1)
+    /// instead of a tree descent, and is refreshed only when the leftmost
+    /// entry itself is removed.
+    leftmost: Option<(u64, TaskId)>,
     /// Monotonic floor of vruntime on this queue; new arrivals are placed
     /// relative to it.
     pub min_vruntime: u64,
@@ -56,6 +61,9 @@ impl CfsRq {
     pub fn enqueue(&mut self, task: TaskId, vruntime: u64, weight: u64, is_idle: bool, load: f64) {
         let inserted = self.tree.insert((vruntime, task));
         debug_assert!(inserted, "task {task:?} double-enqueued");
+        if self.leftmost.is_none_or(|lm| (vruntime, task) < lm) {
+            self.leftmost = Some((vruntime, task));
+        }
         self.weight_sum += weight;
         self.load_sum += load;
         if is_idle {
@@ -76,8 +84,20 @@ impl CfsRq {
     ) -> bool {
         let removed = self.tree.remove(&(vruntime, task));
         if removed {
+            if self.leftmost == Some((vruntime, task)) {
+                self.leftmost = self.tree.first().copied();
+            }
             self.weight_sum = self.weight_sum.saturating_sub(weight);
-            self.load_sum = (self.load_sum - load).max(0.0);
+            // Enqueue/dequeue pair up add/sub of the same PELT load, but the
+            // float sums accumulate rounding drift over long runs; clamp the
+            // residue at zero so consumers never see a negative queue load.
+            let next = self.load_sum - load;
+            debug_assert!(
+                next > -1.0,
+                "load_sum drifted far negative: {} - {load}",
+                self.load_sum
+            );
+            self.load_sum = next.max(0.0);
             if is_idle {
                 self.nr_idle -= 1;
             } else {
@@ -89,12 +109,12 @@ impl CfsRq {
 
     /// The task with the smallest vruntime, without removing it.
     pub fn peek(&self) -> Option<TaskId> {
-        self.tree.iter().next().map(|&(_, t)| t)
+        self.leftmost.map(|(_, t)| t)
     }
 
     /// The smallest queued vruntime.
     pub fn min_queued_vruntime(&self) -> Option<u64> {
-        self.tree.iter().next().map(|&(v, _)| v)
+        self.leftmost.map(|(v, _)| v)
     }
 
     /// Iterates `(vruntime, task)` in increasing vruntime order.
@@ -181,6 +201,57 @@ mod tests {
         assert!(rq.only_idle_policy());
         rq.enqueue(tid(2), 0, 1024, false, 0.0);
         assert!(!rq.only_idle_policy());
+    }
+
+    #[test]
+    fn load_sum_clamps_float_drift_at_zero() {
+        let mut rq = CfsRq::new();
+        // Loads whose sum is not exactly representable: repeated add/sub
+        // pairs leave a tiny residue that must never surface as a negative
+        // queue load.
+        let loads = [0.1, 0.2, 0.3, 511.7, 1e-9];
+        for round in 0..10_000 {
+            for (i, &l) in loads.iter().enumerate() {
+                rq.enqueue(tid(i as u32), round, 1024, false, l);
+            }
+            for (i, &l) in loads.iter().enumerate() {
+                rq.dequeue(tid(i as u32), round, 1024, false, l);
+            }
+            assert!(
+                rq.load_sum >= 0.0,
+                "round {round}: load_sum {}",
+                rq.load_sum
+            );
+        }
+        assert!(rq.is_empty());
+        assert!(rq.load_sum >= 0.0 && rq.load_sum < 1e-3, "{}", rq.load_sum);
+    }
+
+    #[test]
+    fn leftmost_cache_tracks_tree() {
+        // Interleaved enqueue/dequeue, checking the cached leftmost against
+        // a full tree walk after every operation.
+        let mut rq = CfsRq::new();
+        let mut rng = simcore::SimRng::new(0xCAFE);
+        let mut live: Vec<(u64, u32)> = Vec::new();
+        for i in 0..2000u32 {
+            if live.is_empty() || rng.f64() < 0.6 {
+                let v = rng.u64() % 1000;
+                rq.enqueue(tid(i), v, 1024, false, 0.0);
+                live.push((v, i));
+            } else {
+                let k = rng.index(live.len());
+                let (v, id) = live.swap_remove(k);
+                assert!(rq.dequeue(tid(id), v, 1024, false, 0.0));
+            }
+            let expect = rq.iter().next();
+            assert_eq!(
+                rq.min_queued_vruntime(),
+                expect.map(|(v, _)| v),
+                "after op {i}"
+            );
+            assert_eq!(rq.peek(), expect.map(|(_, t)| t), "after op {i}");
+        }
     }
 
     #[test]

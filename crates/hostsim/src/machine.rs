@@ -304,6 +304,15 @@ pub struct Machine {
     /// Host-side trace sink; [`Machine::attach_trace`] turns it on and
     /// propagates per-VM scoped sinks into every guest kernel.
     pub trace: TraceSink,
+    /// Reusable stand-in guest swapped into a VM's slot while its real
+    /// guest is borrowed out by [`Machine::with_vm`]. Building a fresh
+    /// placeholder per call allocates a full `KernelStats` (histogram
+    /// buckets included) on every guest tick/wake/burst — the single
+    /// hottest allocation in event dispatch.
+    placeholder: Option<GuestOs>,
+    /// Events popped and dispatched over the machine's lifetime (the bench
+    /// harness's events/sec denominator).
+    pub events_dispatched: u64,
     finished: bool,
 }
 
@@ -315,7 +324,7 @@ impl Machine {
         let quantum = spec.quantum_ns;
         Self {
             spec,
-            q: EventQueue::new(),
+            q: EventQueue::with_capacity(256),
             rng: SimRng::new(seed),
             threads: (0..nr)
                 .map(|_| HwThread {
@@ -334,6 +343,8 @@ impl Machine {
             samplers: Vec::new(),
             trace_activity: false,
             trace: TraceSink::default(),
+            placeholder: Some(Self::placeholder_guest()),
+            events_dispatched: 0,
             finished: false,
         }
     }
@@ -944,10 +955,17 @@ impl Machine {
         vm: usize,
         f: impl FnOnce(&mut GuestOs, &mut dyn Platform) -> R,
     ) -> R {
-        let mut guest = std::mem::replace(&mut self.vms[vm].guest, Self::placeholder_guest());
+        // Reuse the cached placeholder; a nested with_vm (rare — the
+        // re-entrancy rule above forbids guest→guest calls) falls back to
+        // building a throwaway one.
+        let ph = self
+            .placeholder
+            .take()
+            .unwrap_or_else(Self::placeholder_guest);
+        let mut guest = std::mem::replace(&mut self.vms[vm].guest, ph);
         let mut ctx = Ctx { m: self, vm };
         let r = f(&mut guest, &mut ctx);
-        self.vms[vm].guest = guest;
+        self.placeholder = Some(std::mem::replace(&mut self.vms[vm].guest, guest));
         r
     }
 
@@ -958,10 +976,14 @@ impl Machine {
         f: impl FnOnce(&mut GuestOs, &mut dyn Workload, &mut dyn Platform) -> R,
     ) -> Option<R> {
         let mut wl = self.vms[vm].workload.take()?;
-        let mut guest = std::mem::replace(&mut self.vms[vm].guest, Self::placeholder_guest());
+        let ph = self
+            .placeholder
+            .take()
+            .unwrap_or_else(Self::placeholder_guest);
+        let mut guest = std::mem::replace(&mut self.vms[vm].guest, ph);
         let mut ctx = Ctx { m: self, vm };
         let r = f(&mut guest, wl.as_mut(), &mut ctx);
-        self.vms[vm].guest = guest;
+        self.placeholder = Some(std::mem::replace(&mut self.vms[vm].guest, guest));
         self.vms[vm].workload = Some(wl);
         Some(r)
     }
@@ -1002,6 +1024,7 @@ impl Machine {
         self.finished = false;
         while !self.finished {
             let Some((_, ev)) = self.q.pop() else { break };
+            self.events_dispatched += 1;
             self.dispatch(ev);
         }
         self.settle_all();

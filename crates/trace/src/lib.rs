@@ -23,6 +23,7 @@
 pub mod check;
 pub mod chrome;
 pub mod event;
+pub mod latency;
 pub mod ring;
 pub mod schedstat;
 pub mod sink;
@@ -32,6 +33,7 @@ pub use chrome::{chrome_trace, validate_json};
 pub use event::{
     EventKind, IvhPhase, MigrateKind, PreemptReason, ProbeKind, SwitchReason, TraceEvent,
 };
+pub use latency::WakeLatency;
 pub use ring::RingBuffer;
 pub use schedstat::Schedstat;
 pub use sink::{Collector, SharedCollector, TraceSink};

@@ -9,6 +9,7 @@
 
 use crate::check::InvariantChecker;
 use crate::event::{EventKind, TraceEvent};
+use crate::latency::WakeLatency;
 use crate::ring::RingBuffer;
 use crate::schedstat::Schedstat;
 use simcore::SimTime;
@@ -22,6 +23,8 @@ pub struct Collector {
     pub ring: Option<RingBuffer>,
     /// Always-on cheap per-vCPU aggregates (schedstat export).
     pub stats: Schedstat,
+    /// Always-on per-wakeup runqueue-delay breakdown (latency export).
+    pub wake_latency: WakeLatency,
     /// Optional online conservation-law checker.
     pub checker: Option<InvariantChecker>,
 }
@@ -44,6 +47,7 @@ impl Collector {
     /// Routes one event to every attached consumer.
     pub fn record(&mut self, ev: TraceEvent) {
         self.stats.observe(&ev);
+        self.wake_latency.observe(&ev);
         if let Some(c) = &mut self.checker {
             c.observe(&ev);
         }

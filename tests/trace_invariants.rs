@@ -93,3 +93,44 @@ fn chrome_export_is_valid_json_with_events() {
     let report = c.checker.as_ref().expect("checker").report();
     assert!(report.ok(), "invariant violation:\n{report}");
 }
+
+#[test]
+fn wake_latency_breakdown_pairs_wakeups() {
+    // The latency-breakdown exporter rides on the same collector as
+    // schedstat: a latency-serving workload under contention must produce
+    // completed TaskWake→ContextSwitch pairs with plausible delays.
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(4), 42).vm(VmSpec::pinned(4, 0));
+    let (b, stress_vm) = b.vm(VmSpec::pinned(4, 0));
+    let mut m = b.build();
+    let (_, shared) = TraceSink::shared(Collector::default());
+    m.attach_trace(&shared);
+    let (wl, _h) = workloads::build_latency(
+        "silo",
+        4,
+        2.0 * 1_000_000.0,
+        false,
+        vsched_repro::simcore::SimRng::new(9),
+    );
+    m.set_workload(vm, wl);
+    let (sw, _s) = workloads::Stressor::new(4, workloads::work_ms(10.0));
+    m.set_workload(stress_vm, Box::new(sw));
+    m.start();
+    m.run_until(SimTime::from_secs(2));
+
+    let c = shared.borrow();
+    let wl = &c.wake_latency;
+    assert!(wl.pairs() > 100, "only {} wake→run pairs", wl.pairs());
+    // Every completed delay fits inside the run window, and at least one
+    // wakeup on some vCPU actually waited (contention guarantees queueing).
+    let mut max_delay = 0;
+    for vcpu in 0..4u16 {
+        if let Some(h) = wl.vcpu(0, vcpu) {
+            assert!(h.max() <= 2_000_000_000, "delay beyond window: {}", h.max());
+            max_delay = max_delay.max(h.max());
+        }
+    }
+    assert!(max_delay > 0, "no wakeup ever waited despite contention");
+    let text = wl.render();
+    assert!(text.contains("# cpu<vm>/<vcpu> pairs"), "{text}");
+    assert!(text.lines().any(|l| l.starts_with("cpu0/")), "{text}");
+}
