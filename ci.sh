@@ -25,6 +25,24 @@ VSCHED_SCALE=smoke ./target/release/suite --filter fig03 --jobs 4 --seed 42 \
     > "$tmpdir/parallel.txt" 2>/dev/null
 diff "$tmpdir/serial.txt" "$tmpdir/parallel.txt"
 
+echo "== chaos-smoke: fixed seed (determinism) + one randomized seed"
+# Fixed seed: the chaos cell must replay byte-identically across worker
+# counts, like the figures above.
+VSCHED_SCALE=smoke ./target/release/suite --filter chaos --jobs 1 --seed 42 \
+    > "$tmpdir/chaos_serial.txt" 2>/dev/null
+VSCHED_SCALE=smoke ./target/release/suite --filter chaos --jobs 4 --seed 42 \
+    > "$tmpdir/chaos_parallel.txt" 2>/dev/null
+diff "$tmpdir/chaos_serial.txt" "$tmpdir/chaos_parallel.txt"
+# Randomized seed: fault-class invariant sweeps on a fresh schedule each
+# run. The seed is printed so a CI failure replays locally with
+# CHAOS_SEED=<seed> cargo test --release --test chaos.
+chaos_seed=$(date +%s)
+echo "   chaos-smoke randomized seed: $chaos_seed"
+if ! CHAOS_SEED="$chaos_seed" cargo test -q --release --test chaos invariants; then
+    echo "chaos-smoke FAILED with CHAOS_SEED=$chaos_seed (replay locally with that env var)" >&2
+    exit 1
+fi
+
 echo "== regenerate BENCH_vsched.json (quick scale)"
 ./target/release/vsched-bench
 

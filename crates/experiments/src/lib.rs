@@ -11,6 +11,7 @@
 //! Durations honour the `VSCHED_SCALE` environment variable
 //! (`quick`/`paper`); see [`common::Scale`].
 
+pub mod chaos;
 pub mod common;
 pub mod fig02;
 pub mod fig03;

@@ -27,8 +27,8 @@ use crate::common::{Mode, Scale};
 use crate::fig18_19::ProfileKind;
 use crate::profiles::{hpvm, rcvm};
 use crate::{
-    fig02, fig03, fig04, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19, fig20,
-    fig21, table2, table3, table4,
+    chaos, fig02, fig03, fig04, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19,
+    fig20, fig21, table2, table3, table4,
 };
 use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -657,6 +657,27 @@ fn job_table4() -> Job {
     }
 }
 
+fn job_chaos() -> Job {
+    let cells = vec![
+        cell("cfs", |seed, scale: Scale| {
+            chaos::run_mode(chaos::ChaosMode::Cfs, scale.secs(6, 20), seed)
+        }),
+        cell("vsched-resilient", |seed, scale: Scale| {
+            chaos::run_mode(chaos::ChaosMode::VschedResilient, scale.secs(6, 20), seed)
+        }),
+    ];
+    Job {
+        name: "chaos",
+        cells,
+        reduce: Box::new(|parts, _| {
+            let mut it = parts.into_iter();
+            let cfs = got::<chaos::ChaosOutcome>(it.next().unwrap());
+            let vsched = got::<chaos::ChaosOutcome>(it.next().unwrap());
+            chaos::Chaos { cfs, vsched }.to_string()
+        }),
+    }
+}
+
 /// All jobs in suite output order.
 pub fn registry() -> Vec<Job> {
     vec![
@@ -678,6 +699,7 @@ pub fn registry() -> Vec<Job> {
         job_table2(),
         job_table3(),
         job_table4(),
+        job_chaos(),
     ]
 }
 
@@ -835,8 +857,10 @@ mod tests {
     #[test]
     fn registry_covers_the_full_suite() {
         let names: Vec<&str> = registry().iter().map(|j| j.name).collect();
-        assert_eq!(names.len(), 18);
-        for want in ["fig02", "fig15", "fig18", "fig19", "table2", "table4"] {
+        assert_eq!(names.len(), 19);
+        for want in [
+            "fig02", "fig15", "fig18", "fig19", "table2", "table4", "chaos",
+        ] {
             assert!(names.contains(&want), "missing {want}");
         }
         // Every job decomposes into at least two independent cells except

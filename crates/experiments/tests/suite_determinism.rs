@@ -24,8 +24,10 @@ fn outputs(jobs: usize, filter: &str) -> Vec<(&'static str, String)> {
 #[test]
 fn parallel_output_is_byte_identical_to_serial() {
     // fig03 (2 cells) + fig11 (4 cells): cheap figures with float-heavy
-    // reductions, run serially and at two parallel widths.
-    for filter in ["fig03", "fig11"] {
+    // reductions, plus the chaos cell (fault injection + resilience state
+    // machine must replay identically), run serially and at two parallel
+    // widths.
+    for filter in ["fig03", "fig11", "chaos"] {
         let serial = outputs(1, filter);
         for jobs in [2, 5] {
             let parallel = outputs(jobs, filter);

@@ -321,6 +321,27 @@ impl Kernel {
         let latency_half = self.cfg.sched_latency_ns / 2;
         let slept_on = self.task(t).last_vcpu;
         let slept_min = self.vcpus[slept_on.0].rq.min_vruntime;
+        if wakeup {
+            // Decay the task's PELT signal across the idle gap, and report
+            // the decay to the trace so the monotonicity law (load never
+            // grows while sleeping) stays checkable.
+            let (load_before, idle_ns) = {
+                let task = self.task(t);
+                (task.pelt.load(), now.since(task.pelt.last_update()))
+            };
+            self.task_mut(t).pelt.update(now, PeltState::Sleeping);
+            if idle_ns > 0 {
+                self.trace.emit(
+                    now,
+                    EventKind::PeltDecay {
+                        task: t.0,
+                        load_before,
+                        load_after: self.task(t).pelt.load(),
+                        idle_ns,
+                    },
+                );
+            }
+        }
         let task = self.task_mut(t);
         debug_assert!(
             !task.on_rq(),
@@ -328,7 +349,6 @@ impl Kernel {
             task.id
         );
         if wakeup {
-            task.pelt.update(now, PeltState::Sleeping);
             // Linux keeps the absolute vruntime across a sleep: the old
             // queue's min_vruntime advances past long sleepers, so any
             // fairness debt decays naturally. A wake onto a *different*

@@ -1,0 +1,403 @@
+//! Chaos-mode fault injection.
+//!
+//! A [`FaultPlan`] is a seed-driven, fully precomputed schedule of host
+//! misbehaviour: stressor bursts, quota/period churn, re-pinning, vCPU
+//! offline/online, DVFS capacity steps, and probe-time measurement noise.
+//! The plan is generated *before* the simulation starts from a
+//! [`simcore::SimRng`] stream, so a given `(seed, spec)` pair always yields
+//! the same injected-event sequence, byte for byte — chaos runs replay
+//! exactly, across processes and thread counts.
+//!
+//! Each concrete fault is applied through the existing
+//! [`ScriptAction`](crate::ScriptAction) machinery and paired with an
+//! [`ScriptAction::AnnotateFault`] marker, so traces (and the streaming
+//! invariant checker) see fault boundaries as first-class events.
+//!
+//! Transient faults carry a duration and schedule their own reversal:
+//! stressor loads are removed, quotas lifted, offline vCPUs brought back,
+//! frequencies restored, and noise cleared. A plan therefore leaves the
+//! host in its nominal configuration once the last reversal fires.
+
+use crate::machine::{Machine, ScriptAction};
+use simcore::time::MS;
+use simcore::{SimRng, SimTime};
+use std::fmt;
+use trace::FaultClass;
+
+/// Which VM / host surface a plan may touch.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// VM index the vCPU-level faults target.
+    pub vm: usize,
+    /// Number of vCPUs in that VM.
+    pub nr_vcpus: usize,
+    /// Hardware threads the VM's vCPUs occupy (stressor bursts and
+    /// re-pinning stay inside this set).
+    pub threads: Vec<usize>,
+    /// Cores whose DVFS frequency may step (typically the cores backing
+    /// `threads`).
+    pub cores: Vec<usize>,
+    /// Enabled fault classes. [`FaultClass::VcpuOnline`] is implied by
+    /// [`FaultClass::VcpuOffline`] (every offline schedules its online).
+    pub classes: Vec<FaultClass>,
+    /// Injection horizon: faults are injected in `[start, start + horizon)`.
+    pub start: SimTime,
+    /// Horizon length in nanoseconds.
+    pub horizon_ns: u64,
+    /// Mean gap between consecutive faults of one class (ns).
+    pub mean_interval_ns: u64,
+}
+
+impl ChaosSpec {
+    /// A spec covering one pinned VM: vCPU `i` on thread `i`, one core per
+    /// thread, every fault class enabled, faults from 500 ms to `horizon`.
+    pub fn for_pinned_vm(vm: usize, nr_vcpus: usize, horizon_ns: u64) -> Self {
+        Self {
+            vm,
+            nr_vcpus,
+            threads: (0..nr_vcpus).collect(),
+            cores: (0..nr_vcpus).collect(),
+            classes: vec![
+                FaultClass::StressorBurst,
+                FaultClass::QuotaChurn,
+                FaultClass::PinChange,
+                FaultClass::VcpuOffline,
+                FaultClass::CapacityStep,
+                FaultClass::ProbeNoise,
+            ],
+            start: SimTime::from_ns(500 * MS),
+            horizon_ns,
+            mean_interval_ns: 800 * MS,
+        }
+    }
+
+    /// Restricts the plan to a single fault class.
+    pub fn only(mut self, class: FaultClass) -> Self {
+        self.classes = vec![class];
+        self
+    }
+
+    /// Overrides the mean inter-fault gap.
+    pub fn mean_interval(mut self, ns: u64) -> Self {
+        self.mean_interval_ns = ns;
+        self
+    }
+}
+
+/// Stable per-class RNG stream tag (independent of declaration order).
+fn class_tag(class: FaultClass) -> u64 {
+    match class {
+        FaultClass::StressorBurst => 1,
+        FaultClass::QuotaChurn => 2,
+        FaultClass::PinChange => 3,
+        FaultClass::VcpuOffline => 4,
+        FaultClass::VcpuOnline => 5,
+        FaultClass::CapacityStep => 6,
+        FaultClass::ProbeNoise => 7,
+    }
+}
+
+/// One planned fault with its concrete parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedFault {
+    /// Injection time.
+    pub at: SimTime,
+    /// Classification (matches the `FaultInjected` trace marker).
+    pub class: FaultClass,
+    /// Affected guest-local vCPU, where one exists (0 for machine-wide).
+    pub vcpu: usize,
+    /// How long the fault persists before its reversal (0 = permanent
+    /// within the run, e.g. a pin change).
+    pub duration_ns: u64,
+    /// Class-specific magnitude: stressor weight, quota fraction ×1000,
+    /// DVFS factor ×1000, noise amplitude ×1000, target thread for pins.
+    pub magnitude: u64,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12} {:?} vcpu={} dur={} mag={}",
+            self.at.ns(),
+            self.class,
+            self.vcpu,
+            self.duration_ns,
+            self.magnitude
+        )
+    }
+}
+
+/// A replayable fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from.
+    pub seed: u64,
+    /// Planned faults, sorted by injection time (ties keep generation
+    /// order, which is itself deterministic).
+    pub events: Vec<InjectedFault>,
+    spec: ChaosSpec,
+}
+
+// PartialEq on ChaosSpec is structural; derive would need it on SimTime
+// (present) — implement manually to keep the field list explicit.
+impl PartialEq for ChaosSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.vm == other.vm
+            && self.nr_vcpus == other.nr_vcpus
+            && self.threads == other.threads
+            && self.cores == other.cores
+            && self.classes == other.classes
+            && self.start == other.start
+            && self.horizon_ns == other.horizon_ns
+            && self.mean_interval_ns == other.mean_interval_ns
+    }
+}
+
+impl FaultPlan {
+    /// Generates the plan. Each enabled class draws from its own forked
+    /// RNG stream, so enabling or disabling one class never perturbs the
+    /// schedule of another.
+    pub fn generate(seed: u64, spec: &ChaosSpec) -> FaultPlan {
+        let mut events: Vec<InjectedFault> = Vec::new();
+        for &class in &spec.classes {
+            // Each class gets a stream derived only from `(seed, class)` —
+            // not from its position in `classes` or the other enabled
+            // classes — so filtering classes never perturbs the streams of
+            // the ones that remain.
+            let mut rng = SimRng::new(seed ^ 0xC4A0_5F00).fork(class_tag(class));
+            Self::plan_class(&mut rng, spec, class, &mut events);
+        }
+        // Stable sort: simultaneous faults keep class-order, which is
+        // fixed by `spec.classes`.
+        events.sort_by_key(|e| e.at);
+        FaultPlan {
+            seed,
+            events,
+            spec: spec.clone(),
+        }
+    }
+
+    fn plan_class(
+        rng: &mut SimRng,
+        spec: &ChaosSpec,
+        class: FaultClass,
+        out: &mut Vec<InjectedFault>,
+    ) {
+        let end = spec.start.ns() + spec.horizon_ns;
+        let mut t = spec.start.ns() + rng.exp(spec.mean_interval_ns as f64) as u64;
+        while t < end {
+            let vcpu = rng.index(spec.nr_vcpus.max(1));
+            // Transients last 50–400 ms and never outlive the horizon, so
+            // the plan always restores the nominal configuration.
+            let max_dur = (end - t).min(400 * MS);
+            let duration_ns = (50 * MS + rng.range(0, 350 * MS)).min(max_dur).max(MS);
+            let magnitude = match class {
+                // Host stressor weight: 1×–8× a vCPU's default weight.
+                FaultClass::StressorBurst => 1024 * rng.range(1, 9),
+                // Quota as a fraction of the period, ×1000: 200–800 ‰.
+                FaultClass::QuotaChurn => rng.range(200, 801),
+                // Pin target: another thread from the allowed set.
+                FaultClass::PinChange => spec.threads[rng.index(spec.threads.len())] as u64,
+                FaultClass::VcpuOffline => 0,
+                // DVFS factor ×1000: 300–900 ‰ of nominal.
+                FaultClass::CapacityStep => rng.range(300, 901),
+                // Noise amplitude ×1000: 100–500 ‰ (±10 % – ±50 %).
+                FaultClass::ProbeNoise => rng.range(100, 501),
+                // Onlines are scheduled by their offline, never drawn.
+                FaultClass::VcpuOnline => 0,
+            };
+            out.push(InjectedFault {
+                at: SimTime::from_ns(t),
+                class,
+                vcpu,
+                duration_ns,
+                magnitude,
+            });
+            t += rng.exp(spec.mean_interval_ns as f64).max(1.0) as u64;
+        }
+    }
+
+    /// Schedules every planned fault (and its reversal) onto a machine.
+    /// Call after the scenario is assembled but before [`Machine::start`].
+    ///
+    /// Stressor reversals remove loads by arena id, which is predicted
+    /// from [`Machine::nr_host_loads`] — the plan must therefore be the
+    /// only source of *scripted* `AddLoad` actions on this machine
+    /// (loads added directly before `start` are fine).
+    pub fn apply(&self, m: &mut Machine) {
+        let spec = &self.spec;
+        let mut next_load_id = m.nr_host_loads();
+        for e in &self.events {
+            let vm = spec.vm;
+            let vcpu = e.vcpu;
+            m.at(
+                e.at,
+                ScriptAction::AnnotateFault {
+                    vm,
+                    vcpu,
+                    class: e.class,
+                },
+            );
+            let until = e.at.after(e.duration_ns);
+            match e.class {
+                FaultClass::StressorBurst => {
+                    // Stress the thread hosting the chosen vCPU.
+                    let thread = spec.threads[vcpu % spec.threads.len()];
+                    let weight = e.magnitude;
+                    m.at(e.at, ScriptAction::AddLoad { thread, weight });
+                    m.at(until, ScriptAction::RemoveLoad { id: next_load_id });
+                    next_load_id += 1;
+                }
+                FaultClass::QuotaChurn => {
+                    let period_ns = 10 * MS;
+                    let quota_ns = period_ns * e.magnitude / 1000;
+                    m.at(
+                        e.at,
+                        ScriptAction::SetBandwidth {
+                            vm,
+                            vcpu,
+                            qp: Some((quota_ns, period_ns)),
+                        },
+                    );
+                    m.at(until, ScriptAction::SetBandwidth { vm, vcpu, qp: None });
+                }
+                FaultClass::PinChange => {
+                    m.at(
+                        e.at,
+                        ScriptAction::SetAffinity {
+                            vm,
+                            vcpu,
+                            threads: vec![e.magnitude as usize],
+                        },
+                    );
+                    // Restore the home thread after the transient.
+                    let home = spec.threads[vcpu % spec.threads.len()];
+                    m.at(
+                        until,
+                        ScriptAction::SetAffinity {
+                            vm,
+                            vcpu,
+                            threads: vec![home],
+                        },
+                    );
+                }
+                FaultClass::VcpuOffline => {
+                    m.at(e.at, ScriptAction::OfflineVcpu { vm, vcpu });
+                    m.at(
+                        until,
+                        ScriptAction::AnnotateFault {
+                            vm,
+                            vcpu,
+                            class: FaultClass::VcpuOnline,
+                        },
+                    );
+                    m.at(until, ScriptAction::OnlineVcpu { vm, vcpu });
+                }
+                FaultClass::VcpuOnline => {}
+                FaultClass::CapacityStep => {
+                    let core = spec.cores[vcpu % spec.cores.len()];
+                    let factor = e.magnitude as f64 / 1000.0;
+                    m.at(e.at, ScriptAction::SetFreq { core, factor });
+                    m.at(until, ScriptAction::SetFreq { core, factor: 1.0 });
+                }
+                FaultClass::ProbeNoise => {
+                    let noise = e.magnitude as f64 / 1000.0;
+                    m.at(e.at, ScriptAction::SetProbeNoise { noise });
+                    m.at(until, ScriptAction::SetProbeNoise { noise: 0.0 });
+                }
+            }
+        }
+    }
+
+    /// Stable one-line-per-fault rendering; determinism gates compare this
+    /// byte-for-byte across runs and processes.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::HostSpec;
+    use simcore::propcheck;
+
+    fn spec(n: usize) -> ChaosSpec {
+        ChaosSpec::for_pinned_vm(0, n, 3_000 * MS)
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let s = spec(8);
+        let a = FaultPlan::generate(7, &s);
+        let b = FaultPlan::generate(7, &s);
+        assert_eq!(a, b);
+        assert_eq!(a.describe(), b.describe());
+        assert!(!a.events.is_empty(), "horizon long enough to draw faults");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = spec(8);
+        let a = FaultPlan::generate(1, &s);
+        let b = FaultPlan::generate(2, &s);
+        assert_ne!(a.describe(), b.describe());
+    }
+
+    #[test]
+    fn class_streams_are_independent() {
+        // Dropping one class must not perturb another class's schedule.
+        let full = FaultPlan::generate(11, &spec(4));
+        let only = FaultPlan::generate(11, &spec(4).only(FaultClass::QuotaChurn));
+        let full_quota: Vec<_> = full
+            .events
+            .iter()
+            .filter(|e| e.class == FaultClass::QuotaChurn)
+            .cloned()
+            .collect();
+        assert_eq!(full_quota, only.events);
+    }
+
+    #[test]
+    fn events_sorted_and_bounded() {
+        propcheck::forall(0xFA017, 16, |rng| {
+            let s = spec(1 + rng.index(16));
+            let plan = FaultPlan::generate(rng.u64(), &s);
+            let end = s.start.ns() + s.horizon_ns;
+            let mut prev = 0;
+            for e in &plan.events {
+                assert!(e.at.ns() >= prev, "sorted");
+                prev = e.at.ns();
+                assert!(e.at >= s.start && e.at.ns() < end, "inside horizon");
+                assert!(e.vcpu < s.nr_vcpus);
+                assert!(
+                    e.at.ns() + e.duration_ns <= end + 400 * MS,
+                    "reversal near horizon"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn apply_schedules_reversals() {
+        let s = spec(4);
+        let plan = FaultPlan::generate(3, &s);
+        let mut m = Machine::new(HostSpec::flat(4), 3);
+        let cfg = guestos::GuestConfig::new(4);
+        let aff = (0..4).map(|t| vec![t]).collect();
+        m.add_vm(cfg, aff, 1024, None);
+        plan.apply(&mut m);
+        m.start();
+        m.run_until(SimTime::from_ns(s.start.ns() + s.horizon_ns + 500 * MS));
+        // All transients reversed: no live stressors, nominal noise.
+        for th in 0..4 {
+            assert_eq!(m.host_load_weight_on(th), 0, "thread {th} stressor left");
+        }
+    }
+}

@@ -20,10 +20,12 @@
 //! The [`machine::Machine`] owns the event loop; [`scenario`] provides the
 //! declarative builders experiments use.
 
+pub mod faults;
 pub mod machine;
 pub mod scenario;
 pub mod topology;
 
+pub use faults::{ChaosSpec, FaultPlan, InjectedFault};
 pub use machine::{Ev, GVcpu, HostState, Machine, ScriptAction, Vm};
 pub use scenario::{Pinning, ScenarioBuilder, VmSpec};
 pub use topology::{CachelineLatencies, HostSpec};

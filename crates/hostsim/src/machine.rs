@@ -26,7 +26,7 @@ use guestos::{
 };
 use simcore::{EventQueue, Integrator, SimRng, SimTime};
 use std::collections::VecDeque;
-use trace::{EventKind, PreemptReason, SharedCollector, TraceSink};
+use trace::{EventKind, FaultClass, PreemptReason, SharedCollector, TraceSink};
 
 /// Global vCPU index across all VMs.
 pub type GVcpu = usize;
@@ -104,6 +104,11 @@ pub struct HostVcpu {
     pub active_ns: u64,
     /// Host-side preemption count (Running → waiting transitions).
     pub preemptions: u64,
+    /// Taken offline by the chaos layer: the host refuses to schedule it.
+    /// Guest kicks still land (Halted → Runnable) but the vCPU never
+    /// reaches a host queue, so it sits Runnable accruing steal — the
+    /// starving-vCPU signal the probers are supposed to notice.
+    pub offline: bool,
     bandwidth: Option<Bandwidth>,
     bw_gen: u64,
     run: Option<RunCtx>,
@@ -277,6 +282,39 @@ pub enum ScriptAction {
         /// New weight.
         weight: u64,
     },
+    /// Take a vCPU offline: the host stops scheduling it and drops guest
+    /// kicks until the matching [`ScriptAction::OnlineVcpu`].
+    OfflineVcpu {
+        /// VM index.
+        vm: usize,
+        /// Guest-local vCPU.
+        vcpu: usize,
+    },
+    /// Bring an offline vCPU back online.
+    OnlineVcpu {
+        /// VM index.
+        vm: usize,
+        /// Guest-local vCPU.
+        vcpu: usize,
+    },
+    /// Set the machine-wide probe-noise level: guest-visible measurements
+    /// (`steal_ns`, cacheline latency) gain deterministic multiplicative
+    /// jitter of up to ±`noise` (0.0 disables).
+    SetProbeNoise {
+        /// Relative jitter amplitude (e.g. 0.3 = ±30%).
+        noise: f64,
+    },
+    /// Emit a [`EventKind::FaultInjected`] marker into the trace. The chaos
+    /// layer schedules one alongside each concrete fault action so traces
+    /// and the checker see fault boundaries.
+    AnnotateFault {
+        /// VM index the fault targets.
+        vm: usize,
+        /// Affected guest-local vCPU (0 for machine-wide faults).
+        vcpu: usize,
+        /// Fault classification.
+        class: FaultClass,
+    },
 }
 
 type Sampler = (u64, Option<Box<dyn FnMut(&Machine)>>);
@@ -301,6 +339,9 @@ pub struct Machine {
     samplers: Vec<Sampler>,
     /// Record running segments per vCPU (Figure 3 timelines).
     pub trace_activity: bool,
+    /// Probe-noise amplitude (chaos mode): relative jitter applied to
+    /// guest-visible measurements. 0.0 (the default) is bit-exact off.
+    probe_noise: f64,
     /// Host-side trace sink; [`Machine::attach_trace`] turns it on and
     /// propagates per-VM scoped sinks into every guest kernel.
     pub trace: TraceSink,
@@ -342,6 +383,7 @@ impl Machine {
             script: Vec::new(),
             samplers: Vec::new(),
             trace_activity: false,
+            probe_noise: 0.0,
             trace: TraceSink::default(),
             placeholder: Some(Self::placeholder_guest()),
             events_dispatched: 0,
@@ -389,6 +431,7 @@ impl Machine {
                 steal_ns: 0,
                 active_ns: 0,
                 preemptions: 0,
+                offline: false,
                 bandwidth: bandwidth.map(|(q, p)| Bandwidth {
                     quota_ns: q,
                     period_ns: p,
@@ -752,7 +795,7 @@ impl Machine {
             for (pos, e) in other.queue.iter().enumerate() {
                 if let Entity::Vcpu(gv) = e {
                     let v = &self.vcpus[*gv];
-                    if v.affinity.contains(&th) && v.affinity.len() > 1 {
+                    if !v.offline && v.affinity.contains(&th) && v.affinity.len() > 1 {
                         let waited = now.since(v.state_since);
                         if best.map(|(_, _, w)| waited > w).unwrap_or(true) {
                             best = Some((ot, pos, waited));
@@ -878,6 +921,11 @@ impl Machine {
 
     /// Puts a runnable vCPU on the best allowed thread's queue.
     fn enqueue_vcpu(&mut self, gv: GVcpu) {
+        if self.vcpus[gv].offline {
+            // Chaos offline: stays Runnable (steal accrues) but never
+            // reaches a host queue until brought back online.
+            return;
+        }
         let mut best = self.vcpus[gv].affinity[0];
         let mut best_len = usize::MAX;
         for &t in &self.vcpus[gv].affinity {
@@ -1203,7 +1251,96 @@ impl Machine {
                 let gv = self.gv(vm, vcpu);
                 self.vcpus[gv].weight = weight;
             }
+            ScriptAction::OfflineVcpu { vm, vcpu } => self.offline_vcpu(vm, vcpu),
+            ScriptAction::OnlineVcpu { vm, vcpu } => self.online_vcpu(vm, vcpu),
+            ScriptAction::SetProbeNoise { noise } => self.set_probe_noise(noise),
+            ScriptAction::AnnotateFault { vm, vcpu, class } => {
+                let now = self.q.now();
+                self.trace.emit_vm(
+                    now,
+                    vm as u16,
+                    EventKind::FaultInjected {
+                        vcpu: vcpu as u16,
+                        class,
+                    },
+                );
+            }
         }
+    }
+
+    /// Takes a vCPU offline (chaos mode): evicted if running, removed from
+    /// every host queue, and excluded from scheduling until
+    /// [`Machine::online_vcpu`]. Its host state keeps evolving normally
+    /// (kicks land, quota refills), so steal accrues the whole time.
+    pub fn offline_vcpu(&mut self, vm: usize, vcpu: usize) {
+        let gv = self.gv(vm, vcpu);
+        if self.vcpus[gv].offline {
+            return;
+        }
+        self.vcpus[gv].offline = true;
+        match self.vcpus[gv].state {
+            HostState::Running(th) => {
+                self.set_vcpu_state(gv, HostState::Runnable);
+                self.vcpus[gv].tick_gen += 1;
+                self.remove_current(th);
+                let now = self.q.now();
+                self.q.post(now, Ev::ThreadResched { th });
+                self.notify_vcpu_stop(gv);
+            }
+            HostState::Runnable => {
+                for t in &mut self.threads {
+                    t.queue.retain(|e| *e != Entity::Vcpu(gv));
+                }
+            }
+            HostState::Halted | HostState::Throttled => {}
+        }
+    }
+
+    /// Brings an offline vCPU back online and requeues it if it wants to
+    /// run. Inverse of [`Machine::offline_vcpu`].
+    pub fn online_vcpu(&mut self, vm: usize, vcpu: usize) {
+        let gv = self.gv(vm, vcpu);
+        if !self.vcpus[gv].offline {
+            return;
+        }
+        self.vcpus[gv].offline = false;
+        // Every Runnable transition while offline skipped the enqueue, so a
+        // Runnable vCPU here is guaranteed not to be on any queue.
+        if self.vcpus[gv].state == HostState::Runnable {
+            self.enqueue_vcpu(gv);
+        }
+    }
+
+    /// Sets the machine-wide probe-noise amplitude (chaos mode).
+    pub fn set_probe_noise(&mut self, noise: f64) {
+        self.probe_noise = noise.max(0.0);
+    }
+
+    /// Host loads added so far (live or dead). The chaos planner uses this
+    /// to predict the arena ids its scripted `AddLoad`s will receive.
+    pub fn nr_host_loads(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Deterministic probe jitter in `[-probe_noise, +probe_noise]`, keyed
+    /// on the current simulated time and `salt`. A pure hash rather than an
+    /// rng draw: reading a noisy measurement must not advance shared rng
+    /// state, or probe timing would perturb unrelated draws.
+    fn probe_jitter(&self, salt: u64) -> f64 {
+        if self.probe_noise == 0.0 {
+            return 0.0;
+        }
+        let mut x = self
+            .q
+            .now()
+            .ns()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt.rotate_left(17));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        self.probe_noise * (2.0 * unit - 1.0)
     }
 
     /// Installs/changes/removes bandwidth control on a vCPU at runtime.
@@ -1211,6 +1348,17 @@ impl Machine {
         let gv = self.gv(vm, vcpu);
         let now = self.q.now();
         self.settle_vcpu_state(gv);
+        if let Some((q, p)) = qp {
+            self.trace.emit_vm(
+                now,
+                vm as u16,
+                EventKind::BandwidthSet {
+                    vcpu: vcpu as u16,
+                    quota_ns: q,
+                    period_ns: p,
+                },
+            );
+        }
         self.vcpus[gv].bw_gen += 1;
         self.vcpus[gv].bandwidth = qp.map(|(q, p)| Bandwidth {
             quota_ns: q,
@@ -1290,7 +1438,15 @@ impl Platform for Ctx<'_> {
     }
 
     fn steal_ns(&self, v: VcpuId) -> u64 {
-        self.m.vcpu_steal(self.gv(v))
+        let exact = self.m.vcpu_steal(self.gv(v));
+        let jitter = self.m.probe_jitter(self.gv(v) as u64);
+        if jitter == 0.0 {
+            return exact;
+        }
+        // Chaos probe noise: the paravirtual counter lies by up to
+        // ±probe_noise. Consumers must already tolerate non-monotonic
+        // readings (they clamp deltas), so no monotonicity fix-up here.
+        (exact as f64 * (1.0 + jitter)).max(0.0) as u64
     }
 
     fn vcpu_active(&self, v: VcpuId) -> bool {
@@ -1405,7 +1561,9 @@ impl Platform for Ctx<'_> {
         let base = self.m.spec.cacheline_ns(ta, tb);
         let noise = self.m.spec.cacheline.noise;
         let jitter = 1.0 + noise * (2.0 * self.m.rng.f64() - 1.0);
-        Some(base * jitter)
+        // Chaos probe noise stacks on the spec's measurement noise.
+        let chaos = 1.0 + self.m.probe_jitter((ga as u64) << 16 | gb as u64);
+        Some(base * jitter * chaos)
     }
 
     fn set_timer(&mut self, token: u64, at: SimTime) {

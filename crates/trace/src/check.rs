@@ -49,6 +49,16 @@ pub enum ViolationKind {
     IvhDuplicateAttempt,
     /// A task migrated while recorded as running.
     MigrateWhileRunning,
+    /// A bandwidth limit was installed with `quota > period`.
+    QuotaExceedsPeriod,
+    /// A vCPU throttled again without an intervening unthrottle (resume,
+    /// halt, or wake) — quota refill never released it.
+    ThrottleWithoutRefill,
+    /// PELT load grew across an idle gap (sleep decay must be monotone).
+    PeltLoadIncrease,
+    /// DegradedEnter while already degraded, DegradedExit while not, or an
+    /// exit whose `after_ns` disagrees with the observed enter time.
+    DegradedStateMismatch,
 }
 
 impl fmt::Display for ViolationKind {
@@ -96,6 +106,9 @@ pub struct CheckReport {
     pub first: Option<Violation>,
     /// ivh pulls still in flight when the stream ended (not a violation).
     pub pending_ivh: usize,
+    /// vCPUs still throttled when the stream ended (not a violation — the
+    /// run may simply have ended mid-period).
+    pub still_throttled: usize,
 }
 
 impl CheckReport {
@@ -146,6 +159,8 @@ pub struct InvariantChecker {
     min_vr: HashMap<(u16, u16), u64>,
     host: HashMap<(u16, u16), HostCpu>,
     ivh_pending: HashMap<(u16, u16), u32>,
+    throttled: HashMap<(u16, u16), SimTime>,
+    degraded: HashMap<u16, SimTime>,
     recent: std::collections::VecDeque<TraceEvent>,
     events: u64,
     violations: u64,
@@ -169,6 +184,8 @@ impl InvariantChecker {
             min_vr: HashMap::new(),
             host: HashMap::new(),
             ivh_pending: HashMap::new(),
+            throttled: HashMap::new(),
+            degraded: HashMap::new(),
             recent: std::collections::VecDeque::with_capacity(CONTEXT + 1),
             events: 0,
             violations: 0,
@@ -198,6 +215,7 @@ impl InvariantChecker {
             violations: self.violations,
             first: self.first.clone(),
             pending_ivh: self.ivh_pending.len(),
+            still_throttled: self.throttled.len(),
         }
     }
 
@@ -305,9 +323,20 @@ impl InvariantChecker {
                     HostCpu::Idle | HostCpu::Unknown => {}
                 }
                 self.host.insert(key, HostCpu::Running);
+                self.throttled.remove(&key);
             }
             EventKind::VcpuPreempt { vcpu, reason } => {
                 let key = (ev.vm, vcpu);
+                if reason == PreemptReason::Throttle {
+                    if let Some(&since) = self.throttled.get(&key) {
+                        self.flag(
+                            ViolationKind::ThrottleWithoutRefill,
+                            ev,
+                            format!("vcpu {vcpu} throttled again (throttled since {since})"),
+                        );
+                    }
+                    self.throttled.insert(key, ev.at);
+                }
                 let next = match reason {
                     PreemptReason::Halt => HostCpu::Idle,
                     _ => HostCpu::Waiting {
@@ -318,6 +347,7 @@ impl InvariantChecker {
                 self.host.insert(key, next);
             }
             EventKind::VcpuWake { vcpu } => {
+                self.throttled.remove(&(ev.vm, vcpu));
                 self.host.insert(
                     (ev.vm, vcpu),
                     HostCpu::Waiting {
@@ -328,6 +358,7 @@ impl InvariantChecker {
             }
             EventKind::VcpuHalt { vcpu } => {
                 let key = (ev.vm, vcpu);
+                self.throttled.remove(&key);
                 if let Some(HostCpu::Waiting { since, steal }) = self.host.get(&key).copied() {
                     let wall = ev.at.since(since);
                     if steal != wall {
@@ -411,10 +442,81 @@ impl InvariantChecker {
                     }
                 }
             }
+            EventKind::BandwidthSet {
+                vcpu,
+                quota_ns,
+                period_ns,
+            } => {
+                if quota_ns > period_ns {
+                    self.flag(
+                        ViolationKind::QuotaExceedsPeriod,
+                        ev,
+                        format!("vcpu {vcpu} quota {quota_ns} ns > period {period_ns} ns"),
+                    );
+                }
+            }
+            EventKind::PeltDecay {
+                task,
+                load_before,
+                load_after,
+                idle_ns,
+            } => {
+                // Sleep decay multiplies by a factor in (0, 1]; allow only
+                // f64 rounding slack above the starting load.
+                if load_after > load_before * (1.0 + 1e-9) + 1e-9 {
+                    self.flag(
+                        ViolationKind::PeltLoadIncrease,
+                        ev,
+                        format!(
+                            "task {task} load grew {load_before:.3} -> {load_after:.3} \
+                             across {idle_ns} ns idle"
+                        ),
+                    );
+                }
+            }
+            EventKind::DegradedEnter { .. } => {
+                if let Some(&since) = self.degraded.get(&ev.vm) {
+                    self.flag(
+                        ViolationKind::DegradedStateMismatch,
+                        ev,
+                        format!("enter while degraded since {since}"),
+                    );
+                }
+                self.degraded.insert(ev.vm, ev.at);
+            }
+            EventKind::DegradedExit { after_ns } => match self.degraded.remove(&ev.vm) {
+                None => self.flag(
+                    ViolationKind::DegradedStateMismatch,
+                    ev,
+                    "exit while not degraded".into(),
+                ),
+                Some(entered) => {
+                    let wall = ev.at.since(entered);
+                    if after_ns != wall {
+                        self.flag(
+                            ViolationKind::DegradedStateMismatch,
+                            ev,
+                            format!("exit claims {after_ns} ns degraded but entered {wall} ns ago"),
+                        );
+                    }
+                }
+            },
+            EventKind::IvhAbandonedByWatchdog { target, .. } => {
+                // Resolves the outstanding attempt exactly like an Abandon.
+                if self.ivh_pending.remove(&(ev.vm, target)).is_none() {
+                    self.flag(
+                        ViolationKind::IvhUnmatchedResolution,
+                        ev,
+                        format!("watchdog abandon with no outstanding attempt on vcpu {target}"),
+                    );
+                }
+            }
             EventKind::TaskWake { .. }
             | EventKind::ReschedIpi { .. }
             | EventKind::ProbeSample { .. }
-            | EventKind::BvsSelect { .. } => {}
+            | EventKind::BvsSelect { .. }
+            | EventKind::FaultInjected { .. }
+            | EventKind::ProbeRetry { .. } => {}
         }
         self.recent.push_back(ev);
         if self.recent.len() > CONTEXT {
@@ -652,5 +754,153 @@ mod tests {
             ev(10, EventKind::VcpuResume { vcpu: 1, thread: 1 }),
         ]);
         assert_eq!(c.first().unwrap().kind, ViolationKind::RunOverlap);
+    }
+
+    #[test]
+    fn quota_exceeding_period_detected() {
+        let c = check(&[ev(
+            0,
+            EventKind::BandwidthSet {
+                vcpu: 0,
+                quota_ns: 2_000_000,
+                period_ns: 1_000_000,
+            },
+        )]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::QuotaExceedsPeriod);
+        // quota == period is a full (unthrottled) allocation: clean.
+        let c = check(&[ev(
+            0,
+            EventKind::BandwidthSet {
+                vcpu: 0,
+                quota_ns: 1_000_000,
+                period_ns: 1_000_000,
+            },
+        )]);
+        assert!(c.report().ok());
+    }
+
+    #[test]
+    fn throttle_requires_refill_before_rethrottle() {
+        let throttle = |at| {
+            ev(
+                at,
+                EventKind::VcpuPreempt {
+                    vcpu: 0,
+                    reason: PreemptReason::Throttle,
+                },
+            )
+        };
+        // Throttle → resume → throttle is the expected refill cycle.
+        let c = check(&[
+            throttle(10),
+            ev(
+                30,
+                EventKind::StealAccrue {
+                    vcpu: 0,
+                    delta_ns: 20,
+                },
+            ),
+            ev(30, EventKind::VcpuResume { vcpu: 0, thread: 0 }),
+            throttle(50),
+        ]);
+        let r = c.report();
+        assert!(r.ok(), "unexpected violation: {:?}", r.first);
+        assert_eq!(r.still_throttled, 1);
+        // Two throttles with no resume/halt/wake in between.
+        let c = check(&[throttle(10), throttle(50)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::ThrottleWithoutRefill
+        );
+    }
+
+    #[test]
+    fn pelt_decay_must_not_increase_load() {
+        let decay = |before: f64, after: f64| {
+            ev(
+                10,
+                EventKind::PeltDecay {
+                    task: 1,
+                    load_before: before,
+                    load_after: after,
+                    idle_ns: 1_000_000,
+                },
+            )
+        };
+        assert!(check(&[decay(512.0, 256.0)]).report().ok());
+        assert!(check(&[decay(512.0, 512.0)]).report().ok());
+        let c = check(&[decay(256.0, 256.1)]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::PeltLoadIncrease);
+    }
+
+    #[test]
+    fn degraded_mode_alternation_checked() {
+        let enter = |at| {
+            ev(
+                at,
+                EventKind::DegradedEnter {
+                    reason: crate::event::DegradeReason::LowConfidence(crate::ProbeKind::Vcap),
+                },
+            )
+        };
+        // Enter → exit with a truthful duration is clean.
+        let c = check(&[
+            enter(100),
+            ev(350, EventKind::DegradedExit { after_ns: 250 }),
+        ]);
+        assert!(c.report().ok(), "{:?}", c.first());
+        // Double enter.
+        let c = check(&[enter(100), enter(200)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::DegradedStateMismatch
+        );
+        // Exit without enter.
+        let c = check(&[ev(100, EventKind::DegradedExit { after_ns: 10 })]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::DegradedStateMismatch
+        );
+        // Exit lying about its duration.
+        let c = check(&[
+            enter(100),
+            ev(350, EventKind::DegradedExit { after_ns: 99 }),
+        ]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::DegradedStateMismatch
+        );
+    }
+
+    #[test]
+    fn watchdog_abandon_resolves_pending_pull() {
+        let attempt = ev(
+            10,
+            EventKind::IvhPull {
+                task: 5,
+                src: 0,
+                target: 3,
+                phase: IvhPhase::Attempt,
+            },
+        );
+        let watchdog = ev(
+            50,
+            EventKind::IvhAbandonedByWatchdog {
+                task: 5,
+                src: 0,
+                target: 3,
+                waited_ns: 40,
+            },
+        );
+        let c = check(&[attempt, watchdog]);
+        let r = c.report();
+        assert!(r.ok(), "{:?}", r.first);
+        assert_eq!(r.pending_ivh, 0);
+        // Watchdog abandon with nothing outstanding is a violation.
+        let c = check(&[watchdog]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::IvhUnmatchedResolution
+        );
     }
 }

@@ -221,9 +221,49 @@ pub fn chrome_trace(ring: &RingBuffer) -> String {
                      \"args\":{{\"src\":{src}}}"
                 ));
             }
+            EventKind::FaultInjected { vcpu, class } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"chaos\",\"name\":\"fault {class:?}\",\
+                     \"args\":{{\"vcpu\":{vcpu}}}"
+                ));
+            }
+            EventKind::DegradedEnter { reason } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"vsched\",\"name\":\"degraded enter\",\
+                     \"args\":{{\"reason\":\"{reason:?}\"}}"
+                ));
+            }
+            EventKind::DegradedExit { after_ns } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"vsched\",\"name\":\"degraded exit\",\
+                     \"args\":{{\"after_ns\":{after_ns}}}"
+                ));
+            }
+            EventKind::ProbeRetry { probe, attempt } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"p\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"vsched\",\"name\":\"reprobe {probe:?}\",\
+                     \"args\":{{\"attempt\":{attempt}}}"
+                ));
+            }
+            EventKind::IvhAbandonedByWatchdog {
+                task, src, target, ..
+            } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"t\",\"ts\":{t},\"pid\":{vm},\"tid\":{target},\
+                     \"cat\":\"vsched\",\"name\":\"ivh watchdog T{task}\",\
+                     \"args\":{{\"src\":{src}}}"
+                ));
+            }
             // High-volume accounting deltas stay out of the visual trace;
             // they feed the schedstat totals and the checker instead.
-            EventKind::StealAccrue { .. } | EventKind::TaskCharge { .. } => {}
+            EventKind::StealAccrue { .. }
+            | EventKind::TaskCharge { .. }
+            | EventKind::BandwidthSet { .. }
+            | EventKind::PeltDecay { .. } => {}
         }
     }
 
@@ -267,7 +307,13 @@ fn vcpu_of(ev: &TraceEvent) -> Option<u16> {
         EventKind::ReschedIpi { to, .. } => Some(to),
         EventKind::TaskMigrate { to, .. } => Some(to),
         EventKind::IvhPull { target, .. } => Some(target),
-        EventKind::BvsSelect { .. } => None,
+        EventKind::IvhAbandonedByWatchdog { target, .. } => Some(target),
+        EventKind::FaultInjected { vcpu, .. } | EventKind::BandwidthSet { vcpu, .. } => Some(vcpu),
+        EventKind::BvsSelect { .. }
+        | EventKind::ProbeRetry { .. }
+        | EventKind::DegradedEnter { .. }
+        | EventKind::DegradedExit { .. }
+        | EventKind::PeltDecay { .. } => None,
     }
 }
 

@@ -74,6 +74,38 @@ pub enum ProbeKind {
     Vtop,
 }
 
+/// Class of an injected host-side fault (chaos mode).
+///
+/// Lives here rather than in `hostsim` because `trace` sits below both the
+/// host simulator (which injects faults) and `vsched` (which must survive
+/// them) in the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A host stressor thread burst onto a pcore.
+    StressorBurst,
+    /// The cgroup quota/period of a vCPU changed.
+    QuotaChurn,
+    /// A vCPU was re-pinned to different hardware threads.
+    PinChange,
+    /// A vCPU was taken offline (host refuses to schedule it).
+    VcpuOffline,
+    /// A previously offline vCPU came back online.
+    VcpuOnline,
+    /// A pcore's capacity (DVFS frequency) stepped.
+    CapacityStep,
+    /// Probe-visible measurements gained multiplicative noise.
+    ProbeNoise,
+}
+
+/// Why vSched's resilience layer entered degraded mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// A prober's confidence score fell below the enter threshold.
+    LowConfidence(ProbeKind),
+    /// A prober returned a recoverable error (fallback path fired).
+    ProbeError(ProbeKind),
+}
+
 /// One scheduler event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
@@ -134,6 +166,40 @@ pub enum EventKind {
         active_ns: u64,
         work: f64,
     },
+    /// The chaos layer injected a fault. `vcpu` is the affected guest vCPU
+    /// where one exists (pin/offline/quota), or 0 for machine-wide faults.
+    FaultInjected { vcpu: u16, class: FaultClass },
+    /// The host (re)installed a bandwidth limit on `vcpu`.
+    BandwidthSet {
+        vcpu: u16,
+        quota_ns: u64,
+        period_ns: u64,
+    },
+    /// The resilience layer re-probed after low confidence (bounded,
+    /// exponential backoff; `attempt` counts from 1).
+    ProbeRetry { probe: ProbeKind, attempt: u32 },
+    /// vSched entered degraded mode (bvs off, ivh watchdog armed, rwc
+    /// relaxation capped).
+    DegradedEnter { reason: DegradeReason },
+    /// vSched left degraded mode after `after_ns` of degraded operation.
+    DegradedExit { after_ns: u64 },
+    /// The resilience watchdog abandoned an in-flight ivh pull whose target
+    /// vCPU never started within the timeout.
+    IvhAbandonedByWatchdog {
+        task: u32,
+        src: u16,
+        target: u16,
+        waited_ns: u64,
+    },
+    /// PELT decayed `task`'s load across an idle gap of `idle_ns` at wakeup.
+    /// Loads are in `UTIL_MAX`-scale units; the checker asserts
+    /// `load_after <= load_before` (sleep decay is monotone).
+    PeltDecay {
+        task: u32,
+        load_before: f64,
+        load_after: f64,
+        idle_ns: u64,
+    },
 }
 
 /// A stamped event: simulated time, owning VM, payload.
@@ -164,6 +230,13 @@ impl EventKind {
             EventKind::BvsSelect { .. } => "bvs_select",
             EventKind::IvhPull { .. } => "ivh_pull",
             EventKind::TaskCharge { .. } => "task_charge",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::BandwidthSet { .. } => "bandwidth_set",
+            EventKind::ProbeRetry { .. } => "probe_retry",
+            EventKind::DegradedEnter { .. } => "degraded_enter",
+            EventKind::DegradedExit { .. } => "degraded_exit",
+            EventKind::IvhAbandonedByWatchdog { .. } => "ivh_abandoned_by_watchdog",
+            EventKind::PeltDecay { .. } => "pelt_decay",
         }
     }
 }

@@ -31,7 +31,8 @@ pub mod sink;
 pub use check::{CheckReport, InvariantChecker, Violation, ViolationKind};
 pub use chrome::{chrome_trace, validate_json};
 pub use event::{
-    EventKind, IvhPhase, MigrateKind, PreemptReason, ProbeKind, SwitchReason, TraceEvent,
+    DegradeReason, EventKind, FaultClass, IvhPhase, MigrateKind, PreemptReason, ProbeKind,
+    SwitchReason, TraceEvent,
 };
 pub use latency::WakeLatency;
 pub use ring::RingBuffer;

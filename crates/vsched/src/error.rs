@@ -1,0 +1,42 @@
+//! Typed prober errors.
+//!
+//! The vProbers run against a host that may lie, churn, or take vCPUs away
+//! mid-probe; conditions that used to be `unwrap()`/`expect()` panics are
+//! recoverable states of the environment, not programming errors. Every
+//! prober entry point reachable from `Machine::run` returns a
+//! [`ProbeError`] instead of panicking; callers fall back to the last good
+//! estimate (or the vanilla-CFS default) and report the error to the
+//! resilience layer, which may enter degraded mode.
+
+use std::fmt;
+use trace::ProbeKind;
+
+/// A recoverable prober failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeError {
+    /// A sampling window closed with no usable sample (e.g. every vCPU
+    /// skipped or offline); previous estimates stay in force.
+    NoSamples(ProbeKind),
+    /// Prober-internal state was inconsistent with the world (a finished
+    /// session without an outcome, an unresolved socket, an empty stacking
+    /// group). The probe pass is aborted and its results discarded.
+    Inconsistent(ProbeKind, &'static str),
+}
+
+impl ProbeError {
+    /// Which prober failed.
+    pub fn probe(&self) -> ProbeKind {
+        match self {
+            ProbeError::NoSamples(p) | ProbeError::Inconsistent(p, _) => *p,
+        }
+    }
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::NoSamples(p) => write!(f, "{p:?}: window produced no samples"),
+            ProbeError::Inconsistent(p, what) => write!(f, "{p:?}: inconsistent state: {what}"),
+        }
+    }
+}

@@ -151,6 +151,41 @@ impl Ivh {
         plat.send_ipi(target);
     }
 
+    /// Removes and returns pulls that have been pending longer than
+    /// `timeout_ns`: `(target, src, task, waited_ns)`. The resilience
+    /// watchdog abandons these — a target that never started (offlined,
+    /// crushed, or re-pinned away) would otherwise hold its pull slot
+    /// forever and block future harvesting toward that vCPU.
+    pub fn take_stale_pulls(
+        &mut self,
+        now: SimTime,
+        timeout_ns: u64,
+    ) -> Vec<(VcpuId, VcpuId, TaskId, u64)> {
+        self.take_pulls_if(|p| now.since(p.initiated) > timeout_ns, now)
+    }
+
+    /// Removes and returns every pending pull (degraded-mode entry
+    /// abandons all in-flight harvesting).
+    pub fn take_all_pulls(&mut self, now: SimTime) -> Vec<(VcpuId, VcpuId, TaskId, u64)> {
+        self.take_pulls_if(|_| true, now)
+    }
+
+    fn take_pulls_if(
+        &mut self,
+        cond: impl Fn(&Pending) -> bool,
+        now: SimTime,
+    ) -> Vec<(VcpuId, VcpuId, TaskId, u64)> {
+        let mut out = Vec::new();
+        for (target, slot) in self.pending.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(&cond) {
+                if let Some(p) = slot.take() {
+                    out.push((VcpuId(target), p.src, p.task, now.since(p.initiated)));
+                }
+            }
+        }
+        out
+    }
+
     /// vCPU-start hook: the pre-woken target issues its pull request
     /// (steps 2–3 of Figure 9).
     pub fn on_vcpu_start(

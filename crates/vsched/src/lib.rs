@@ -28,7 +28,9 @@
 //! is complete vSched.
 
 pub mod bvs;
+pub mod error;
 pub mod ivh;
+pub mod resilience;
 pub mod rwc;
 pub mod tunables;
 pub mod vact;
@@ -36,7 +38,9 @@ pub mod vcap;
 pub mod vtop;
 
 pub use bvs::BvsStats;
+pub use error::ProbeError;
 pub use ivh::Ivh;
+pub use resilience::{ResilAction, ResilCfg, Resilience};
 pub use rwc::Rwc;
 pub use tunables::Tunables;
 pub use vact::{ActState, Vact};
@@ -45,6 +49,8 @@ pub use vtop::{PairClass, Vtop};
 
 use guestos::platform::HOOK_TIMER_BASE;
 use guestos::{GuestOs, Kernel, Platform, SchedHooks, TaskId, VcpuId};
+use simcore::SimTime;
+use trace::ProbeKind;
 
 /// Timer token: open a vcap sampling window (periodic).
 pub const TOKEN_VCAP_OPEN: u64 = HOOK_TIMER_BASE + 1;
@@ -56,6 +62,8 @@ pub const TOKEN_VCAP_DEMOTE: u64 = HOOK_TIMER_BASE + 5;
 pub const TOKEN_VTOP_PERIOD: u64 = HOOK_TIMER_BASE + 3;
 /// Timer token: vtop in-flight session check (1 ms while probing).
 pub const TOKEN_VTOP_CHECK: u64 = HOOK_TIMER_BASE + 4;
+/// Timer token: resilience watchdog (periodic while resilience is on).
+pub const TOKEN_RESIL_WATCHDOG: u64 = HOOK_TIMER_BASE + 6;
 
 /// Which vSched pieces are enabled.
 #[derive(Debug, Clone)]
@@ -76,6 +84,9 @@ pub struct VschedConfig {
     pub bvs_state_check: bool,
     /// ivh pre-wakes targets (false = Table 4's activity-unaware ablation).
     pub ivh_prewake: bool,
+    /// Resilience layer: confidence scoring, degraded mode, watchdog.
+    /// `None` (the default) reproduces the paper's behavior exactly.
+    pub resilience: Option<ResilCfg>,
     /// Tunables (Table 1 defaults).
     pub tunables: Tunables,
 }
@@ -92,6 +103,7 @@ impl VschedConfig {
             rwc: true,
             bvs_state_check: true,
             ivh_prewake: true,
+            resilience: None,
             tunables: Tunables::paper(),
         }
     }
@@ -127,6 +139,12 @@ impl VschedConfig {
         self.ivh_prewake = false;
         self
     }
+
+    /// Enables the resilience layer with the given knobs.
+    pub fn with_resilience(mut self, cfg: ResilCfg) -> Self {
+        self.resilience = Some(cfg);
+        self
+    }
 }
 
 /// The installed vSched instance: owns the probers and policies and
@@ -146,12 +164,14 @@ pub struct Vsched {
     pub rwc: Rwc,
     /// bvs decision statistics.
     pub bvs_stats: BvsStats,
+    /// Resilience layer (when configured).
+    pub resil: Option<Resilience>,
     vtop_check_armed: bool,
     vtop_ran_once: bool,
 }
 
 impl Vsched {
-    fn new(nr_vcpus: usize, tick_ns: u64, cfg: VschedConfig, now: simcore::SimTime) -> Self {
+    fn new(nr_vcpus: usize, tick_ns: u64, cfg: VschedConfig, now: SimTime) -> Self {
         Self {
             vcap: Vcap::new(nr_vcpus, &cfg.tunables),
             vact: Vact::new(nr_vcpus, tick_ns, &cfg.tunables, now),
@@ -159,10 +179,17 @@ impl Vsched {
             ivh: Ivh::new(nr_vcpus, cfg.ivh_prewake),
             rwc: Rwc::new(nr_vcpus),
             bvs_stats: BvsStats::default(),
+            resil: cfg.resilience.clone().map(|rc| Resilience::new(rc, now)),
             vtop_check_armed: false,
             vtop_ran_once: false,
             cfg,
         }
+    }
+
+    /// Whether the resilience layer currently distrusts the abstraction
+    /// (bvs/ivh/rwc suppressed, vanilla-CFS placement in force).
+    pub fn degraded(&self) -> bool {
+        self.resil.as_ref().is_some_and(|r| r.degraded())
     }
 
     /// Applies a freshly probed topology: rebuild domains, update rwc bans,
@@ -174,15 +201,20 @@ impl Vsched {
         kern.install_topology(&topo);
         if self.cfg.rwc {
             let groups = self.vtop.stacked_groups();
-            let newly_banned = self.rwc.update_stacking(kern, plat, &groups);
-            for v in newly_banned {
-                self.vcap.ban_vcpu(kern, plat, v);
-            }
-            // Unbanned vCPUs may be probed again.
-            for v in 0..self.rwc.banned.len() {
-                if !self.rwc.banned[v] {
-                    self.vcap.unban_vcpu(v);
+            match self.rwc.update_stacking(kern, plat, &groups) {
+                Ok(newly_banned) => {
+                    for v in newly_banned {
+                        self.vcap.ban_vcpu(kern, plat, v);
+                    }
+                    // Unbanned vCPUs may be probed again.
+                    for v in 0..self.rwc.banned.len() {
+                        if !self.rwc.banned[v] {
+                            self.vcap.unban_vcpu(v);
+                        }
+                    }
                 }
+                // Malformed probed topology: keep the previous ban set.
+                Err(e) => self.probe_error(kern, plat, e),
             }
         }
     }
@@ -192,6 +224,84 @@ impl Vsched {
             self.vtop_check_armed = true;
             let at = plat.now().after(1_000_000);
             plat.set_timer(TOKEN_VTOP_CHECK, at);
+        }
+    }
+
+    /// Routes a prober failure into the resilience layer (no-op without
+    /// one: the estimates simply stay at their last good values).
+    fn probe_error(&mut self, kern: &mut Kernel, plat: &mut dyn Platform, err: ProbeError) {
+        let now = plat.now();
+        let action = match self.resil.as_mut() {
+            Some(r) => r.degrade_on_error(kern, now, err),
+            None => return,
+        };
+        if action == ResilAction::EnteredDegraded {
+            self.on_entered_degraded(kern, plat);
+        }
+    }
+
+    /// Degraded-mode entry actions: abandon every in-flight harvest, lift
+    /// rwc's capacity-based restrictions, and withdraw the published
+    /// capacity overrides (all rely on estimates that are no longer
+    /// trusted — vanilla CFS must not be steered by them either).
+    fn on_entered_degraded(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
+        let now = plat.now();
+        let pulls = self.ivh.take_all_pulls(now);
+        self.abandon_pulls(kern, now, pulls);
+        self.rwc.clear_stragglers(kern);
+        self.vcap.suppress_publish = true;
+        self.vcap.unpublish(kern);
+    }
+
+    fn abandon_pulls(
+        &mut self,
+        kern: &mut Kernel,
+        now: SimTime,
+        pulls: Vec<(VcpuId, VcpuId, TaskId, u64)>,
+    ) {
+        for (target, src, task, waited_ns) in pulls {
+            kern.stats.ivh_abandoned.inc();
+            kern.trace.emit(
+                now,
+                trace::EventKind::IvhAbandonedByWatchdog {
+                    task: task.0,
+                    src: src.0 as u16,
+                    target: target.0 as u16,
+                    waited_ns,
+                },
+            );
+            if let Some(r) = self.resil.as_mut() {
+                r.watchdog_abandons += 1;
+            }
+        }
+    }
+
+    /// A bounded degraded-mode re-probe: an early vcap window or a vtop
+    /// validation pass, whichever prober is trusted least.
+    fn force_reprobe(&mut self, kern: &mut Kernel, plat: &mut dyn Platform, probe: ProbeKind) {
+        let now = plat.now();
+        match probe {
+            ProbeKind::Vcap | ProbeKind::VcapCore | ProbeKind::Vact => {
+                if self.cfg.vcap && !self.vcap.window_open() {
+                    self.vcap.suppress_heavy = self.degraded();
+                    self.vcap.open_window(kern, plat);
+                    plat.set_timer(TOKEN_VCAP_DEMOTE, now.after(15_000_000));
+                    plat.set_timer(
+                        TOKEN_VCAP_CLOSE,
+                        now.after(self.cfg.tunables.vcap_sampling_period_ns),
+                    );
+                }
+            }
+            ProbeKind::Vtop => {
+                if self.cfg.vtop && !self.vtop.probing() {
+                    self.vtop.start_validation(kern, plat);
+                    if self.vtop.probing() {
+                        self.arm_vtop_check(plat);
+                    } else {
+                        self.install_topology(kern, plat);
+                    }
+                }
+            }
         }
     }
 }
@@ -208,7 +318,9 @@ impl SchedHooks for Vsched {
         task: TaskId,
         _prev: VcpuId,
     ) -> Option<VcpuId> {
-        if !self.cfg.bvs {
+        if !self.cfg.bvs || self.degraded() {
+            // Degraded: the activity/capacity estimates backing bvs are
+            // untrusted — fall through to vanilla CFS selection.
             return None;
         }
         let chosen = bvs::select(
@@ -236,7 +348,7 @@ impl SchedHooks for Vsched {
             let steal = plat.steal_ns(v);
             self.vact.on_tick(v, plat.now(), steal);
         }
-        if self.cfg.ivh {
+        if self.cfg.ivh && !self.degraded() {
             self.ivh
                 .on_tick(kern, plat, &self.vact, &self.cfg.tunables, v);
         }
@@ -248,16 +360,20 @@ impl SchedHooks for Vsched {
                 .on_vcpu_start(kern, plat, &self.vact, &self.cfg.tunables, v);
         }
         if self.cfg.vtop && self.vtop.probing() {
-            self.vtop.update_sessions(kern, plat);
-            self.install_topology(kern, plat);
+            match self.vtop.update_sessions(kern, plat) {
+                Ok(_) => self.install_topology(kern, plat),
+                Err(e) => self.probe_error(kern, plat, e),
+            }
         }
     }
 
     fn on_vcpu_stop(&mut self, kern: &mut Kernel, plat: &mut dyn Platform, v: VcpuId) {
         let _ = v;
         if self.cfg.vtop && self.vtop.probing() {
-            self.vtop.update_sessions(kern, plat);
-            self.install_topology(kern, plat);
+            match self.vtop.update_sessions(kern, plat) {
+                Ok(_) => self.install_topology(kern, plat),
+                Err(e) => self.probe_error(kern, plat, e),
+            }
         }
     }
 
@@ -265,6 +381,7 @@ impl SchedHooks for Vsched {
         match token {
             TOKEN_VCAP_OPEN => {
                 if self.cfg.vcap && !self.vcap.window_open() {
+                    self.vcap.suppress_heavy = self.degraded();
                     self.vcap.open_window(kern, plat);
                 }
                 let now = plat.now();
@@ -285,18 +402,33 @@ impl SchedHooks for Vsched {
             }
             TOKEN_VCAP_CLOSE => {
                 if self.cfg.vcap && self.vcap.window_open() {
-                    self.vcap.close_window(kern, plat);
+                    match self.vcap.close_window(kern, plat) {
+                        Ok(()) => {
+                            if let Some(r) = self.resil.as_mut() {
+                                r.observe_vcap(plat.now(), &self.vcap);
+                            }
+                        }
+                        Err(e) => self.probe_error(kern, plat, e),
+                    }
                 }
                 if self.cfg.vact {
                     self.vact.close_window(kern, plat.now());
+                    if let Some(r) = self.resil.as_mut() {
+                        r.observe_vact(plat.now(), &self.vact);
+                    }
                 }
-                if self.cfg.rwc && self.cfg.vcap {
+                // Degraded: the capacity estimates feeding straggler
+                // detection are untrusted, so rwc relaxation stays capped.
+                if self.cfg.rwc && self.cfg.vcap && !self.degraded() {
                     self.rwc
                         .update_stragglers(kern, plat, &self.vcap, &self.cfg.tunables);
                 }
             }
             TOKEN_VTOP_PERIOD => {
-                if self.cfg.vtop && !self.vtop.probing() {
+                // Degraded: no periodic probe starts — vtop's high-priority
+                // ping-pong probers disturb the workload, and the watchdog's
+                // bounded retries already re-probe at a controlled pace.
+                if self.cfg.vtop && !self.vtop.probing() && !self.degraded() {
                     if self.vtop_ran_once {
                         self.vtop.start_validation(kern, plat);
                     } else {
@@ -317,10 +449,47 @@ impl SchedHooks for Vsched {
             }
             TOKEN_VTOP_CHECK => {
                 self.vtop_check_armed = false;
-                let still = self.vtop.update_sessions(kern, plat);
-                self.install_topology(kern, plat);
+                let still = match self.vtop.update_sessions(kern, plat) {
+                    Ok(still) => {
+                        self.install_topology(kern, plat);
+                        still
+                    }
+                    Err(e) => {
+                        self.probe_error(kern, plat, e);
+                        false
+                    }
+                };
                 if still {
                     self.arm_vtop_check(plat);
+                }
+            }
+            TOKEN_RESIL_WATCHDOG => {
+                let now = plat.now();
+                let Some(timeout) = self.resil.as_ref().map(|r| r.cfg.pull_timeout_ns) else {
+                    return;
+                };
+                // A pre-woken target that never started (offlined, crushed,
+                // or re-pinned away) would hold its pull slot forever.
+                let stale = self.ivh.take_stale_pulls(now, timeout);
+                self.abandon_pulls(kern, now, stale);
+                let action = match self.resil.as_mut() {
+                    Some(r) => {
+                        r.observe_vtop(now, self.vtop.validations, self.vtop.validation_failures);
+                        r.on_watchdog(kern, now)
+                    }
+                    None => ResilAction::None,
+                };
+                match action {
+                    ResilAction::EnteredDegraded => self.on_entered_degraded(kern, plat),
+                    ResilAction::Reprobe(p) => self.force_reprobe(kern, plat, p),
+                    ResilAction::ExitedDegraded => {
+                        // Re-trusted: the next window republishes overrides.
+                        self.vcap.suppress_publish = false;
+                    }
+                    ResilAction::None => {}
+                }
+                if let Some(r) = &self.resil {
+                    plat.set_timer(TOKEN_RESIL_WATCHDOG, now.after(r.cfg.watchdog_period_ns));
                 }
             }
             _ => {}
@@ -336,6 +505,15 @@ pub fn install(guest: &mut GuestOs, plat: &mut dyn Platform, cfg: VschedConfig) 
     let tick = guest.kern.cfg.tick_ns;
     let now = plat.now();
     let vs = Vsched::new(nr, tick, cfg, now);
+    if let Some(r) = &vs.resil {
+        // The watchdog's first tick lands before the first probe window so
+        // a low entry threshold (or an already-poisoned config) degrades
+        // the VM before any heavy prober gets to run.
+        plat.set_timer(
+            TOKEN_RESIL_WATCHDOG,
+            now.after(r.cfg.watchdog_period_ns.min(5_000_000)),
+        );
+    }
     if vs.cfg.vcap || vs.cfg.vact {
         plat.set_timer(TOKEN_VCAP_OPEN, now.after(10_000_000));
     }

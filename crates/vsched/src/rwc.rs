@@ -16,9 +16,11 @@
 //! When a ban lands on a vCPU that currently holds tasks, they are
 //! evacuated through the regular CFS selection path.
 
+use crate::error::ProbeError;
 use crate::tunables::Tunables;
 use crate::vcap::Vcap;
 use guestos::{Kernel, MigrateKind, Platform, VcpuId};
+use trace::ProbeKind;
 
 /// The relaxed-work-conservation policy engine.
 pub struct Rwc {
@@ -69,15 +71,31 @@ impl Rwc {
     /// stacking group the lowest-numbered vCPU stays, the rest are banned.
     /// Returns the vCPUs whose ban state changed to banned (so vcap can
     /// retire its probers there).
+    ///
+    /// Errors — without changing any ban — on a malformed topology (an
+    /// empty or out-of-range stacking group): under chaos the probed
+    /// topology is untrusted input, so it is validated before any vCPU is
+    /// hidden from the scheduler.
     pub fn update_stacking(
         &mut self,
         kern: &mut Kernel,
         plat: &mut dyn Platform,
         stacked_groups: &[Vec<usize>],
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, ProbeError> {
         let mut should_ban = vec![false; self.nr_vcpus];
         for group in stacked_groups {
-            let keep = group.iter().copied().min().expect("non-empty group");
+            let Some(keep) = group.iter().copied().min() else {
+                return Err(ProbeError::Inconsistent(
+                    ProbeKind::Vtop,
+                    "empty stacking group",
+                ));
+            };
+            if group.iter().any(|&v| v >= self.nr_vcpus) {
+                return Err(ProbeError::Inconsistent(
+                    ProbeKind::Vtop,
+                    "stacking group references unknown vCPU",
+                ));
+            }
             for &v in group {
                 if v != keep {
                     should_ban[v] = true;
@@ -101,7 +119,21 @@ impl Rwc {
                 }
             }
         }
-        newly_banned
+        Ok(newly_banned)
+    }
+
+    /// Lifts every straggler restriction (degraded mode caps rwc
+    /// relaxation: with the capacity estimates untrusted, hiding vCPUs
+    /// from placement does more harm than the stragglers would).
+    pub fn clear_stragglers(&mut self, kern: &mut Kernel) {
+        for v in 0..self.nr_vcpus {
+            if self.stragglers[v] {
+                self.stragglers[v] = false;
+                if !self.banned[v] {
+                    kern.cgroup.allow(v);
+                }
+            }
+        }
     }
 
     /// Moves tasks off a newly restricted vCPU. With `all`, even

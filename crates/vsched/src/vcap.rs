@@ -17,6 +17,7 @@
 //! installed into the kernel as the per-vCPU capacity override — the
 //! "kernel module updating per-vCPU data" of paper §4.
 
+use crate::error::ProbeError;
 use crate::tunables::Tunables;
 use guestos::{CpuMask, Kernel, Platform, Policy, SpawnSpec, TaskId, TaskProgram, VcpuId};
 use metrics::Ema;
@@ -33,6 +34,23 @@ pub struct Vcap {
     heavy_probers: Vec<Option<TaskId>>,
     /// vCPUs vcap must not touch (rwc-banned stacked vCPUs).
     pub skip: Vec<bool>,
+    /// Degraded mode: force light phases only. Heavy probers run at high
+    /// priority and visibly disturb the workload; a degraded scheduler
+    /// must not add that cost on top of an already-misbehaving host.
+    /// Light windows still feed the capacity EMAs (through the last known
+    /// core estimate), so confidence can recover without the disturbance.
+    pub suppress_heavy: bool,
+    /// Degraded mode: keep sampling but do not publish the estimates into
+    /// the kernel (`cap_override`, `asym_capacity`). Untrusted capacities
+    /// must not steer CFS wakeup placement or misfit balancing; windows
+    /// only feed the EMAs so confidence can recover.
+    pub suppress_publish: bool,
+    /// The single vCPU this window probes when degraded (round-robin).
+    /// A light prober still keeps its vCPU host-busy for the whole window,
+    /// which costs real capacity on a stacked or DVFS-slowed core —
+    /// exactly the hosts a degraded scheduler runs on — so degraded
+    /// windows disturb one vCPU at a time instead of all of them.
+    window_rr: Option<usize>,
     window_open: bool,
     window_heavy: bool,
     light_count: u32,
@@ -57,6 +75,9 @@ impl Vcap {
             probers: vec![None; nr_vcpus],
             heavy_probers: vec![None; nr_vcpus],
             skip: vec![false; nr_vcpus],
+            suppress_heavy: false,
+            suppress_publish: false,
+            window_rr: None,
             window_open: false,
             window_heavy: false,
             light_count: 0,
@@ -87,10 +108,14 @@ impl Vcap {
     pub fn open_window(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
         debug_assert!(!self.window_open);
         self.window_open = true;
-        self.window_heavy = self.light_count.is_multiple_of(self.heavy_every);
+        self.window_heavy =
+            !self.suppress_heavy && self.light_count.is_multiple_of(self.heavy_every);
+        self.window_rr = self
+            .suppress_publish
+            .then_some(self.light_count as usize % self.nr_vcpus);
         self.light_count = self.light_count.wrapping_add(1);
         for v in 0..self.nr_vcpus {
-            if self.skip[v] {
+            if self.skip[v] || self.window_rr.is_some_and(|rr| rr != v) {
                 continue;
             }
             // The persistent light prober: best-effort, only consumes
@@ -143,11 +168,20 @@ impl Vcap {
 
     /// Closes the window: computes shares (and core capacities in heavy
     /// phase), feeds the EMAs, installs overrides, parks the probers.
-    pub fn close_window(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
+    ///
+    /// Errors when the window produced no usable sample (every vCPU
+    /// skipped); previous capacity estimates stay installed.
+    pub fn close_window(
+        &mut self,
+        kern: &mut Kernel,
+        plat: &mut dyn Platform,
+    ) -> Result<(), ProbeError> {
         debug_assert!(self.window_open);
         self.window_open = false;
+        let mut sampled = 0usize;
+        let window_rr = self.window_rr.take();
         for v in 0..self.nr_vcpus {
-            if self.skip[v] {
+            if self.skip[v] || window_rr.is_some_and(|rr| rr != v) {
                 continue;
             }
             let Some(t) = self.probers[v] else { continue };
@@ -172,7 +206,10 @@ impl Vcap {
             }
             let sample = self.core_cap[v] * share;
             let ema = self.cap[v].update(sample);
-            kern.vcpus[v].cap_override = Some(ema.max(1.0));
+            if !self.suppress_publish {
+                kern.vcpus[v].cap_override = Some(ema.max(1.0));
+            }
+            sampled += 1;
             kern.trace.emit(
                 plat.now(),
                 trace::EventKind::ProbeSample {
@@ -186,17 +223,23 @@ impl Vcap {
             .filter(|&v| !self.skip[v])
             .map(|v| self.capacity(VcpuId(v)))
             .collect();
-        if !caps.is_empty() {
-            caps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp orders NaN deterministically instead of panicking on a
+        // poisoned comparison (a lying host can produce any f64).
+        caps.sort_by(|a, b| a.total_cmp(b));
+        if let (Some(&min), Some(&max)) = (caps.first(), caps.last()) {
             self.median_cap = caps[(caps.len() - 1) / 2];
             self.mean_cap = caps.iter().sum::<f64>() / caps.len() as f64;
             // Accurate capacity turns capacity-aware balancing back on:
             // declare asymmetry (SD_ASYM_CPUCAPACITY) when probed capacities
             // genuinely diverge.
-            let max = *caps.last().expect("non-empty");
-            let min = caps[0].max(1.0);
-            kern.asym_capacity = max / min > 1.3;
+            if !self.suppress_publish {
+                kern.asym_capacity = max / min.max(1.0) > 1.3;
+            }
         }
+        if sampled == 0 {
+            return Err(ProbeError::NoSamples(trace::ProbeKind::Vcap));
+        }
+        Ok(())
     }
 
     /// Retires the heavy-phase probers once they have executed long enough
@@ -213,6 +256,16 @@ impl Vcap {
                 kern.kill_task(plat, t);
             }
         }
+    }
+
+    /// Withdraws every published estimate from the kernel (degraded-mode
+    /// entry): with the overrides gone, CFS falls back to its own
+    /// steal-observation heuristic instead of acting on untrusted numbers.
+    pub fn unpublish(&mut self, kern: &mut Kernel) {
+        for d in kern.vcpus.iter_mut() {
+            d.cap_override = None;
+        }
+        kern.asym_capacity = false;
     }
 
     /// Kills the prober of a newly banned vCPU and marks it skipped.

@@ -20,11 +20,13 @@
 //!    disjoint) plus leader representatives; a full probe runs only when
 //!    validation detects a mismatch.
 
+use crate::error::ProbeError;
 use crate::tunables::Tunables;
 use guestos::{
     CpuMask, Kernel, PerceivedTopology, Platform, Policy, SpawnSpec, TaskId, TaskProgram, VcpuId,
 };
 use simcore::SimTime;
+use trace::ProbeKind;
 
 /// Classified distance between a vCPU pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,9 +271,18 @@ impl Vtop {
 
     /// Updates every in-flight session from current activity; returns true
     /// while any session remains (the caller keeps the check timer armed).
-    pub fn update_sessions(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) -> bool {
+    ///
+    /// Errors abort the whole probe pass (probers killed, partial results
+    /// discarded, previously installed topology untouched): under chaos a
+    /// session can finish in a state the phase machine cannot reconcile,
+    /// and a half-applied topology is worse than a stale one.
+    pub fn update_sessions(
+        &mut self,
+        kern: &mut Kernel,
+        plat: &mut dyn Platform,
+    ) -> Result<bool, ProbeError> {
         if self.sessions.is_empty() {
-            return self.probing();
+            return Ok(self.probing());
         }
         let now = plat.now();
         for s in self.sessions.iter_mut() {
@@ -280,8 +291,20 @@ impl Vtop {
             s.update(now, lat, any, &self.tun);
             s.check_done(&self.tun);
         }
-        self.advance(kern, plat);
-        self.probing()
+        if let Err(e) = self.advance(kern, plat) {
+            self.abort(kern, plat);
+            return Err(e);
+        }
+        Ok(self.probing())
+    }
+
+    /// Aborts the in-flight probe pass: kills every session prober and
+    /// returns to idle without touching the installed topology.
+    fn abort(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
+        for s in std::mem::take(&mut self.sessions) {
+            Self::end_session(kern, plat, &s);
+        }
+        self.phase = Phase::Idle;
     }
 
     /// Begins a full topology probe.
@@ -394,7 +417,7 @@ impl Vtop {
     }
 
     /// Consumes finished sessions and drives the phase machine.
-    fn advance(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
+    fn advance(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) -> Result<(), ProbeError> {
         loop {
             // Collect finished sessions.
             let mut finished: Vec<Session> = Vec::new();
@@ -407,7 +430,7 @@ impl Vtop {
                 }
             }
             if finished.is_empty() {
-                return;
+                return Ok(());
             }
             for s in &finished {
                 Self::end_session(kern, plat, s);
@@ -423,20 +446,20 @@ impl Vtop {
             match &mut phase {
                 Phase::Full(fp) => {
                     for s in &finished {
-                        self.full_step(fp, kern, plat, s);
+                        self.full_step(fp, kern, plat, s)?;
                     }
                     if matches!(fp.stage, FullStage::Smt)
                         && self.sessions.is_empty()
                         && fp.smt_queues.iter().all(|q| q.len() <= 1)
                     {
-                        self.finish_full(fp, plat.now());
+                        self.finish_full(fp, plat.now())?;
                         // phase goes Idle.
                         continue;
                     }
                 }
                 Phase::Validate(val) => {
                     for s in &finished {
-                        self.validate_step(val, s);
+                        self.validate_step(val, s)?;
                     }
                     if self.sessions.is_empty() {
                         if val.stage == ValStage::Pairs {
@@ -456,7 +479,7 @@ impl Vtop {
                                     self.validation_failures += 1;
                                     self.start_full(kern, plat);
                                 }
-                                return;
+                                return Ok(());
                             }
                         }
                     }
@@ -467,7 +490,7 @@ impl Vtop {
                 self.phase = phase;
             }
             if self.sessions.iter().all(|s| s.outcome.is_none()) {
-                return;
+                return Ok(());
             }
         }
     }
@@ -478,8 +501,13 @@ impl Vtop {
         kern: &mut Kernel,
         plat: &mut dyn Platform,
         s: &Session,
-    ) {
-        let class = s.outcome.expect("finished session has outcome");
+    ) -> Result<(), ProbeError> {
+        let Some(class) = s.outcome else {
+            return Err(ProbeError::Inconsistent(
+                ProbeKind::Vtop,
+                "finished session without outcome",
+            ));
+        };
         match fp.stage {
             FullStage::Sockets => {
                 let v = fp.classify_v;
@@ -502,7 +530,7 @@ impl Vtop {
                         if fp.leader_idx < fp.leaders.len() {
                             let next_leader = fp.leaders[fp.leader_idx];
                             self.start_session(kern, plat, next_leader, v);
-                            return;
+                            return Ok(());
                         }
                         // A new socket.
                         fp.socket_of[v] = Some(fp.leaders.len());
@@ -525,7 +553,12 @@ impl Vtop {
                     fp.smt_queues = vec![Vec::new(); nr_sockets];
                     for u in 0..self.nr_vcpus {
                         if fp.stacked_with[u].is_none() && fp.smt_with[u].is_none() {
-                            let sock = fp.socket_of[u].expect("socket resolved");
+                            let Some(sock) = fp.socket_of[u] else {
+                                return Err(ProbeError::Inconsistent(
+                                    ProbeKind::Vtop,
+                                    "vCPU left socket stage unresolved",
+                                ));
+                            };
                             fp.smt_queues[sock].push(u);
                         }
                     }
@@ -539,10 +572,20 @@ impl Vtop {
                 }
             }
             FullStage::Smt => {
-                let sock = fp.socket_of[s.a].expect("socket known");
+                let Some(sock) = fp.socket_of.get(s.a).copied().flatten() else {
+                    return Err(ProbeError::Inconsistent(
+                        ProbeKind::Vtop,
+                        "SMT session on socket-unresolved vCPU",
+                    ));
+                };
                 let q = &mut fp.smt_queues[sock];
                 // The session probed q[0] against some q[i].
-                let head = q[0];
+                let Some(&head) = q.first() else {
+                    return Err(ProbeError::Inconsistent(
+                        ProbeKind::Vtop,
+                        "SMT session finished for an empty queue",
+                    ));
+                };
                 let other = if s.a == head { s.b } else { s.a };
                 let pos = q.iter().position(|&x| x == other).unwrap_or(0);
                 match class {
@@ -561,7 +604,7 @@ impl Vtop {
                         if pos + 1 < q.len() {
                             let next = q[pos + 1];
                             self.start_session(kern, plat, head, next);
-                            return;
+                            return Ok(());
                         }
                         // head has no partner: it owns its core.
                         q.remove(0);
@@ -574,16 +617,23 @@ impl Vtop {
                 }
             }
         }
+        Ok(())
     }
 
-    fn finish_full(&mut self, fp: &FullProbe, now: SimTime) {
+    fn finish_full(&mut self, fp: &FullProbe, now: SimTime) -> Result<(), ProbeError> {
         let n = self.nr_vcpus;
         let mut stacked_groups: Vec<Vec<usize>> = Vec::new();
         let mut smt_groups: Vec<Vec<usize>> = Vec::new();
         let mut socket_groups: Vec<Vec<usize>> = vec![Vec::new(); fp.leaders.len()];
         let mut seen = vec![false; n];
         for v in 0..n {
-            socket_groups[fp.socket_of[v].expect("resolved")].push(v);
+            let Some(sock) = fp.socket_of[v] else {
+                return Err(ProbeError::Inconsistent(
+                    ProbeKind::Vtop,
+                    "probe finished with an unresolved socket",
+                ));
+            };
+            socket_groups[sock].push(v);
             if seen[v] {
                 continue;
             }
@@ -603,10 +653,16 @@ impl Vtop {
         self.full_probes += 1;
         self.last_full_ns = Some(now.since(fp.started));
         self.phase = Phase::Idle;
+        Ok(())
     }
 
-    fn validate_step(&mut self, val: &mut Validation, s: &Session) {
-        let class = s.outcome.expect("finished session has outcome");
+    fn validate_step(&mut self, val: &mut Validation, s: &Session) -> Result<(), ProbeError> {
+        let Some(class) = s.outcome else {
+            return Err(ProbeError::Inconsistent(
+                ProbeKind::Vtop,
+                "finished session without outcome",
+            ));
+        };
         match val.stage {
             ValStage::Pairs => {
                 if let Some(&(_, _, expect)) = val
@@ -620,7 +676,12 @@ impl Vtop {
                 }
             }
             ValStage::Sockets => {
-                let (_, _, expect_cross) = val.socket_checks[val.check_idx];
+                let Some(&(_, _, expect_cross)) = val.socket_checks.get(val.check_idx) else {
+                    return Err(ProbeError::Inconsistent(
+                        ProbeKind::Vtop,
+                        "socket check finished past the check list",
+                    ));
+                };
                 let is_cross = class == PairClass::CrossSocket;
                 if is_cross != expect_cross {
                     val.mismatch = true;
@@ -628,6 +689,7 @@ impl Vtop {
                 val.check_idx += 1;
             }
         }
+        Ok(())
     }
 
     /// Current stacked groups from the probed topology (for rwc).

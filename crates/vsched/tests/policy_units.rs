@@ -137,12 +137,14 @@ fn rwc_ban_and_recovery_roundtrip() {
     let (mut kern, mut plat, _vact, _vcap, _tun) = setup(4);
     let mut rwc = Rwc::new(4);
     // Stacked group {2,3}: keep 2, ban 3.
-    let banned = rwc.update_stacking(&mut kern, &mut plat, &[vec![2, 3]]);
+    let banned = rwc
+        .update_stacking(&mut kern, &mut plat, &[vec![2, 3]])
+        .unwrap();
     assert_eq!(banned, vec![3]);
     assert!(!kern.cgroup.any.contains(3));
     assert!(kern.cgroup.normal.contains(2));
     // Topology change: no more stacking — the ban lifts.
-    let banned = rwc.update_stacking(&mut kern, &mut plat, &[]);
+    let banned = rwc.update_stacking(&mut kern, &mut plat, &[]).unwrap();
     assert!(banned.is_empty());
     assert!(kern.cgroup.any.contains(3));
     assert!(kern.cgroup.normal.contains(3));
@@ -184,7 +186,8 @@ fn rwc_evacuates_tasks_from_banned_vcpu() {
     kern.task_mut(t).remaining = 1e12;
     assert_eq!(kern.vcpus[3].curr, Some(t));
     let mut rwc = Rwc::new(4);
-    rwc.update_stacking(&mut kern, &mut plat, &[vec![2, 3]]);
+    rwc.update_stacking(&mut kern, &mut plat, &[vec![2, 3]])
+        .unwrap();
     // The task left vCPU 3.
     assert_ne!(kern.task(t).state.vcpu(), Some(VcpuId(3)));
 }
@@ -335,7 +338,9 @@ fn bvs_without_state_check_uses_latency_alone() {
 fn rwc_keeps_lowest_vcpu_of_each_stack() {
     let (mut kern, mut plat, _vact, _vcap, _tun) = setup(6);
     let mut rwc = Rwc::new(6);
-    let banned = rwc.update_stacking(&mut kern, &mut plat, &[vec![0, 1], vec![4, 2, 5]]);
+    let banned = rwc
+        .update_stacking(&mut kern, &mut plat, &[vec![0, 1], vec![4, 2, 5]])
+        .unwrap();
     assert_eq!(banned, vec![1, 4, 5]);
     assert!(kern.cgroup.normal.contains(0));
     assert!(
@@ -358,11 +363,12 @@ fn rwc_unban_restores_straggler_restriction() {
     rwc.update_stragglers(&mut kern, &mut plat, &vcap, &tun);
     assert!(rwc.stragglers[3]);
     // ...then also gets stacked: the full ban wins.
-    rwc.update_stacking(&mut kern, &mut plat, &[vec![2, 3]]);
+    rwc.update_stacking(&mut kern, &mut plat, &[vec![2, 3]])
+        .unwrap();
     assert!(!kern.cgroup.any.contains(3));
     // The stack dissolves: the straggler restriction must come back, not
     // full placement.
-    rwc.update_stacking(&mut kern, &mut plat, &[]);
+    rwc.update_stacking(&mut kern, &mut plat, &[]).unwrap();
     assert!(!kern.cgroup.normal.contains(3), "still a straggler");
     assert!(kern.cgroup.any.contains(3), "best-effort allowed again");
 }
@@ -371,7 +377,8 @@ fn rwc_unban_restores_straggler_restriction() {
 fn rwc_straggler_updates_skip_banned_vcpus() {
     let (mut kern, mut plat, _vact, mut vcap, tun) = setup(4);
     let mut rwc = Rwc::new(4);
-    rwc.update_stacking(&mut kern, &mut plat, &[vec![2, 3]]);
+    rwc.update_stacking(&mut kern, &mut plat, &[vec![2, 3]])
+        .unwrap();
     // vCPU 3 is banned; even at straggler-level capacity it must not be
     // reclassified (vcap's probers are off it, the estimate is stale).
     vcap.cap[3].update(1.0);

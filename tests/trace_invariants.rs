@@ -8,9 +8,12 @@
 //! simulator broke a scheduler law, not that a figure's numbers drifted.
 
 use vsched_repro::experiments::{fig03, fig11, fig15, Scale};
-use vsched_repro::hostsim::{HostSpec, ScenarioBuilder, VmSpec};
+use vsched_repro::hostsim::{ChaosSpec, FaultPlan, HostSpec, ScenarioBuilder, VmSpec};
+use vsched_repro::simcore::time::{MS, SEC};
 use vsched_repro::simcore::SimTime;
-use vsched_repro::trace::{chrome_trace, validate_json, CheckReport, Collector, TraceSink};
+use vsched_repro::trace::{
+    chrome_trace, validate_json, CheckReport, Collector, EventKind, FaultClass, TraceSink,
+};
 use vsched_repro::vsched::VschedConfig;
 use vsched_repro::workloads;
 
@@ -92,6 +95,49 @@ fn chrome_export_is_valid_json_with_events() {
     assert!(stats.contains("vcpu"), "schedstat render:\n{stats}");
     let report = c.checker.as_ref().expect("checker").report();
     assert!(report.ok(), "invariant violation:\n{report}");
+}
+
+#[test]
+fn bandwidth_and_pelt_laws_fire_under_quota_churn() {
+    // A QuotaChurn-only fault plan drives the two newest checker laws
+    // through their observable events: every quota change emits a
+    // `BandwidthSet` (quota ≤ period or violation), the resulting
+    // throttle/unthrottle cycles and idle gaps produce `PeltDecay` records
+    // (load must not grow across an idle decay), and each injection is
+    // annotated with a `FaultInjected` marker. The test asserts all three
+    // actually appear — a law that never sees its events gates nothing.
+    let (b, vm) = ScenarioBuilder::new(HostSpec::flat(4), 5).vm(VmSpec::pinned(4, 0));
+    let mut m = b.build();
+    let mut spec = ChaosSpec::for_pinned_vm(vm, 4, 3 * SEC).mean_interval(300 * MS);
+    spec.classes = vec![FaultClass::QuotaChurn];
+    let plan = FaultPlan::generate(5, &spec);
+    plan.apply(&mut m);
+    let (_, shared) = TraceSink::shared(Collector::with_ring(1 << 18).with_checker());
+    m.attach_trace(&shared);
+    let (wl, _h) = workloads::build("sysbench", 4, vsched_repro::simcore::SimRng::new(5));
+    m.set_workload(vm, wl);
+    m.start();
+    m.run_until(SimTime::from_secs(4));
+
+    let c = shared.borrow();
+    let ring = c.ring.as_ref().expect("ring attached");
+    let (mut bandwidth, mut pelt, mut faults) = (0u64, 0u64, 0u64);
+    for ev in ring.iter() {
+        match ev.kind {
+            EventKind::BandwidthSet { .. } => bandwidth += 1,
+            EventKind::PeltDecay { .. } => pelt += 1,
+            EventKind::FaultInjected { .. } => faults += 1,
+            _ => {}
+        }
+    }
+    assert!(bandwidth > 0, "quota churn emitted no BandwidthSet events");
+    assert!(pelt > 0, "no PeltDecay events despite throttling gaps");
+    assert!(faults > 0, "fault plan injected nothing");
+    let report = c.checker.as_ref().expect("checker").report();
+    assert!(
+        report.ok(),
+        "invariant violation under quota churn:\n{report}"
+    );
 }
 
 #[test]
