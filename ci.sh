@@ -43,6 +43,44 @@ if ! CHAOS_SEED="$chaos_seed" cargo test -q --release --test chaos invariants; t
     exit 1
 fi
 
+echo "== supervision-smoke: canary isolation, kill/resume, shrink/replay"
+# 1) Canary: two cells fail on purpose (panic + blown deadline). The suite
+#    must exit 0, name both cells in the stderr failure report and the JSON
+#    report, and leave the healthy jobs' stdout byte-identical to a clean
+#    run.
+VSCHED_SCALE=smoke ./target/release/suite --filter fig03 --jobs 2 --seed 42 \
+    --no-ckpt > "$tmpdir/clean.txt" 2>/dev/null
+VSCHED_CANARY=1 VSCHED_SCALE=smoke ./target/release/suite --filter fig03 --jobs 2 \
+    --seed 42 --retries 1 --ckpt-dir "$tmpdir/canary_ckpt" \
+    > "$tmpdir/canary.txt" 2> "$tmpdir/canary_err.txt"
+diff "$tmpdir/clean.txt" "$tmpdir/canary.txt"
+grep -q "canary/panic" "$tmpdir/canary_err.txt"
+grep -q "canary/deadline" "$tmpdir/canary_err.txt"
+grep -q '"failed_cells":2' "$tmpdir/canary_ckpt/FAILURES.json"
+# 2) Crash-safe resume: kill a checkpointing run mid-flight, resume it, and
+#    require byte-identity with a clean serial run. (If the run finishes
+#    before the kill lands, the resume degenerates to a full replay — the
+#    byte-identity requirement is the same.)
+VSCHED_SCALE=smoke ./target/release/suite --filter fig03,fig11 --jobs 2 --seed 42 \
+    --ckpt-dir "$tmpdir/resume_ckpt" > /dev/null 2>&1 &
+suite_pid=$!
+sleep 0.3
+kill -9 "$suite_pid" 2>/dev/null || true
+wait "$suite_pid" 2>/dev/null || true
+VSCHED_SCALE=smoke ./target/release/suite --filter fig03,fig11 --jobs 1 --seed 42 \
+    --no-ckpt > "$tmpdir/clean2.txt" 2>/dev/null
+VSCHED_SCALE=smoke ./target/release/suite --filter fig03,fig11 --jobs 2 --seed 42 \
+    --ckpt-dir "$tmpdir/resume_ckpt" --resume > "$tmpdir/resumed.txt" 2>/dev/null
+diff "$tmpdir/clean2.txt" "$tmpdir/resumed.txt"
+# 3) Shrink + replay under the synthetic law (the real checker passes on
+#    healthy code, so CI exercises the ddmin pipeline with the canary law).
+VSCHED_SHRINK_LAW=synthetic ./target/release/suite --shrink 3735928559 \
+    2> "$tmpdir/shrink_err.txt"
+grep -q "repro written" "$tmpdir/shrink_err.txt"
+VSCHED_SHRINK_LAW=synthetic ./target/release/suite \
+    --replay target/chaos_repro_3735928559.json 2> "$tmpdir/replay_err.txt"
+grep -q "reproduced law 'synthetic-canary'" "$tmpdir/replay_err.txt"
+
 echo "== regenerate BENCH_vsched.json (quick scale)"
 ./target/release/vsched-bench
 

@@ -139,16 +139,16 @@ struct SuiteTiming {
 fn bench_suite(scale: Scale) -> SuiteTiming {
     let serial = run_suite(&SuiteOptions {
         jobs: 1,
-        filter: None,
         scale,
-        seed: 42,
-    });
+        ..SuiteOptions::default()
+    })
+    .expect("unfiltered suite always matches");
     let parallel = run_suite(&SuiteOptions {
         jobs: 0,
-        filter: None,
         scale,
-        seed: 42,
-    });
+        ..SuiteOptions::default()
+    })
+    .expect("unfiltered suite always matches");
     for (s, p) in serial.reports.iter().zip(&parallel.reports) {
         assert_eq!(
             s.output, p.output,

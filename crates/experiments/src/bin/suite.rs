@@ -1,30 +1,141 @@
-//! Runs the figure/table suite on the deterministic parallel runner.
+//! Runs the figure/table suite on the supervised deterministic runner.
 //!
 //! Figure outputs go to stdout (stable across `--jobs` values for a given
-//! seed); the timing summary goes to stderr so output equality can be
-//! checked with a plain `diff`.
+//! seed); the timing summary, failure report, and operational notes go to
+//! stderr so output equality can be checked with a plain `diff`.
 //!
 //! ```text
 //! cargo run --release -p experiments --bin suite -- [--jobs N] [--filter S]
-//!     [--scale smoke|quick|paper] [--seed N] [--list]
+//!     [--scale smoke|quick|paper] [--seed N] [--retries N] [--deadline-ms N]
+//!     [--ckpt-dir PATH | --no-ckpt] [--resume] [--list]
+//!     [--shrink SEED | --replay FILE]
 //! ```
+//!
+//! * Cells run under supervision: a panicking or over-deadline cell is
+//!   retried (same seed), and an exhausted cell fails **its job only** —
+//!   the suite still exits 0 and prints the structured failure report to
+//!   stderr (plus `FAILURES.json` next to the checkpoint). Supervision
+//!   isolating a failure is the tool working, not a tool error.
+//! * Finished jobs are checkpointed to `target/suite_ckpt/` (override with
+//!   `--ckpt-dir`, disable with `--no-ckpt`); `--resume` replays them
+//!   byte-for-byte and re-runs only the rest.
+//! * `--shrink SEED` delta-debugs the chaos `FaultPlan` that seed generates
+//!   down to a locally-minimal action subset failing the same checker law,
+//!   written to `target/chaos_repro_<seed>.json`; `--replay FILE` re-runs a
+//!   repro file and exits 0 iff the failure still reproduces.
+//!   `VSCHED_SHRINK_LAW=synthetic` swaps the real checker for the
+//!   synthetic canary law (tests/CI).
+//! * `VSCHED_CANARY=1` appends the always-failing canary job (CI
+//!   supervision smoke).
 
 use experiments::runner::{registry, run_suite, SuiteOptions};
-use experiments::Scale;
+use experiments::{chaos, checkpoint, shrink, Scale};
+use hostsim::FaultPlan;
+use std::path::PathBuf;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: suite [--jobs N] [--filter SUBSTR] [--scale smoke|quick|paper] [--seed N] [--list]"
+        "usage: suite [--jobs N] [--filter SUBSTR[,SUBSTR...]] \
+         [--scale smoke|quick|paper] [--seed N] [--retries N] [--deadline-ms N] \
+         [--ckpt-dir PATH | --no-ckpt] [--resume] [--list] \
+         [--shrink SEED | --replay FILE]"
     );
     std::process::exit(2);
+}
+
+/// Which oracle `--shrink`/`--replay` consult.
+fn use_synthetic_law() -> bool {
+    std::env::var("VSCHED_SHRINK_LAW").as_deref() == Ok("synthetic")
+}
+
+fn shrink_main(seed: u64, opts: &SuiteOptions) -> ! {
+    let horizon = opts.scale.secs(6, 20);
+    let (_, plan) = chaos::plan_for(horizon, seed);
+    eprintln!(
+        "# shrink: seed {seed} -> {} actions over {horizon}s horizon (law: {})",
+        plan.events.len(),
+        if use_synthetic_law() {
+            "synthetic"
+        } else {
+            "chaos checker"
+        },
+    );
+    let shrunk = if use_synthetic_law() {
+        shrink::shrink_plan(&plan, shrink::synthetic_law)
+    } else {
+        shrink::shrink_plan(&plan, |p| shrink::chaos_checker_law(p, seed))
+    };
+    match shrunk {
+        Ok(out) => {
+            let path = PathBuf::from(format!("target/chaos_repro_{seed}.json"));
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = checkpoint::atomic_write(&path, out.plan.to_json().as_bytes()) {
+                eprintln!("# shrink: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            eprintln!(
+                "# shrink: law '{}' holds at {} of {} actions ({} oracle runs); \
+                 repro written to {}",
+                out.law,
+                out.plan.events.len(),
+                out.original_actions,
+                out.oracle_runs,
+                path.display()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("# shrink: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn replay_main(path: &str, opts: &SuiteOptions) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("# replay: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let plan = FaultPlan::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("# replay: {path} is not a fault-plan repro: {e}");
+        std::process::exit(2);
+    });
+    let law = if use_synthetic_law() {
+        shrink::synthetic_law(&plan)
+    } else {
+        shrink::chaos_checker_law(&plan, opts.seed)
+    };
+    match law {
+        Some(l) => {
+            eprintln!(
+                "# replay: reproduced law '{l}' with {} action(s) from {path}",
+                plan.events.len()
+            );
+            std::process::exit(0);
+        }
+        None => {
+            eprintln!("# replay: plan from {path} passes every law; no reproduction");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let mut opts = SuiteOptions {
         scale: Scale::from_env(),
+        checkpoint: Some(PathBuf::from("target/suite_ckpt")),
+        canary: std::env::var("VSCHED_CANARY")
+            .map(|v| v == "1")
+            .unwrap_or(false),
         ..SuiteOptions::default()
     };
     let mut list = false;
+    let mut no_ckpt = false;
+    let mut shrink_seed: Option<u64> = None;
+    let mut replay_file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -44,6 +155,20 @@ fn main() {
             "--seed" => {
                 opts.seed = value("--seed").parse().unwrap_or_else(|_| usage());
             }
+            "--retries" => {
+                opts.supervise.retries = value("--retries").parse().unwrap_or_else(|_| usage());
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms").parse().unwrap_or_else(|_| usage());
+                opts.supervise.deadline = Some(Duration::from_millis(ms));
+            }
+            "--ckpt-dir" => opts.checkpoint = Some(PathBuf::from(value("--ckpt-dir"))),
+            "--no-ckpt" => no_ckpt = true,
+            "--resume" => opts.resume = true,
+            "--shrink" => {
+                shrink_seed = Some(value("--shrink").parse().unwrap_or_else(|_| usage()));
+            }
+            "--replay" => replay_file = Some(value("--replay")),
             "--list" => list = true,
             "--help" | "-h" => usage(),
             other => {
@@ -52,6 +177,9 @@ fn main() {
             }
         }
     }
+    if no_ckpt {
+        opts.checkpoint = None;
+    }
 
     if list {
         for j in registry() {
@@ -59,31 +187,53 @@ fn main() {
         }
         return;
     }
-
-    let res = run_suite(&opts);
-    if res.reports.is_empty() {
-        eprintln!("no jobs match filter {:?}", opts.filter);
-        std::process::exit(1);
+    if let Some(seed) = shrink_seed {
+        shrink_main(seed, &opts);
     }
-    for r in &res.reports {
+    if let Some(path) = replay_file {
+        replay_main(&path, &opts);
+    }
+
+    let res = match run_suite(&opts) {
+        Ok(res) => res,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    // Failed jobs print nothing: healthy output stays byte-identical to a
+    // clean run's, and the failure report below carries the rest.
+    for r in res.reports.iter().filter(|r| r.ok) {
         println!("=== {} ===", r.name);
         println!("{}", r.output);
     }
 
     let cpu: f64 = res.reports.iter().map(|r| r.cpu_secs).sum();
     eprintln!(
-        "# suite: {} jobs, {} cells, scale={}, seed={}, workers={}",
+        "# suite: {} jobs, {} cells ({} executed, {} jobs resumed), scale={}, seed={}, workers={}",
         res.reports.len(),
         res.reports.iter().map(|r| r.cells).sum::<usize>(),
+        res.executed_cells,
+        res.resumed_jobs,
         opts.scale.label(),
         opts.seed,
         res.workers,
     );
     for r in &res.reports {
+        let status = if !r.ok {
+            " FAILED"
+        } else if r.from_checkpoint {
+            " (resumed)"
+        } else {
+            ""
+        };
         eprintln!(
-            "#   {:<8} {:>4} cells {:>8.2}s cpu",
+            "#   {:<8} {:>4} cells {:>8.2}s cpu{status}",
             r.name, r.cells, r.cpu_secs
         );
+    }
+    for note in &res.notes {
+        eprintln!("# note: {note}");
     }
     eprintln!(
         "# wall {:.2}s, cpu {:.2}s, speedup {:.2}x",
@@ -91,4 +241,22 @@ fn main() {
         cpu,
         cpu / res.wall_secs.max(1e-9)
     );
+
+    if !res.failures.is_empty() {
+        eprint!("{}", res.failures);
+        let report_path = opts
+            .checkpoint
+            .as_deref()
+            .map(|d| d.join("FAILURES.json"))
+            .unwrap_or_else(|| PathBuf::from("target/suite_failures.json"));
+        if let Some(parent) = report_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match checkpoint::atomic_write(&report_path, res.failures.to_json().as_bytes()) {
+            Ok(()) => eprintln!("# failure report: {}", report_path.display()),
+            Err(e) => eprintln!("# failure report unwritable ({e})"),
+        }
+        // Supervised failures are isolated, reported, and non-fatal by
+        // design: exit 0 so one bad cell doesn't fail a whole CI suite run.
+    }
 }

@@ -66,6 +66,9 @@ pub struct ChaosOutcome {
     pub trace_events: u64,
     /// Invariant violations (must be 0).
     pub violations: u64,
+    /// Law name of the first violation, if any — the seed shrinker's
+    /// comparison key (not rendered in figure output).
+    pub first_law: Option<String>,
 }
 
 /// Builds the fault schedule a chaos run at this scale uses.
@@ -77,10 +80,18 @@ pub fn plan_for(horizon_secs: u64, seed: u64) -> (ChaosSpec, FaultPlan) {
 
 /// Runs one chaos cell: same host, same faults, one scheduler.
 pub fn run_mode(mode: ChaosMode, horizon_secs: u64, seed: u64) -> ChaosOutcome {
+    let (_, plan) = plan_for(horizon_secs, seed);
+    run_plan(mode, &plan, seed)
+}
+
+/// Runs one chaos cell under an explicit fault plan (the shrinker and
+/// `suite --replay` drive arbitrary — typically subset — plans through the
+/// very same scenario the seeded cell uses).
+pub fn run_plan(mode: ChaosMode, plan: &FaultPlan, seed: u64) -> ChaosOutcome {
     let (b, vm) =
         ScenarioBuilder::new(HostSpec::flat(NR_VCPUS), seed).vm(VmSpec::pinned(NR_VCPUS, 0));
     let mut m = b.build();
-    let (spec, plan) = plan_for(horizon_secs, seed);
+    let spec = plan.spec().clone();
     plan.apply(&mut m);
     let shared = checked_collector();
     m.attach_trace(&shared);
@@ -138,6 +149,7 @@ pub fn run_mode(mode: ChaosMode, horizon_secs: u64, seed: u64) -> ChaosOutcome {
         watchdog_abandons: abandons,
         trace_events: rep.events,
         violations: rep.violations,
+        first_law: rep.first_law().map(str::to_string),
     }
 }
 

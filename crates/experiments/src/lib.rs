@@ -12,6 +12,7 @@
 //! (`quick`/`paper`); see [`common::Scale`].
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod common;
 pub mod fig02;
 pub mod fig03;
@@ -30,6 +31,8 @@ pub mod fig21;
 pub mod oracle;
 pub mod profiles;
 pub mod runner;
+pub mod shrink;
+pub mod supervise;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -23,17 +23,22 @@
 //! * Parts are merged by cell index, not completion order, and each
 //!   figure's reduction is a pure function of its parts.
 
+use crate::checkpoint::{Checkpoint, CkptKey};
 use crate::common::{Mode, Scale};
 use crate::fig18_19::ProfileKind;
 use crate::profiles::{hpvm, rcvm};
+use crate::supervise::{self, CellFailure, FailureReport, SupervisePolicy};
 use crate::{
     chaos, fig02, fig03, fig04, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19,
     fig20, fig21, table2, table3, table4,
 };
 use std::any::Any;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vsched::VschedConfig;
 use workloads::{is_latency_bench, LATENCY_BENCHES, THROUGHPUT_BENCHES};
 
@@ -44,7 +49,23 @@ pub type Part = Box<dyn Any + Send>;
 pub struct CellSpec {
     /// Stable identity within the figure; feeds [`cell_seed`].
     pub label: String,
+    /// Per-cell wall-clock budget; overrides the suite-wide deadline.
+    pub deadline: Option<Duration>,
     run: Box<dyn Fn(u64, Scale) -> Part + Send + Sync>,
+}
+
+impl CellSpec {
+    /// Runs the cell's closure (the supervisor wraps this in
+    /// `catch_unwind` and timing).
+    pub(crate) fn execute(&self, seed: u64, scale: Scale) -> Part {
+        (self.run)(seed, scale)
+    }
+
+    /// Gives this cell its own wall-clock budget.
+    pub(crate) fn with_deadline(mut self, budget: Duration) -> CellSpec {
+        self.deadline = Some(budget);
+        self
+    }
 }
 
 /// One figure or table: a set of cells plus the reduction that turns their
@@ -58,13 +79,14 @@ pub struct Job {
 }
 
 /// Builds a cell around a typed closure.
-fn cell<T, F>(label: impl Into<String>, f: F) -> CellSpec
+pub(crate) fn cell<T, F>(label: impl Into<String>, f: F) -> CellSpec
 where
     T: Any + Send,
     F: Fn(u64, Scale) -> T + Send + Sync + 'static,
 {
     CellSpec {
         label: label.into(),
+        deadline: None,
         run: Box::new(move |seed, scale| Box::new(f(seed, scale)) as Part),
     }
 }
@@ -678,6 +700,36 @@ fn job_chaos() -> Job {
     }
 }
 
+/// The supervision canary: a job whose cells fail on purpose. Never in
+/// [`registry`] — `run_suite` appends it only when
+/// [`SuiteOptions::canary`] is set (the `VSCHED_CANARY` env gate in the
+/// binary), so CI can assert that a panicking cell and an over-deadline
+/// cell are isolated, reported, and leave every real job's bytes alone.
+fn canary_job() -> Job {
+    let cells = vec![
+        cell("healthy", |seed, _: Scale| seed),
+        cell("panic", |_, _: Scale| -> u64 {
+            panic!("canary: injected panic")
+        }),
+        cell("deadline", |_, _: Scale| -> u64 {
+            std::thread::sleep(Duration::from_millis(120));
+            0
+        })
+        .with_deadline(Duration::from_millis(10)),
+    ];
+    Job {
+        name: "canary",
+        cells,
+        reduce: Box::new(|parts, _| {
+            // Unreachable in practice: the panic cell always fails the job
+            // before reduction. Kept total so a future "healthy canary"
+            // variant still renders.
+            let sum: u64 = parts.into_iter().map(got::<u64>).sum();
+            format!("canary merged (sum {sum})")
+        }),
+    }
+}
+
 /// All jobs in suite output order.
 pub fn registry() -> Vec<Job> {
     vec![
@@ -708,12 +760,21 @@ pub fn registry() -> Vec<Job> {
 pub struct SuiteOptions {
     /// Worker threads; `0` sizes the pool by `available_parallelism`.
     pub jobs: usize,
-    /// Substring filter on job names (`None` = all).
+    /// Filter on job names: comma-separated substrings, any match keeps
+    /// the job (`None` = all).
     pub filter: Option<String>,
     /// Experiment scale.
     pub scale: Scale,
     /// Base seed mixed into every cell seed.
     pub seed: u64,
+    /// Retry/deadline policy for supervised cells.
+    pub supervise: SupervisePolicy,
+    /// Checkpoint directory (`None` = no checkpointing).
+    pub checkpoint: Option<PathBuf>,
+    /// Replay finished jobs from the checkpoint instead of re-running.
+    pub resume: bool,
+    /// Append the always-failing canary job (CI supervision smoke).
+    pub canary: bool,
 }
 
 impl Default for SuiteOptions {
@@ -723,23 +784,67 @@ impl Default for SuiteOptions {
             filter: None,
             scale: Scale::Quick,
             seed: 42,
+            supervise: SupervisePolicy::default(),
+            checkpoint: None,
+            resume: false,
+            canary: false,
         }
     }
 }
 
+impl SuiteOptions {
+    /// The checkpoint key this run writes/reads.
+    fn ckpt_key(&self) -> CkptKey {
+        CkptKey {
+            version: CkptKey::current_version(),
+            seed: self.seed,
+            scale: self.scale.label().to_string(),
+            filter: self.filter.clone().unwrap_or_default(),
+        }
+    }
+}
+
+/// `--filter` matched nothing: refuse to silently run zero cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterError {
+    /// The filter as given.
+    pub filter: String,
+    /// Every valid figure id, in suite order.
+    pub valid: Vec<&'static str>,
+}
+
+impl std::fmt::Display for FilterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "--filter '{}' matches no suite job; valid figure ids: {}",
+            self.filter,
+            self.valid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for FilterError {}
+
 /// One job's merged output plus its summed cell compute time.
+#[derive(Debug)]
 pub struct JobReport {
     /// Job name.
     pub name: &'static str,
     /// Number of cells the job sharded into.
     pub cells: usize,
-    /// The figure's rendered output.
+    /// The figure's rendered output (empty when the job failed).
     pub output: String,
     /// Total cell compute (CPU) seconds, summed across workers.
     pub cpu_secs: f64,
+    /// Whether every cell merged and the figure rendered.
+    pub ok: bool,
+    /// Whether the output was replayed from a checkpoint.
+    pub from_checkpoint: bool,
 }
 
 /// The whole suite's outcome.
+#[derive(Debug)]
 pub struct SuiteResult {
     /// Per-job reports, in registry order.
     pub reports: Vec<JobReport>,
@@ -747,6 +852,15 @@ pub struct SuiteResult {
     pub workers: usize,
     /// End-to-end wall-clock seconds.
     pub wall_secs: f64,
+    /// Cells that exhausted their retries, in (job, cell) order.
+    pub failures: FailureReport,
+    /// Cells actually executed this run (replayed jobs contribute none).
+    pub executed_cells: usize,
+    /// Jobs replayed byte-for-byte from the checkpoint.
+    pub resumed_jobs: usize,
+    /// Operational notes (checkpoint discards, I/O degradations); never
+    /// part of figure output.
+    pub notes: Vec<String>,
 }
 
 /// Resolves `--jobs 0` to the machine's parallelism.
@@ -760,13 +874,40 @@ pub fn resolve_workers(jobs: usize) -> usize {
     }
 }
 
-/// Runs every registry job whose name contains the filter.
-pub fn run_suite(opts: &SuiteOptions) -> SuiteResult {
-    let jobs: Vec<Job> = registry()
+/// Whether a job name passes a comma-separated substring filter.
+fn filter_matches(name: &str, filter: Option<&str>) -> bool {
+    match filter {
+        None => true,
+        Some(f) => f
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .any(|p| name.contains(p)),
+    }
+}
+
+/// Runs every registry job whose name matches the filter, under
+/// supervision. A filter that selects nothing is an error (listing the
+/// valid ids) rather than a silently empty run.
+pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteResult, FilterError> {
+    let all = registry();
+    let valid: Vec<&'static str> = all.iter().map(|j| j.name).collect();
+    let mut jobs: Vec<Job> = all
         .into_iter()
-        .filter(|j| opts.filter.as_deref().is_none_or(|f| j.name.contains(f)))
+        .filter(|j| filter_matches(j.name, opts.filter.as_deref()))
         .collect();
-    run_jobs(jobs, opts)
+    if jobs.is_empty() {
+        return Err(FilterError {
+            filter: opts.filter.clone().unwrap_or_default(),
+            valid,
+        });
+    }
+    if opts.canary {
+        // Appended after filtering: the canary rides along with whatever
+        // real jobs run, and its absence never changes their output.
+        jobs.push(canary_job());
+    }
+    Ok(run_jobs(jobs, opts))
 }
 
 struct Item {
@@ -775,15 +916,66 @@ struct Item {
     seed: u64,
 }
 
+/// Per-job completion state shared by the worker pool.
+struct JobState {
+    /// Cells not yet finished (success or exhausted failure). The worker
+    /// that decrements this to zero owns the job's reduction.
+    remaining: AtomicUsize,
+    /// Set when any cell exhausts its retries: the job skips reduction.
+    failed: AtomicBool,
+    /// One slot per cell, filled in any order, drained in cell order.
+    slots: Vec<Mutex<Option<(Part, f64)>>>,
+    /// The reduced output and summed cell CPU seconds, once complete.
+    output: Mutex<Option<(String, f64)>>,
+}
+
 fn run_jobs(jobs: Vec<Job>, opts: &SuiteOptions) -> SuiteResult {
     let t0 = Instant::now();
     let workers = resolve_workers(opts.jobs);
+    let mut notes: Vec<String> = Vec::new();
 
-    // Flatten into a work list; seeds are precomputed from cell identity so
-    // nothing downstream depends on which worker runs what.
+    // Checkpoint plumbing: open (or resume) the directory up front, and
+    // collect the jobs we can replay without executing. I/O trouble
+    // degrades to an un-checkpointed run with a note, never a crash.
+    let mut replay: BTreeMap<usize, String> = BTreeMap::new();
+    let ckpt: Option<Mutex<Checkpoint>> = match &opts.checkpoint {
+        None => None,
+        Some(dir) => {
+            let key = opts.ckpt_key();
+            let opened = if opts.resume {
+                Checkpoint::resume(dir, key).map(|(ck, note)| {
+                    notes.extend(note);
+                    for (ji, job) in jobs.iter().enumerate() {
+                        if let Some(out) = ck.load(job.name) {
+                            replay.insert(ji, out);
+                        }
+                    }
+                    ck
+                })
+            } else {
+                Checkpoint::create(dir, key)
+            };
+            match opened {
+                Ok(ck) => Some(Mutex::new(ck)),
+                Err(e) => {
+                    notes.push(format!(
+                        "checkpoint dir {} unusable ({e}); running without checkpoints",
+                        dir.display()
+                    ));
+                    None
+                }
+            }
+        }
+    };
+    let resumed_jobs = replay.len();
+
+    // Flatten into a work list, skipping replayed jobs; seeds are
+    // precomputed from cell identity so nothing downstream depends on
+    // which worker runs what.
     let items: Vec<Item> = jobs
         .iter()
         .enumerate()
+        .filter(|(ji, _)| !replay.contains_key(ji))
         .flat_map(|(ji, j)| {
             j.cells.iter().enumerate().map(move |(ci, c)| Item {
                 job: ji,
@@ -793,7 +985,17 @@ fn run_jobs(jobs: Vec<Job>, opts: &SuiteOptions) -> SuiteResult {
         })
         .collect();
 
-    let slots: Vec<Mutex<Option<(Part, f64)>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let states: Vec<JobState> = jobs
+        .iter()
+        .map(|j| JobState {
+            remaining: AtomicUsize::new(j.cells.len()),
+            failed: AtomicBool::new(false),
+            slots: j.cells.iter().map(|_| Mutex::new(None)).collect(),
+            output: Mutex::new(None),
+        })
+        .collect();
+    let failures: Mutex<Vec<(usize, usize, CellFailure)>> = Mutex::new(Vec::new());
+    let late_notes: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let cursor = AtomicUsize::new(0);
     let n_threads = workers.min(items.len()).max(1);
     std::thread::scope(|s| {
@@ -804,40 +1006,121 @@ fn run_jobs(jobs: Vec<Job>, opts: &SuiteOptions) -> SuiteResult {
                     break;
                 }
                 let it = &items[i];
-                let c0 = Instant::now();
-                let part = (jobs[it.job].cells[it.cell].run)(it.seed, opts.scale);
-                *slots[i].lock().unwrap() = Some((part, c0.elapsed().as_secs_f64()));
+                let job = &jobs[it.job];
+                let st = &states[it.job];
+                match supervise::run_cell(
+                    job.name,
+                    &job.cells[it.cell],
+                    it.seed,
+                    opts.scale,
+                    &opts.supervise,
+                ) {
+                    Ok(filled) => *st.slots[it.cell].lock().unwrap() = Some(filled),
+                    Err(cf) => {
+                        st.failed.store(true, Ordering::Release);
+                        failures.lock().unwrap().push((it.job, it.cell, cf));
+                    }
+                }
+                // The worker finishing a job's last cell merges it at once:
+                // the reduced output reaches the checkpoint while the rest
+                // of the suite is still running.
+                if st.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+                    && !st.failed.load(Ordering::Acquire)
+                {
+                    let mut parts = Vec::with_capacity(st.slots.len());
+                    let mut cpu = 0.0f64;
+                    for slot in &st.slots {
+                        let (part, secs) = slot
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .expect("job complete and unfailed: every slot filled");
+                        parts.push(part);
+                        cpu += secs;
+                    }
+                    // A reducer panic (type confusion, arithmetic) fails
+                    // its job, not the suite.
+                    match panic::catch_unwind(AssertUnwindSafe(|| (job.reduce)(parts, opts.scale)))
+                    {
+                        Ok(out) => {
+                            if let Some(ck) = &ckpt {
+                                if let Err(e) = ck.lock().unwrap().record(job.name, &out) {
+                                    late_notes
+                                        .lock()
+                                        .unwrap()
+                                        .push(format!("checkpointing {} failed: {e}", job.name));
+                                }
+                            }
+                            *st.output.lock().unwrap() = Some((out, cpu));
+                        }
+                        Err(_) => {
+                            st.failed.store(true, Ordering::Release);
+                            late_notes
+                                .lock()
+                                .unwrap()
+                                .push(format!("{}: reducer panicked; job failed", job.name));
+                        }
+                    }
+                }
             });
         }
     });
 
-    // Merge strictly in declaration order: `items` is sorted by (job, cell),
-    // so pushing in item order rebuilds each job's parts in cell order.
-    let mut per_job: Vec<Vec<Part>> = jobs.iter().map(|_| Vec::new()).collect();
-    let mut per_job_secs = vec![0.0f64; jobs.len()];
-    for (it, slot) in items.iter().zip(slots) {
-        let (part, secs) = slot.into_inner().unwrap().expect("every cell ran");
-        per_job[it.job].push(part);
-        per_job_secs[it.job] += secs;
-    }
+    let executed_cells = items.len();
+    notes.extend(late_notes.into_inner().unwrap());
+    let mut failed = failures.into_inner().unwrap();
+    failed.sort_by_key(|&(ji, ci, _)| (ji, ci));
 
     let mut reports = Vec::new();
-    let mut parts_iter = per_job.into_iter();
-    for (ji, job) in jobs.into_iter().enumerate() {
-        let parts = parts_iter.next().unwrap();
-        let cells = parts.len();
-        let output = (job.reduce)(parts, opts.scale);
-        reports.push(JobReport {
-            name: job.name,
-            cells,
-            output,
-            cpu_secs: per_job_secs[ji],
-        });
+    for ((ji, job), st) in jobs.iter().enumerate().zip(states) {
+        let cells = job.cells.len();
+        let report = if let Some(output) = replay.remove(&ji) {
+            JobReport {
+                name: job.name,
+                cells,
+                output,
+                cpu_secs: 0.0,
+                ok: true,
+                from_checkpoint: true,
+            }
+        } else if let Some((output, cpu_secs)) = st.output.into_inner().unwrap() {
+            JobReport {
+                name: job.name,
+                cells,
+                output,
+                cpu_secs,
+                ok: true,
+                from_checkpoint: false,
+            }
+        } else {
+            // Failed job: surviving cells still count toward CPU time.
+            let cpu_secs = st
+                .slots
+                .iter()
+                .filter_map(|s| s.lock().unwrap().take())
+                .map(|(_, secs)| secs)
+                .sum();
+            JobReport {
+                name: job.name,
+                cells,
+                output: String::new(),
+                cpu_secs,
+                ok: false,
+                from_checkpoint: false,
+            }
+        };
+        reports.push(report);
     }
     SuiteResult {
         reports,
         workers: n_threads,
         wall_secs: t0.elapsed().as_secs_f64(),
+        failures: FailureReport {
+            failures: failed.into_iter().map(|(_, _, cf)| cf).collect(),
+        },
+        executed_cells,
+        resumed_jobs,
+        notes,
     }
 }
 
@@ -868,6 +1151,37 @@ mod tests {
         for j in registry() {
             assert!(j.cells.len() >= 2, "{} has {} cells", j.name, j.cells.len());
         }
+    }
+
+    #[test]
+    fn zero_match_filter_is_an_error_listing_valid_ids() {
+        let err = run_suite(&SuiteOptions {
+            filter: Some("fig99".into()),
+            ..SuiteOptions::default()
+        })
+        .unwrap_err();
+        assert_eq!(err.filter, "fig99");
+        assert_eq!(err.valid.len(), 19);
+        assert!(err.valid.contains(&"fig03"));
+        let msg = err.to_string();
+        assert!(msg.contains("fig99") && msg.contains("fig03") && msg.contains("table4"));
+    }
+
+    #[test]
+    fn filter_is_comma_separated_any_match() {
+        assert!(filter_matches("fig03", Some("fig03,table2")));
+        assert!(filter_matches("table2", Some("fig03,table2")));
+        assert!(!filter_matches("fig04", Some("fig03,table2")));
+        assert!(filter_matches("fig04", Some(" fig04 , ")));
+        assert!(filter_matches("anything", None));
+    }
+
+    #[test]
+    fn canary_never_sits_in_the_registry() {
+        assert!(registry().iter().all(|j| j.name != "canary"));
+        let c = canary_job();
+        assert_eq!(c.cells.len(), 3);
+        assert!(c.cells[2].deadline.is_some(), "deadline cell has a budget");
     }
 
     #[test]

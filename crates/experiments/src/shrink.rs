@@ -1,0 +1,204 @@
+//! Automatic shrinking of failing chaos seeds.
+//!
+//! A chaos seed that trips the streaming invariant checker hands you a
+//! `FaultPlan` with hundreds of actions — useless as a bug report. This
+//! module delta-debugs the plan down to a locally-minimal action subset
+//! that still fails the *same checker law* (compared by
+//! [`trace::check::ViolationKind::law_name`] via `CheckReport::first_law`),
+//! using the classic ddmin algorithm: try dropping chunks (and keeping
+//! complements) at progressively finer granularity, re-running the checker
+//! on each candidate, until no single removal preserves the failure.
+//!
+//! The result is 1-minimal — removing **any one** remaining action makes
+//! the violation disappear — which is exactly the property that makes a
+//! repro plan readable. Minimality is *local*: a different, smaller
+//! failing subset may exist elsewhere in the lattice; ddmin trades that
+//! global guarantee for a number of checker runs linear-ish in plan size.
+//!
+//! The oracle is pluggable (`Fn(&FaultPlan) -> Option<String>`, returning
+//! the failed law's name) so tests can exercise the machinery with
+//! synthetic laws without needing a genuine simulator bug on tap; the
+//! `suite --shrink` binary wires in the real chaos checker.
+
+use crate::chaos::{self, ChaosMode};
+use hostsim::FaultPlan;
+
+/// What a completed shrink reports.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized plan (same seed and spec, fewer actions).
+    pub plan: FaultPlan,
+    /// The checker law every kept candidate failed.
+    pub law: String,
+    /// Actions in the original plan.
+    pub original_actions: usize,
+    /// Oracle invocations spent.
+    pub oracle_runs: usize,
+}
+
+/// Why a shrink could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShrinkError {
+    /// The full plan does not fail any law — nothing to shrink.
+    PlanPasses,
+}
+
+impl std::fmt::Display for ShrinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShrinkError::PlanPasses => {
+                write!(f, "plan passes every checker law; nothing to shrink")
+            }
+        }
+    }
+}
+
+/// Delta-debugs `plan` against `law`, which returns the name of the law a
+/// candidate plan fails (or `None` if it passes). Returns a locally
+/// minimal plan failing the same law as the full plan.
+pub fn shrink_plan(
+    plan: &FaultPlan,
+    mut law: impl FnMut(&FaultPlan) -> Option<String>,
+) -> Result<ShrinkOutcome, ShrinkError> {
+    let mut runs = 0usize;
+    let mut check = |candidate: &FaultPlan, runs: &mut usize| -> Option<String> {
+        *runs += 1;
+        law(candidate)
+    };
+    let target = check(plan, &mut runs).ok_or(ShrinkError::PlanPasses)?;
+
+    let mut events = plan.events.clone();
+    let mut n = 2usize;
+    while events.len() >= 2 {
+        let chunk = events.len().div_ceil(n);
+        let mut reduced = false;
+        // Try each chunk's *complement* (i.e. drop one chunk at a time);
+        // for n == 2 this also covers "keep one half".
+        for start in (0..events.len()).step_by(chunk) {
+            let candidate: Vec<_> = events[..start]
+                .iter()
+                .chain(events[(start + chunk).min(events.len())..].iter())
+                .cloned()
+                .collect();
+            if candidate.is_empty() {
+                continue;
+            }
+            let cand_plan = plan.with_events(candidate.clone());
+            if check(&cand_plan, &mut runs).as_deref() == Some(target.as_str()) {
+                events = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            if n >= events.len() {
+                break; // singleton granularity exhausted: 1-minimal
+            }
+            n = (n * 2).min(events.len());
+        }
+    }
+    Ok(ShrinkOutcome {
+        plan: plan.with_events(events),
+        law: target,
+        original_actions: plan.events.len(),
+        oracle_runs: runs,
+    })
+}
+
+/// The production oracle: run the chaos cell's resilient-vSched
+/// configuration under `plan` and report which invariant law (if any) the
+/// streaming checker saw broken first.
+pub fn chaos_checker_law(plan: &FaultPlan, seed: u64) -> Option<String> {
+    let outcome = chaos::run_plan(ChaosMode::VschedResilient, plan, seed);
+    outcome.first_law
+}
+
+/// A synthetic oracle for exercising the shrink pipeline end-to-end when
+/// no genuine checker bug is available (CI smoke, tests). The "law" fails
+/// iff the plan still contains at least two `QuotaChurn` actions and at
+/// least one `StressorBurst` — so the minimal repro is exactly three
+/// actions. Selected by `VSCHED_SHRINK_LAW=synthetic` in the suite binary.
+pub fn synthetic_law(plan: &FaultPlan) -> Option<String> {
+    use trace::FaultClass;
+    let churn = plan
+        .events
+        .iter()
+        .filter(|e| e.class == FaultClass::QuotaChurn)
+        .count();
+    let burst = plan
+        .events
+        .iter()
+        .filter(|e| e.class == FaultClass::StressorBurst)
+        .count();
+    (churn >= 2 && burst >= 1).then(|| "synthetic-canary".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostsim::ChaosSpec;
+    use simcore::time::MS;
+
+    fn plan(seed: u64) -> FaultPlan {
+        let spec = ChaosSpec::for_pinned_vm(0, 8, 4_000 * MS).mean_interval(250 * MS);
+        FaultPlan::generate(seed, &spec)
+    }
+
+    #[test]
+    fn shrinks_to_a_one_minimal_repro_of_the_same_law() {
+        let full = plan(0xC0FFEE);
+        assert!(
+            synthetic_law(&full).is_some(),
+            "seed must fail the synthetic law to start"
+        );
+        let out = shrink_plan(&full, synthetic_law).unwrap();
+        assert_eq!(out.law, "synthetic-canary");
+        assert!(
+            out.plan.events.len() < full.events.len(),
+            "strictly fewer actions ({} -> {})",
+            full.events.len(),
+            out.plan.events.len()
+        );
+        // The synthetic law's minimum is exactly 3 actions.
+        assert_eq!(out.plan.events.len(), 3);
+        assert!(synthetic_law(&out.plan).is_some(), "repro still fails");
+        // 1-minimality: removing any single remaining action passes.
+        for skip in 0..out.plan.events.len() {
+            let mut fewer = out.plan.events.clone();
+            fewer.remove(skip);
+            assert!(
+                synthetic_law(&out.plan.with_events(fewer)).is_none(),
+                "not 1-minimal at index {skip}"
+            );
+        }
+    }
+
+    #[test]
+    fn passing_plan_reports_nothing_to_shrink() {
+        let spec = ChaosSpec::for_pinned_vm(0, 2, 600 * MS).only(trace::FaultClass::ProbeNoise);
+        let p = FaultPlan::generate(1, &spec);
+        assert!(matches!(
+            shrink_plan(&p, synthetic_law),
+            Err(ShrinkError::PlanPasses)
+        ));
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let full = plan(0xC0FFEE);
+        let a = shrink_plan(&full, synthetic_law).unwrap();
+        let b = shrink_plan(&full, synthetic_law).unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.oracle_runs, b.oracle_runs);
+    }
+
+    #[test]
+    fn shrunk_plan_round_trips_through_the_repro_file_format() {
+        let full = plan(0xC0FFEE);
+        let out = shrink_plan(&full, synthetic_law).unwrap();
+        let back = FaultPlan::from_json(&out.plan.to_json()).unwrap();
+        assert_eq!(back, out.plan);
+        assert!(synthetic_law(&back).is_some(), "parsed repro still fails");
+    }
+}

@@ -12,8 +12,9 @@ fn outputs(jobs: usize, filter: &str) -> Vec<(&'static str, String)> {
         jobs,
         filter: Some(filter.into()),
         scale: Scale::Smoke,
-        seed: 42,
-    });
+        ..SuiteOptions::default()
+    })
+    .expect("filter matches");
     assert!(!res.reports.is_empty(), "filter {filter} matched nothing");
     res.reports
         .into_iter()
@@ -50,12 +51,16 @@ fn seed_changes_the_output() {
         filter: Some("table4".into()),
         scale: Scale::Smoke,
         seed: 42,
-    });
+        ..SuiteOptions::default()
+    })
+    .expect("filter matches");
     let b = run_suite(&SuiteOptions {
         jobs: 2,
         filter: Some("table4".into()),
         scale: Scale::Smoke,
         seed: 1042,
-    });
+        ..SuiteOptions::default()
+    })
+    .expect("filter matches");
     assert_ne!(a.reports[0].output, b.reports[0].output);
 }

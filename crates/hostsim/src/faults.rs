@@ -19,6 +19,7 @@
 //! host in its nominal configuration once the last reversal fires.
 
 use crate::machine::{Machine, ScriptAction};
+use simcore::json::Json;
 use simcore::time::MS;
 use simcore::{SimRng, SimTime};
 use std::fmt;
@@ -184,8 +185,15 @@ impl FaultPlan {
         class: FaultClass,
         out: &mut Vec<InjectedFault>,
     ) {
-        let end = spec.start.ns() + spec.horizon_ns;
-        let mut t = spec.start.ns() + rng.exp(spec.mean_interval_ns as f64) as u64;
+        // Saturating horizon arithmetic: a spec with `start + horizon` near
+        // `u64::MAX` must clip the injection window, not wrap it to zero
+        // (which would silently plan nothing — or, pre-overflow-checks,
+        // plan faults in the past).
+        let end = spec.start.ns().saturating_add(spec.horizon_ns);
+        let mut t = spec
+            .start
+            .ns()
+            .saturating_add(rng.exp(spec.mean_interval_ns as f64) as u64);
         while t < end {
             let vcpu = rng.index(spec.nr_vcpus.max(1));
             // Transients last 50–400 ms and never outlive the horizon, so
@@ -214,8 +222,32 @@ impl FaultPlan {
                 duration_ns,
                 magnitude,
             });
-            t += rng.exp(spec.mean_interval_ns as f64).max(1.0) as u64;
+            t = t.saturating_add(rng.exp(spec.mean_interval_ns as f64).max(1.0) as u64);
         }
+    }
+
+    /// The spec the plan was generated against.
+    pub fn spec(&self) -> &ChaosSpec {
+        &self.spec
+    }
+
+    /// A plan with the same seed and spec but a different action list.
+    /// The shrinker uses this to test subsets; `events` must preserve the
+    /// original relative order (any subsequence does), so the result stays
+    /// sorted and replays deterministically.
+    pub fn with_events(&self, events: Vec<InjectedFault>) -> FaultPlan {
+        debug_assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        FaultPlan {
+            seed: self.seed,
+            events,
+            spec: self.spec.clone(),
+        }
+    }
+
+    /// The plan truncated to its first `k` actions (reversals of those
+    /// actions are still scheduled by [`FaultPlan::apply`]).
+    pub fn prefix(&self, k: usize) -> FaultPlan {
+        self.with_events(self.events[..k.min(self.events.len())].to_vec())
     }
 
     /// Schedules every planned fault (and its reversal) onto a machine.
@@ -310,6 +342,114 @@ impl FaultPlan {
         }
     }
 
+    /// Serializes the full plan — spec, seed, and action list — as JSON.
+    /// This is the chaos-repro file format (`suite --shrink` writes it,
+    /// `suite --replay` reads it back); integers round-trip exactly.
+    pub fn to_json(&self) -> String {
+        let spec = &self.spec;
+        let uints = |v: &[usize]| Json::Arr(v.iter().map(|&x| Json::Uint(x as u64)).collect());
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("at_ns", Json::Uint(e.at.ns())),
+                    ("class", e.class.name().into()),
+                    ("vcpu", Json::Uint(e.vcpu as u64)),
+                    ("duration_ns", Json::Uint(e.duration_ns)),
+                    ("magnitude", Json::Uint(e.magnitude)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("seed", Json::Uint(self.seed)),
+            (
+                "spec",
+                Json::obj([
+                    ("vm", Json::Uint(spec.vm as u64)),
+                    ("nr_vcpus", Json::Uint(spec.nr_vcpus as u64)),
+                    ("threads", uints(&spec.threads)),
+                    ("cores", uints(&spec.cores)),
+                    (
+                        "classes",
+                        Json::Arr(spec.classes.iter().map(|c| c.name().into()).collect()),
+                    ),
+                    ("start_ns", Json::Uint(spec.start.ns())),
+                    ("horizon_ns", Json::Uint(spec.horizon_ns)),
+                    ("mean_interval_ns", Json::Uint(spec.mean_interval_ns)),
+                ]),
+            ),
+            ("events", Json::Arr(events)),
+        ])
+        .render()
+    }
+
+    /// Parses a plan previously written by [`FaultPlan::to_json`].
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let need =
+            |v: Option<&Json>, what: &str| v.cloned().ok_or_else(|| format!("missing {what}"));
+        let u = |v: &Json, what: &str| v.as_u64().ok_or_else(|| format!("{what} not a u64"));
+        let usizes = |v: &Json, what: &str| -> Result<Vec<usize>, String> {
+            v.as_arr()
+                .ok_or_else(|| format!("{what} not an array"))?
+                .iter()
+                .map(|x| u(x, what).map(|n| n as usize))
+                .collect()
+        };
+        let class_of = |v: &Json| -> Result<FaultClass, String> {
+            let name = v.as_str().ok_or("class not a string")?;
+            FaultClass::from_name(name).ok_or_else(|| format!("unknown fault class '{name}'"))
+        };
+
+        let sj = need(doc.get("spec"), "spec")?;
+        let spec = ChaosSpec {
+            vm: u(&need(sj.get("vm"), "spec.vm")?, "spec.vm")? as usize,
+            nr_vcpus: u(&need(sj.get("nr_vcpus"), "spec.nr_vcpus")?, "spec.nr_vcpus")? as usize,
+            threads: usizes(&need(sj.get("threads"), "spec.threads")?, "spec.threads")?,
+            cores: usizes(&need(sj.get("cores"), "spec.cores")?, "spec.cores")?,
+            classes: need(sj.get("classes"), "spec.classes")?
+                .as_arr()
+                .ok_or("spec.classes not an array")?
+                .iter()
+                .map(class_of)
+                .collect::<Result<_, _>>()?,
+            start: SimTime::from_ns(u(&need(sj.get("start_ns"), "spec.start_ns")?, "start_ns")?),
+            horizon_ns: u(
+                &need(sj.get("horizon_ns"), "spec.horizon_ns")?,
+                "horizon_ns",
+            )?,
+            mean_interval_ns: u(
+                &need(sj.get("mean_interval_ns"), "spec.mean_interval_ns")?,
+                "mean_interval_ns",
+            )?,
+        };
+        let mut events = Vec::new();
+        for ej in need(doc.get("events"), "events")?
+            .as_arr()
+            .ok_or("events not an array")?
+        {
+            events.push(InjectedFault {
+                at: SimTime::from_ns(u(&need(ej.get("at_ns"), "event.at_ns")?, "at_ns")?),
+                class: class_of(&need(ej.get("class"), "event.class")?)?,
+                vcpu: u(&need(ej.get("vcpu"), "event.vcpu")?, "vcpu")? as usize,
+                duration_ns: u(
+                    &need(ej.get("duration_ns"), "event.duration_ns")?,
+                    "duration_ns",
+                )?,
+                magnitude: u(&need(ej.get("magnitude"), "event.magnitude")?, "magnitude")?,
+            });
+        }
+        if !events.windows(2).all(|w| w[0].at <= w[1].at) {
+            return Err("events not sorted by at_ns".into());
+        }
+        Ok(FaultPlan {
+            seed: u(&need(doc.get("seed"), "seed")?, "seed")?,
+            events,
+            spec,
+        })
+    }
+
     /// Stable one-line-per-fault rendering; determinism gates compare this
     /// byte-for-byte across runs and processes.
     pub fn describe(&self) -> String {
@@ -382,6 +522,62 @@ mod tests {
                 );
             }
         });
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        propcheck::forall(0xFA018, 16, |rng| {
+            let s = spec(1 + rng.index(8));
+            let plan = FaultPlan::generate(rng.u64(), &s);
+            let back = FaultPlan::from_json(&plan.to_json()).expect("parses back");
+            assert_eq!(plan, back);
+            assert_eq!(plan.to_json(), back.to_json());
+        });
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_plans() {
+        assert!(FaultPlan::from_json("{}").is_err());
+        assert!(FaultPlan::from_json("not json").is_err());
+        // Unsorted events are rejected: apply() assumes time order.
+        let plan = FaultPlan::generate(5, &spec(4));
+        assert!(plan.events.len() >= 2);
+        let mut doc = Json::parse(&plan.to_json()).unwrap();
+        if let Json::Obj(m) = &mut doc {
+            if let Some(Json::Arr(events)) = m.get_mut("events") {
+                events.reverse();
+            }
+        }
+        assert!(FaultPlan::from_json(&doc.render()).is_err());
+    }
+
+    #[test]
+    fn subsets_preserve_identity_and_order() {
+        let plan = FaultPlan::generate(9, &spec(6));
+        let n = plan.events.len();
+        assert!(n >= 4, "want a non-trivial plan");
+        let half: Vec<_> = plan.events.iter().step_by(2).cloned().collect();
+        let sub = plan.with_events(half.clone());
+        assert_eq!(sub.seed, plan.seed);
+        assert_eq!(sub.spec(), plan.spec());
+        assert_eq!(sub.events, half);
+        let pre = plan.prefix(3);
+        assert_eq!(pre.events, plan.events[..3].to_vec());
+        assert_eq!(plan.prefix(n + 10).events.len(), n);
+    }
+
+    #[test]
+    fn near_max_horizon_saturates_instead_of_wrapping() {
+        // start + horizon would overflow; generation must clip, not wrap
+        // (wrapped arithmetic would put `end` before `start` and plan
+        // nothing — or abort under overflow-checks).
+        let mut s = spec(4);
+        s.start = SimTime::from_ns(u64::MAX - 100 * MS);
+        s.horizon_ns = u64::MAX;
+        let plan = FaultPlan::generate(3, &s);
+        for e in &plan.events {
+            assert!(e.at >= s.start);
+        }
     }
 
     #[test]

@@ -526,6 +526,33 @@ impl Machine {
             .sum()
     }
 
+    /// Hardware threads a vCPU may currently run on (preference order).
+    pub fn vcpu_affinity(&self, gv: GVcpu) -> &[usize] {
+        &self.vcpus[gv].affinity
+    }
+
+    /// Whether the chaos layer currently holds a vCPU offline.
+    pub fn vcpu_offline(&self, gv: GVcpu) -> bool {
+        self.vcpus[gv].offline
+    }
+
+    /// The bandwidth limit installed on a vCPU, as `(quota_ns, period_ns)`.
+    pub fn vcpu_bandwidth(&self, gv: GVcpu) -> Option<(u64, u64)> {
+        self.vcpus[gv]
+            .bandwidth
+            .map(|bw| (bw.quota_ns, bw.period_ns))
+    }
+
+    /// The multiplicative probe-noise amplitude currently in force.
+    pub fn probe_noise(&self) -> f64 {
+        self.probe_noise
+    }
+
+    /// A core's current DVFS frequency factor (1.0 = nominal).
+    pub fn core_freq_factor(&self, core: usize) -> f64 {
+        self.core_freq[core]
+    }
+
     // ------------------------------------------------------------------
     // Capacity and accounting
     // ------------------------------------------------------------------

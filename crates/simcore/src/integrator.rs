@@ -66,6 +66,12 @@ impl Integrator {
     /// Time (ns from `now`) until the accumulated value reaches `target`,
     /// or `None` if the rate is non-positive or the target is already met
     /// (already-met targets report `Some(0)`).
+    ///
+    /// ETAs that do not fit simulated time (a subnormal rate against a huge
+    /// target, or a non-finite quotient) report `None` — "never" — instead
+    /// of a wrapped or saturated timestamp. Finite ETAs near the `u64`
+    /// ceiling clamp to `u64::MAX`, which [`SimTime::after`] then saturates,
+    /// so a completion event can never be scheduled in the past.
     pub fn eta_ns(&self, now: SimTime, target: f64) -> Option<u64> {
         let current = self.value_at(now);
         if current >= target {
@@ -75,8 +81,17 @@ impl Integrator {
             return None;
         }
         let dt = (target - current) / self.rate;
-        // Round up so the completion event never fires marginally early.
-        Some(dt.ceil() as u64)
+        if !dt.is_finite() {
+            return None;
+        }
+        // Round up so the completion event never fires marginally early;
+        // clamp explicitly rather than leaning on `as`-cast saturation so
+        // the boundary behaviour is spelled out.
+        let dt = dt.ceil();
+        if dt >= u64::MAX as f64 {
+            return Some(u64::MAX);
+        }
+        Some(dt as u64)
     }
 
     /// Adds a constant to the accumulated value (used for one-shot work

@@ -15,12 +15,15 @@
 //!   running on a physical core (the paper's central observable).
 //! * [`propcheck`] — a minimal deterministic property-test harness used by
 //!   the workspace's randomized test suites (no external deps).
+//! * [`json`] — a tiny exact-integer JSON reader/writer for on-disk
+//!   artifacts (checkpoint manifests, failure reports, chaos repro plans).
 //!
 //! The engine is single-threaded by design: determinism is a feature, every
 //! experiment is exactly reproducible from its seed.
 
 pub mod event;
 pub mod integrator;
+pub mod json;
 pub mod propcheck;
 pub mod rng;
 pub mod time;

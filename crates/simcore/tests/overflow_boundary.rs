@@ -1,0 +1,51 @@
+//! Regression tests at the `u64` time ceiling.
+//!
+//! Release builds used to be able to wrap near-`u64::MAX` horizons (the
+//! workspace now also sets `overflow-checks = true` for release, so a wrap
+//! would abort rather than time-travel). These tests pin the intended
+//! *saturating* semantics: clocks stick at `SimTime::MAX`, they never go
+//! backwards.
+
+use vsched_simcore::time::MS;
+use vsched_simcore::{EventQueue, Integrator, SimTime};
+
+#[test]
+fn post_after_saturates_at_the_time_ceiling() {
+    let mut q: EventQueue<&str> = EventQueue::new();
+    q.post(SimTime::from_ns(u64::MAX - 5), "near-max");
+    q.pop();
+    assert_eq!(q.now(), SimTime::from_ns(u64::MAX - 5));
+    // A delay that would overflow must clamp to MAX, not wrap to the past.
+    q.post_after(100 * MS, "after");
+    assert_eq!(q.peek_time(), Some(SimTime::MAX));
+    let (t, e) = q.pop().unwrap();
+    assert_eq!((t, e), (SimTime::MAX, "after"));
+    assert_eq!(q.now(), SimTime::MAX);
+}
+
+#[test]
+fn eta_ns_never_produces_a_past_completion() {
+    // A subnormal rate against a huge target: the raw quotient overflows
+    // f64 toward infinity; eta must answer "never", not a wrapped time.
+    let mut i = Integrator::new(SimTime::ZERO);
+    i.set_rate(SimTime::ZERO, f64::MIN_POSITIVE);
+    assert_eq!(i.eta_ns(SimTime::ZERO, f64::MAX), None);
+
+    // A merely enormous finite ETA clamps to u64::MAX, which SimTime::after
+    // then saturates.
+    let mut i = Integrator::new(SimTime::ZERO);
+    i.set_rate(SimTime::ZERO, 1e-18);
+    let eta = i.eta_ns(SimTime::ZERO, 1e18).unwrap();
+    assert_eq!(eta, u64::MAX);
+    let now = SimTime::from_ns(u64::MAX - 1);
+    assert_eq!(now.after(eta), SimTime::MAX);
+}
+
+#[test]
+fn eta_ns_ordinary_cases_unchanged() {
+    let mut i = Integrator::new(SimTime::ZERO);
+    i.set_rate(SimTime::ZERO, 2.0);
+    assert_eq!(i.eta_ns(SimTime::ZERO, 10.0), Some(5));
+    i.add(10.0);
+    assert_eq!(i.eta_ns(SimTime::ZERO, 10.0), Some(0));
+}

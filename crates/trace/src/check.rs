@@ -61,6 +61,32 @@ pub enum ViolationKind {
     DegradedStateMismatch,
 }
 
+impl ViolationKind {
+    /// Stable machine-readable law identifier. The chaos-seed shrinker
+    /// compares these to decide whether a reduced fault plan still fails
+    /// the *same* law, so the names are part of the repro-file format —
+    /// treat them as append-only.
+    pub fn law_name(&self) -> &'static str {
+        match self {
+            ViolationKind::DoubleRun => "double-run",
+            ViolationKind::SwitchInWhileBusy => "switch-in-while-busy",
+            ViolationKind::MismatchedSwitchOut => "mismatched-switch-out",
+            ViolationKind::VruntimeInversion => "vruntime-inversion",
+            ViolationKind::StealAccountingGap => "steal-accounting-gap",
+            ViolationKind::StealWhileNotWaiting => "steal-while-not-waiting",
+            ViolationKind::RunOverlap => "run-overlap",
+            ViolationKind::WorkExceedsCapacity => "work-exceeds-capacity",
+            ViolationKind::IvhUnmatchedResolution => "ivh-unmatched-resolution",
+            ViolationKind::IvhDuplicateAttempt => "ivh-duplicate-attempt",
+            ViolationKind::MigrateWhileRunning => "migrate-while-running",
+            ViolationKind::QuotaExceedsPeriod => "quota-exceeds-period",
+            ViolationKind::ThrottleWithoutRefill => "throttle-without-refill",
+            ViolationKind::PeltLoadIncrease => "pelt-load-increase",
+            ViolationKind::DegradedStateMismatch => "degraded-state-mismatch",
+        }
+    }
+}
+
 impl fmt::Display for ViolationKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{self:?}")
@@ -115,6 +141,13 @@ impl CheckReport {
     /// Whether the stream satisfied every invariant.
     pub fn ok(&self) -> bool {
         self.violations == 0
+    }
+
+    /// The law the first violation broke, as data rather than a panic or
+    /// a rendered string — what supervised runs record and the shrinker
+    /// minimizes against.
+    pub fn first_law(&self) -> Option<&'static str> {
+        self.first.as_ref().map(|v| v.kind.law_name())
     }
 }
 

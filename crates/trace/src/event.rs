@@ -97,6 +97,35 @@ pub enum FaultClass {
     ProbeNoise,
 }
 
+impl FaultClass {
+    /// Stable serialization name (chaos repro files store these).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultClass::StressorBurst => "StressorBurst",
+            FaultClass::QuotaChurn => "QuotaChurn",
+            FaultClass::PinChange => "PinChange",
+            FaultClass::VcpuOffline => "VcpuOffline",
+            FaultClass::VcpuOnline => "VcpuOnline",
+            FaultClass::CapacityStep => "CapacityStep",
+            FaultClass::ProbeNoise => "ProbeNoise",
+        }
+    }
+
+    /// Inverse of [`FaultClass::name`].
+    pub fn from_name(name: &str) -> Option<FaultClass> {
+        Some(match name {
+            "StressorBurst" => FaultClass::StressorBurst,
+            "QuotaChurn" => FaultClass::QuotaChurn,
+            "PinChange" => FaultClass::PinChange,
+            "VcpuOffline" => FaultClass::VcpuOffline,
+            "VcpuOnline" => FaultClass::VcpuOnline,
+            "CapacityStep" => FaultClass::CapacityStep,
+            "ProbeNoise" => FaultClass::ProbeNoise,
+            _ => return None,
+        })
+    }
+}
+
 /// Why vSched's resilience layer entered degraded mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DegradeReason {
