@@ -43,6 +43,18 @@ if ! CHAOS_SEED="$chaos_seed" cargo test -q --release --test chaos invariants; t
     exit 1
 fi
 
+echo "== fleet-smoke: fixed-seed fleet cell, serial vs parallel byte-identity"
+# The fleet job churns a multi-host cluster per placement policy; its
+# placement decisions, SLO merge, and trace-law verdicts must replay
+# byte-identically regardless of worker count (mirrors the chaos-smoke
+# fixed-seed gate).
+VSCHED_SCALE=smoke ./target/release/suite --filter fleet --jobs 1 --seed 42 \
+    --no-ckpt > "$tmpdir/fleet_serial.txt" 2>/dev/null
+VSCHED_SCALE=smoke ./target/release/suite --filter fleet --jobs 4 --seed 42 \
+    --no-ckpt > "$tmpdir/fleet_parallel.txt" 2>/dev/null
+diff "$tmpdir/fleet_serial.txt" "$tmpdir/fleet_parallel.txt"
+grep -q "violations" "$tmpdir/fleet_serial.txt"
+
 echo "== supervision-smoke: canary isolation, kill/resume, shrink/replay"
 # 1) Canary: two cells fail on purpose (panic + blown deadline). The suite
 #    must exit 0, name both cells in the stderr failure report and the JSON

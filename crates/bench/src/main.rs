@@ -2,7 +2,7 @@
 //!
 //! Times the simulator's hot paths end to end — no criterion, no registry
 //! deps, runs anywhere tier-1 builds — and writes the results to
-//! `BENCH_vsched.json` at the repo root. Four micro benches plus the suite
+//! `BENCH_vsched.json` at the repo root. Five micro benches plus the suite
 //! wall clock:
 //!
 //! * `hostsim_dispatch` — events/sec through `Machine::run_until` on a
@@ -11,6 +11,8 @@
 //!   wakeup-heavy hackbench workload (the guest scheduler's inner loop).
 //! * `pelt_update` — ns per `Pelt::update` (the per-event decay math the
 //!   fixed-point table optimizes).
+//! * `fleet_step_rate` — events/sec stepping a churned 16-host fleet
+//!   cluster in lockstep (the cluster-scaling baseline).
 //! * `figure_fig03_quick` — one full quick-scale figure, as simulated
 //!   seconds per wall second (everything composed).
 //! * `suite` — the full figure/table suite, serial (`--jobs 1`) vs
@@ -112,6 +114,32 @@ fn bench_pelt_update(iters: u64) -> Micro {
     }
 }
 
+/// Fleet steady-state step rate: a churned 16-host cluster of vSched
+/// guests under the probe-aware policy, counting simulation events
+/// dispatched across all hosts per wall second. The baseline any future
+/// cluster-stepping perf work (sharded stepping, migration) measures
+/// against.
+fn bench_fleet_step_rate(sim_secs: u64) -> Micro {
+    let spec = fleet::FleetSpec::small(16, 4, sim_secs);
+    let mut c = fleet::Cluster::new(
+        spec,
+        fleet::GuestMode::Vsched,
+        fleet::policy_by_name("probe-aware").expect("registered policy"),
+        1,
+    );
+    let t0 = Instant::now();
+    let s = c.run();
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(s.violations, 0, "bench run must satisfy the fleet laws");
+    assert!(s.placed > 0, "churn must place VMs");
+    Micro {
+        name: "fleet_step_rate",
+        unit: "events",
+        units: c.events_dispatched(),
+        secs,
+    }
+}
+
 /// One complete quick-scale figure: simulated seconds per wall second.
 fn bench_figure_fig03() -> Micro {
     let t0 = Instant::now();
@@ -208,6 +236,7 @@ fn main() {
         bench_hostsim_dispatch(30),
         bench_guest_context_switch(30),
         bench_pelt_update(20_000_000),
+        bench_fleet_step_rate(10),
         bench_figure_fig03(),
     ];
     for m in &micros {

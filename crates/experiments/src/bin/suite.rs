@@ -27,6 +27,8 @@
 //!   synthetic canary law (tests/CI).
 //! * `VSCHED_CANARY=1` appends the always-failing canary job (CI
 //!   supervision smoke).
+//! * `--list` prints every registered job id with its cell count and a
+//!   one-line description, then exits.
 
 use experiments::runner::{registry, run_suite, SuiteOptions};
 use experiments::{chaos, checkpoint, shrink, Scale};
@@ -183,7 +185,7 @@ fn main() {
 
     if list {
         for j in registry() {
-            println!("{} ({} cells)", j.name, j.cells.len());
+            println!("{:<8} {:>3} cells  {}", j.name, j.cells.len(), j.desc);
         }
         return;
     }

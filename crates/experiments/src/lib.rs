@@ -28,6 +28,7 @@ pub mod fig17;
 pub mod fig18_19;
 pub mod fig20;
 pub mod fig21;
+pub mod fleet;
 pub mod oracle;
 pub mod profiles;
 pub mod runner;

@@ -73,6 +73,8 @@ impl CellSpec {
 pub struct Job {
     /// Figure id (`fig02` … `table4`); feeds [`cell_seed`] and `--filter`.
     pub name: &'static str,
+    /// One-line description (`suite --list`).
+    pub desc: &'static str,
     /// The cells, in merge order.
     pub cells: Vec<CellSpec>,
     reduce: Box<dyn Fn(Vec<Part>, Scale) -> String + Send + Sync>,
@@ -130,6 +132,7 @@ fn job_fig02() -> Job {
     }
     Job {
         name: "fig02",
+        desc: "vCPU latency vs request latency for latency-sensitive workloads",
         cells,
         reduce: Box::new(|parts, _| {
             let cells = parts.into_iter().map(got::<fig02::Cell>).collect();
@@ -149,6 +152,7 @@ fn job_fig03() -> Job {
     ];
     Job {
         name: "fig03",
+        desc: "the stalled running task, with and without proactive migration",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -190,6 +194,7 @@ fn job_fig04() -> Job {
     }
     Job {
         name: "fig04",
+        desc: "deficient work conservation: stragglers, stacking, priority inversion",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -225,6 +230,7 @@ fn job_fig10() -> Job {
     ];
     Job {
         name: "fig10",
+        desc: "accuracy of vcap capacity tracking and the vtop latency matrix",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -267,6 +273,7 @@ fn job_fig11() -> Job {
     ];
     Job {
         name: "fig11",
+        desc: "impact of accurate vCPU capacity (vcap) on asym/sym hosts",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -304,6 +311,7 @@ fn job_fig12() -> Job {
     }
     Job {
         name: "fig12",
+        desc: "SMT-aware scheduling with vtop on pinned sibling pairs",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -336,6 +344,7 @@ fn job_fig13() -> Job {
     }
     Job {
         name: "fig13",
+        desc: "LLC-aware co-location with vtop across two sockets",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -377,6 +386,7 @@ fn job_fig14() -> Job {
     }
     Job {
         name: "fig14",
+        desc: "p95 latency reduction with boosted vCPU scheduling (bvs)",
         cells,
         reduce: Box::new(move |parts, _| {
             let cells = keys
@@ -408,6 +418,7 @@ fn job_fig15() -> Job {
     }
     Job {
         name: "fig15",
+        desc: "throughput gain from idle vCPU harvesting (ivh)",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -441,6 +452,7 @@ fn job_fig16() -> Job {
     ];
     Job {
         name: "fig16",
+        desc: "adaptability of vSched as the host reconfigures vCPUs",
         cells,
         reduce: Box::new(|parts, scale| {
             let mut it = parts.into_iter();
@@ -467,6 +479,7 @@ fn job_fig17() -> Job {
     ];
     Job {
         name: "fig17",
+        desc: "vSched in a multi-tenant host with floating sibling vCPUs",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -486,7 +499,7 @@ fn overall_benches() -> Vec<&'static str> {
         .collect()
 }
 
-fn job_overall(name: &'static str, kind: ProfileKind) -> Job {
+fn job_overall(name: &'static str, desc: &'static str, kind: ProfileKind) -> Job {
     let mut cells = Vec::new();
     for bench in overall_benches() {
         for mode in [Mode::Cfs, Mode::EnhancedCfs, Mode::Vsched] {
@@ -498,6 +511,7 @@ fn job_overall(name: &'static str, kind: ProfileKind) -> Job {
     }
     Job {
         name,
+        desc,
         cells,
         reduce: Box::new(move |parts, _| {
             let mut it = parts.into_iter();
@@ -537,6 +551,7 @@ fn job_fig20() -> Job {
     }
     Job {
         name: "fig20",
+        desc: "cost of vSched: total cycles and cycles per second",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -565,6 +580,7 @@ fn job_fig21() -> Job {
     }
     Job {
         name: "fig21",
+        desc: "vSched overhead on a dedicated host where probing cannot help",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -592,6 +608,7 @@ fn job_table2() -> Job {
     ];
     Job {
         name: "table2",
+        desc: "vtop probing time: full probe vs validation pass",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -637,6 +654,7 @@ fn job_table3() -> Job {
     ];
     Job {
         name: "table3",
+        desc: "Masstree p95 latency breakdown under bvs",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
@@ -660,6 +678,7 @@ fn job_table4() -> Job {
     }
     Job {
         name: "table4",
+        desc: "canneal throughput: activity-aware vs unaware ivh pre-waking",
         cells,
         reduce: Box::new(|parts, _| {
             type Cell4 = (f64, (u64, u64, u64));
@@ -690,12 +709,45 @@ fn job_chaos() -> Job {
     ];
     Job {
         name: "chaos",
+        desc: "graceful degradation under seed-driven fault injection",
         cells,
         reduce: Box::new(|parts, _| {
             let mut it = parts.into_iter();
             let cfs = got::<chaos::ChaosOutcome>(it.next().unwrap());
             let vsched = got::<chaos::ChaosOutcome>(it.next().unwrap());
             chaos::Chaos { cfs, vsched }.to_string()
+        }),
+    }
+}
+
+fn job_fleet() -> Job {
+    // One cell per placement policy: each replays the identical churn
+    // schedule under CFS guests and under vSched guests (same cell seed),
+    // so the comparison inside a cell is apples-to-apples and the job
+    // still shards across policies.
+    let cells = ::fleet::POLICIES
+        .iter()
+        .map(|&policy| {
+            cell(policy, move |seed, scale: Scale| {
+                crate::fleet::run_cell(policy, scale.secs(4, 16), seed)
+            })
+        })
+        .collect();
+    Job {
+        name: "fleet",
+        desc: "CFS vs vSched guests on a churned multi-host cluster, per placement policy",
+        cells,
+        reduce: Box::new(|parts, _| {
+            type Pair = (crate::fleet::FleetOutcome, crate::fleet::FleetOutcome);
+            let mut it = parts.into_iter();
+            let rows = ::fleet::POLICIES
+                .iter()
+                .map(|&policy| {
+                    let (cfs, vs) = got::<Pair>(it.next().unwrap());
+                    (policy, cfs, vs)
+                })
+                .collect();
+            crate::fleet::Fleet { rows }.to_string()
         }),
     }
 }
@@ -719,6 +771,7 @@ fn canary_job() -> Job {
     ];
     Job {
         name: "canary",
+        desc: "always-failing supervision canary (VSCHED_CANARY=1 only)",
         cells,
         reduce: Box::new(|parts, _| {
             // Unreachable in practice: the panic cell always fails the job
@@ -744,14 +797,23 @@ pub fn registry() -> Vec<Job> {
         job_fig15(),
         job_fig16(),
         job_fig17(),
-        job_overall("fig18", ProfileKind::Rcvm),
-        job_overall("fig19", ProfileKind::Hpvm),
+        job_overall(
+            "fig18",
+            "overall improvement with vSched on the resource-constrained VM",
+            ProfileKind::Rcvm,
+        ),
+        job_overall(
+            "fig19",
+            "overall improvement with vSched on the high-performance VM",
+            ProfileKind::Hpvm,
+        ),
         job_fig20(),
         job_fig21(),
         job_table2(),
         job_table3(),
         job_table4(),
         job_chaos(),
+        job_fleet(),
     ]
 }
 
@@ -1140,16 +1202,22 @@ mod tests {
     #[test]
     fn registry_covers_the_full_suite() {
         let names: Vec<&str> = registry().iter().map(|j| j.name).collect();
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 20);
         for want in [
-            "fig02", "fig15", "fig18", "fig19", "table2", "table4", "chaos",
+            "fig02", "fig15", "fig18", "fig19", "table2", "table4", "chaos", "fleet",
         ] {
             assert!(names.contains(&want), "missing {want}");
         }
         // Every job decomposes into at least two independent cells except
-        // none — sharding is the whole point.
+        // none — sharding is the whole point — and carries a one-line
+        // description for `suite --list`.
         for j in registry() {
             assert!(j.cells.len() >= 2, "{} has {} cells", j.name, j.cells.len());
+            assert!(
+                !j.desc.is_empty() && !j.desc.contains('\n'),
+                "{} needs a one-line description",
+                j.name
+            );
         }
     }
 
@@ -1161,7 +1229,7 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.filter, "fig99");
-        assert_eq!(err.valid.len(), 19);
+        assert_eq!(err.valid.len(), 20);
         assert!(err.valid.contains(&"fig03"));
         let msg = err.to_string();
         assert!(msg.contains("fig99") && msg.contains("fig03") && msg.contains("table4"));

@@ -132,6 +132,39 @@ fn resume_replays_checkpointed_jobs_byte_identically() {
 }
 
 #[test]
+fn suite_list_prints_every_job_with_a_description() {
+    use experiments::runner::registry;
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_suite"))
+        .arg("--list")
+        .output()
+        .expect("suite binary runs");
+    assert!(out.status.success(), "--list must exit 0");
+    let text = String::from_utf8(out.stdout).expect("utf8 listing");
+    let lines: Vec<&str> = text.lines().collect();
+    let jobs = registry();
+    assert_eq!(
+        lines.len(),
+        jobs.len(),
+        "one listing line per registered job:\n{text}"
+    );
+    for (line, job) in lines.iter().zip(&jobs) {
+        assert!(
+            line.starts_with(job.name),
+            "listing out of registry order: {line:?} vs {}",
+            job.name
+        );
+        assert!(
+            line.contains(job.desc),
+            "missing description for {}: {line:?}",
+            job.name
+        );
+        assert!(line.contains(&format!("{} cells", job.cells.len())));
+    }
+    // The canary is env-gated, never listed.
+    assert!(!text.contains("canary"));
+}
+
+#[test]
 fn filter_matching_nothing_lists_the_valid_ids() {
     let err = match run_suite(&base("not-a-figure")) {
         Err(e) => e,

@@ -1,0 +1,461 @@
+//! The lockstep multi-host cluster.
+//!
+//! A [`Cluster`] owns N `hostsim::Machine`s plus a compiled churn
+//! schedule and replays it deterministically: hosts advance in lockstep
+//! on the shared virtual clock (each `Machine` keeps its own event queue,
+//! stepped to a common barrier via [`hostsim::Machine::step_until`]), and
+//! every placement decision is emitted into a fleet-scoped trace
+//! collector whose invariant checker enforces the overcommit cap and
+//! single-placement laws independently of the cluster's own bookkeeping.
+//!
+//! Per-machine collectors stay separate from the fleet collector: vCPU
+//! and task ids restart at zero on every host, so mixing their streams
+//! would alias ids and trip the per-host conservation laws.
+
+use crate::lifecycle::{self, FleetSpec, LifecycleEvent, VmOp};
+use crate::placement::{HostView, PlacementPolicy, PlacementReq};
+use crate::slo::{self, SloSummary, TenantStats};
+use guestos::{GuestConfig, VcpuId};
+use hostsim::scenario::ScenarioBuilder;
+use hostsim::topology::HostSpec;
+use hostsim::Machine;
+use simcore::time::MS;
+use simcore::{SimRng, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+use trace::{Collector, EventKind, SharedCollector, TraceSink};
+use vsched::VschedConfig;
+use workloads::latency::{LatencyServer, LatencyServerCfg};
+use workloads::{work_ms, LatencyStats};
+
+/// Which guest scheduler the fleet's VMs boot with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestMode {
+    /// Plain CFS guests: no probing, the placement layer sees nominal
+    /// capacity only.
+    Cfs,
+    /// vSched guests (`VschedConfig::full()`): vcap probing feeds the
+    /// probe-aware placement policy real capacity estimates.
+    Vsched,
+}
+
+impl GuestMode {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GuestMode::Cfs => "CFS",
+            GuestMode::Vsched => "vSched",
+        }
+    }
+}
+
+/// Lockstep barrier granularity. Small enough that cross-host placement
+/// decisions see fresh probing state, large enough to amortize the
+/// per-host re-entry cost.
+const EPOCH_NS: u64 = 50 * MS;
+
+/// CFS bandwidth period used for vertical resizes.
+const RESIZE_PERIOD_NS: u64 = 4 * MS;
+
+struct HostSim {
+    m: Machine,
+    collector: SharedCollector,
+    /// Committed (placed, not departed) vCPUs — the checker re-verifies
+    /// this via the occupancy carried on every `VmPlaced` event.
+    committed: u64,
+    /// Active-ns total at the previous utilization sample.
+    prev_active_ns: u64,
+    /// Sampled utilization per epoch (0..=1).
+    util: Vec<f64>,
+}
+
+struct LiveVm {
+    uid: u32,
+    vcpus: usize,
+    host: usize,
+    vm_idx: usize,
+    stats: Rc<RefCell<LatencyStats>>,
+    arrived_ns: u64,
+}
+
+/// A deterministic multi-host cluster run: `(spec, mode, policy, seed)`
+/// fully determines the churn schedule, every placement decision, and
+/// every latency sample.
+pub struct Cluster {
+    spec: FleetSpec,
+    mode: GuestMode,
+    policy: Box<dyn PlacementPolicy>,
+    hosts: Vec<HostSim>,
+    schedule: Vec<LifecycleEvent>,
+    fleet_sink: TraceSink,
+    fleet_collector: SharedCollector,
+    live: Vec<LiveVm>,
+    tenants: Vec<TenantStats>,
+    wl_rng: SimRng,
+    admitted: u64,
+    placed: u64,
+    rejected: u64,
+}
+
+impl Cluster {
+    /// Builds the cluster: N started machines with per-host trace
+    /// checkers, the compiled churn schedule, and an empty fleet-level
+    /// collector for placement events.
+    pub fn new(
+        spec: FleetSpec,
+        mode: GuestMode,
+        policy: Box<dyn PlacementPolicy>,
+        seed: u64,
+    ) -> Cluster {
+        spec.validate().expect("valid spec");
+        let schedule = lifecycle::generate(&spec, seed);
+        let mut hosts = Vec::with_capacity(spec.hosts);
+        for h in 0..spec.hosts {
+            // Per-host seed: mixed so host streams are independent but a
+            // host's stream is stable when the fleet size changes.
+            let host_seed = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(h as u64 + 1));
+            let mut m =
+                ScenarioBuilder::new(HostSpec::flat(spec.threads_per_host), host_seed).build();
+            let (_, collector) = TraceSink::shared(Collector::default().with_checker());
+            m.attach_trace(&collector);
+            m.start();
+            hosts.push(HostSim {
+                m,
+                collector,
+                committed: 0,
+                prev_active_ns: 0,
+                util: Vec::new(),
+            });
+        }
+        let (fleet_sink, fleet_collector) = TraceSink::shared(Collector::default().with_checker());
+        Cluster {
+            spec,
+            mode,
+            policy,
+            hosts,
+            schedule,
+            fleet_sink,
+            fleet_collector,
+            live: Vec::new(),
+            tenants: Vec::new(),
+            wl_rng: SimRng::new(seed ^ 0x0F1E_E75E_ED00),
+            admitted: 0,
+            placed: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The compiled churn schedule (for tests and inspection).
+    pub fn schedule(&self) -> &[LifecycleEvent] {
+        &self.schedule
+    }
+
+    /// Simulation events dispatched across every host machine — the
+    /// cluster-stepping throughput denominator the bench harness tracks.
+    pub fn events_dispatched(&self) -> u64 {
+        self.hosts.iter().map(|h| h.m.events_dispatched).sum()
+    }
+
+    /// Replays the whole schedule to the horizon and folds the outcome
+    /// into an [`SloSummary`].
+    pub fn run(&mut self) -> SloSummary {
+        let horizon = self.spec.horizon_ns;
+        let schedule = std::mem::take(&mut self.schedule);
+        let mut next = 0usize;
+        let mut epoch_end = EPOCH_NS.min(horizon);
+        loop {
+            while next < schedule.len() && schedule[next].at.ns() <= epoch_end {
+                let ev = schedule[next];
+                next += 1;
+                self.step_all(ev.at);
+                self.apply(ev);
+            }
+            self.step_all(SimTime::from_ns(epoch_end));
+            self.sample_util(epoch_end);
+            if epoch_end >= horizon {
+                break;
+            }
+            epoch_end = (epoch_end + EPOCH_NS).min(horizon);
+        }
+        self.schedule = schedule;
+        // Still-live tenants are snapshotted against the horizon; they
+        // stay placed, which the checker permits (placement is released
+        // only by an explicit depart).
+        for i in 0..self.live.len() {
+            let lifetime = horizon.saturating_sub(self.live[i].arrived_ns);
+            let t = Self::snapshot(&self.live[i], lifetime);
+            self.tenants.push(t);
+        }
+        self.summary()
+    }
+
+    /// Advances every host to the same barrier on the virtual clock.
+    fn step_all(&mut self, until: SimTime) {
+        for h in &mut self.hosts {
+            h.m.step_until(until);
+        }
+    }
+
+    fn apply(&mut self, ev: LifecycleEvent) {
+        match ev.op {
+            VmOp::Arrive { uid, vcpus } => self.arrive(ev.at, uid, vcpus),
+            VmOp::Depart { uid } => self.depart(ev.at, uid),
+            VmOp::Resize { uid, quota_pct } => self.resize(uid, quota_pct),
+        }
+    }
+
+    /// Snapshot of every host the policy can choose from.
+    fn host_views(&mut self) -> Vec<HostView> {
+        let mode = self.mode;
+        let mut views = Vec::with_capacity(self.hosts.len());
+        for (h, host) in self.hosts.iter_mut().enumerate() {
+            let mut probed = 0.0;
+            for lv in self.live.iter().filter(|lv| lv.host == h) {
+                probed += probed_capacity(&mut host.m, lv.vm_idx, lv.vcpus, mode);
+            }
+            views.push(HostView {
+                host: h,
+                threads: self.spec.threads_per_host,
+                committed: host.committed,
+                cap: self.spec.overcommit_cap,
+                probed_capacity: probed,
+            });
+        }
+        views
+    }
+
+    fn arrive(&mut self, at: SimTime, uid: u32, vcpus: usize) {
+        self.admitted += 1;
+        self.fleet_sink.emit(
+            at,
+            EventKind::VmAdmitted {
+                uid,
+                vcpus: vcpus as u16,
+            },
+        );
+        let views = self.host_views();
+        let req = PlacementReq { uid, vcpus };
+        let Some(h) = self.policy.place(&req, &views) else {
+            self.rejected += 1;
+            return;
+        };
+        assert!(views[h].fits(&req), "policy must respect the cap");
+        let host = &mut self.hosts[h];
+        let threads = self.spec.threads_per_host;
+        let vm_idx = host.m.add_vm(
+            GuestConfig::new(vcpus),
+            vec![(0..threads).collect(); vcpus],
+            1024,
+            None,
+        );
+        if self.mode == GuestMode::Vsched {
+            host.m
+                .with_vm(vm_idx, |g, p| vsched::install(g, p, VschedConfig::full()));
+        }
+        // Open-loop latency server at ~50% of the VM's nominal capacity:
+        // the same load point the single-host experiments use.
+        let service = work_ms(0.5);
+        let interarrival = service / 1024.0 / vcpus as f64 / 0.5;
+        let (server, stats) = LatencyServer::new(
+            LatencyServerCfg::new(vcpus, service, interarrival),
+            self.wl_rng.fork(uid as u64),
+        );
+        host.m.set_workload(vm_idx, Box::new(server));
+        host.m.start_vm_workload(vm_idx);
+        host.committed += vcpus as u64;
+        self.placed += 1;
+        self.fleet_sink.emit(
+            at,
+            EventKind::VmPlaced {
+                uid,
+                host: h as u16,
+                vcpus: vcpus as u16,
+                occupied: host.committed,
+                cap: self.spec.overcommit_cap,
+            },
+        );
+        self.live.push(LiveVm {
+            uid,
+            vcpus,
+            host: h,
+            vm_idx,
+            stats,
+            arrived_ns: at.ns(),
+        });
+    }
+
+    fn depart(&mut self, at: SimTime, uid: u32) {
+        // Rejected arrivals still get a Depart in the schedule; there is
+        // nothing to tear down for them.
+        let Some(i) = self.live.iter().position(|lv| lv.uid == uid) else {
+            return;
+        };
+        let lv = self.live.remove(i);
+        let host = &mut self.hosts[lv.host];
+        host.m.quiesce_vm(lv.vm_idx);
+        host.committed -= lv.vcpus as u64;
+        self.fleet_sink.emit(
+            at,
+            EventKind::VmDeparted {
+                uid,
+                host: lv.host as u16,
+                vcpus: lv.vcpus as u16,
+            },
+        );
+        let lifetime = at.ns().saturating_sub(lv.arrived_ns);
+        let t = Self::snapshot(&lv, lifetime);
+        self.tenants.push(t);
+    }
+
+    /// Vertical resize via per-vCPU bandwidth caps: `quota_pct` of a
+    /// fixed period per vCPU, 100 restoring the uncapped allocation.
+    fn resize(&mut self, uid: u32, quota_pct: u8) {
+        let Some(lv) = self.live.iter().find(|lv| lv.uid == uid) else {
+            return;
+        };
+        let qp = if quota_pct >= 100 {
+            None
+        } else {
+            Some((RESIZE_PERIOD_NS * quota_pct as u64 / 100, RESIZE_PERIOD_NS))
+        };
+        for v in 0..lv.vcpus {
+            self.hosts[lv.host].m.set_bandwidth(lv.vm_idx, v, qp);
+        }
+    }
+
+    fn snapshot(lv: &LiveVm, lifetime_ns: u64) -> TenantStats {
+        let s = lv.stats.borrow();
+        TenantStats {
+            uid: lv.uid,
+            vcpus: lv.vcpus,
+            lifetime_ns,
+            e2e: s.e2e.clone(),
+            completed: s.completed,
+            dropped: s.dropped,
+        }
+    }
+
+    /// Per-host utilization over the last epoch: Δ active-ns across all
+    /// of the host's vCPUs over `threads × window`.
+    fn sample_util(&mut self, now_ns: u64) {
+        let threads = self.spec.threads_per_host as u64;
+        for h in &mut self.hosts {
+            let active: u64 = (0..h.m.vcpus.len()).map(|gv| h.m.vcpu_active_ns(gv)).sum();
+            let window = EPOCH_NS.min(now_ns.max(1));
+            let used = active.saturating_sub(h.prev_active_ns);
+            h.prev_active_ns = active;
+            h.util.push(used as f64 / (threads * window) as f64);
+        }
+    }
+
+    fn summary(&self) -> SloSummary {
+        let util: Vec<Vec<f64>> = self.hosts.iter().map(|h| h.util.clone()).collect();
+        let mut s = slo::summarize(
+            &self.spec,
+            self.tenants.clone(),
+            &util,
+            self.admitted,
+            self.placed,
+            self.rejected,
+        );
+        let reports: Vec<trace::CheckReport> = std::iter::once(&self.fleet_collector)
+            .chain(self.hosts.iter().map(|h| &h.collector))
+            .map(|c| {
+                c.borrow()
+                    .checker
+                    .as_ref()
+                    .expect("collector has a checker")
+                    .report()
+            })
+            .collect();
+        s.trace_events = reports.iter().map(|r| r.events).sum();
+        s.violations = reports.iter().map(|r| r.violations).sum();
+        s.first_law = reports.iter().find_map(|r| r.first_law());
+        s.unplaced = reports[0].unplaced_admissions;
+        s
+    }
+}
+
+/// What the placement layer believes this VM's vCPUs can deliver, in
+/// vcap units (0..=1024 per vCPU). vSched guests report what their
+/// probing measured; CFS guests (and vSched instances that have not
+/// probed yet, whose vcap defaults to full capacity) report nominal.
+fn probed_capacity(m: &mut Machine, vm_idx: usize, vcpus: usize, mode: GuestMode) -> f64 {
+    match mode {
+        GuestMode::Cfs => 1024.0 * vcpus as f64,
+        GuestMode::Vsched => m.with_vm(vm_idx, |g, _p| match vsched::instance(g) {
+            Some(vs) => (0..vcpus)
+                .map(|i| vs.vcap.capacity(VcpuId(i)).clamp(0.0, 1024.0))
+                .sum(),
+            None => 1024.0 * vcpus as f64,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::policy_by_name;
+
+    fn small_spec() -> FleetSpec {
+        let mut s = FleetSpec::small(2, 2, 1);
+        s.max_live_vms = 4;
+        s
+    }
+
+    #[test]
+    fn cluster_runs_clean_and_accounts_every_admission() {
+        let mut c = Cluster::new(
+            small_spec(),
+            GuestMode::Vsched,
+            policy_by_name("first-fit").unwrap(),
+            11,
+        );
+        let s = c.run();
+        assert!(s.admitted > 0, "1s of churn must admit something");
+        assert_eq!(s.admitted, s.placed + s.rejected);
+        assert_eq!(s.violations, 0, "first law broken: {:?}", s.first_law);
+        assert_eq!(s.unplaced, s.rejected as usize);
+        assert!(s.completed > 0, "placed tenants must complete requests");
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = |seed| {
+            let mut c = Cluster::new(
+                small_spec(),
+                GuestMode::Cfs,
+                policy_by_name("worst-fit").unwrap(),
+                seed,
+            );
+            let s = c.run();
+            (
+                s.admitted,
+                s.placed,
+                s.rejected,
+                s.completed,
+                s.p50_ms.to_bits(),
+                s.p99_ms.to_bits(),
+                s.fairness.to_bits(),
+                s.trace_events,
+            )
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "seed must reach the outcome");
+    }
+
+    #[test]
+    fn tiny_cap_forces_clean_rejections() {
+        let mut spec = small_spec();
+        spec.overcommit_cap = 1;
+        let mut c = Cluster::new(
+            spec,
+            GuestMode::Cfs,
+            policy_by_name("probe-aware").unwrap(),
+            3,
+        );
+        let s = c.run();
+        assert!(s.rejected > 0, "cap of 1 vCPU per host must reject");
+        assert_eq!(s.violations, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic multi-host cluster simulation.
+//!
+//! The paper evaluates vSched on a single host, but its premise — the
+//! guest must *probe* its vCPU abstraction because the cloud keeps
+//! changing it — bites hardest under fleet dynamics: VMs arriving,
+//! departing, and resizing while placement policies overcommit hosts.
+//! This crate layers that on the existing stack:
+//!
+//! * [`cluster`] — a [`Cluster`] owning N [`hostsim::Machine`]s stepped in
+//!   lockstep on the virtual clock ([`hostsim::Machine::step_until`]).
+//! * [`lifecycle`] — a seed-driven open-loop arrival/departure/resize
+//!   process (Poisson-style interarrivals, bounded lognormal lifetimes,
+//!   heavy-tailed size mix) plus a [`FleetSpec`] config that round-trips
+//!   through `simcore::json`.
+//! * [`placement`] — pluggable policies behind [`PlacementPolicy`]:
+//!   first-fit, worst-fit (load-balanced on nominal counts), and a
+//!   probe-aware policy packing by *probed* vcap capacity. Every decision
+//!   emits `trace` events so the invariant checker can assert no host
+//!   exceeds its overcommit cap and every admitted VM is placed at most
+//!   once.
+//! * [`slo`] — fleet-wide tenant accounting on `metrics`: per-tenant
+//!   p50/p99 latency from `workloads::latency` guests, host-utilization
+//!   sampling, and a fairness/violation summary.
+//!
+//! Everything is deterministic in `(FleetSpec, seed)`: the same pair
+//! replays the same churn schedule, placements, and latency histograms
+//! byte-for-byte, which is what lets the experiment suite shard fleet
+//! cells across workers.
+
+pub mod cluster;
+pub mod lifecycle;
+pub mod placement;
+pub mod slo;
+
+pub use cluster::{Cluster, GuestMode};
+pub use lifecycle::{generate, FleetSpec, LifecycleEvent, VmOp};
+pub use placement::{
+    policy_by_name, FirstFit, HostView, PlacementPolicy, PlacementReq, ProbeAware, WorstFit,
+    POLICIES,
+};
+pub use slo::{SloSummary, TenantStats};

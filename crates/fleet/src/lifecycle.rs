@@ -1,0 +1,327 @@
+//! Seed-driven VM lifecycle churn and the fleet configuration.
+//!
+//! [`generate`] compiles a [`FleetSpec`] plus a seed into a sorted,
+//! replayable schedule of [`LifecycleEvent`]s — the same idiom as
+//! `hostsim::faults::FaultPlan`: per-process forked RNG streams so adding
+//! one knob never shifts another stream's draws, and a schedule that is a
+//! pure function of `(spec, seed)`.
+
+use simcore::json::Json;
+use simcore::time::MS;
+use simcore::{SimRng, SimTime};
+use std::collections::BinaryHeap;
+
+/// Fleet configuration. Round-trips through [`FleetSpec::to_json`] /
+/// [`FleetSpec::from_json`] (exact-u64, like `FaultPlan`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Number of hosts in the cluster.
+    pub hosts: usize,
+    /// Hardware threads per host (flat topology, no SMT).
+    pub threads_per_host: usize,
+    /// Max committed (placed) vCPUs per host — the overcommit cap the
+    /// trace checker enforces on every placement.
+    pub overcommit_cap: u64,
+    /// Mean VM interarrival time (Poisson-style exponential draws).
+    pub arrival_mean_ns: u64,
+    /// Mean VM lifetime (lognormal, right-skewed).
+    pub lifetime_mean_ns: u64,
+    /// Hard upper bound on a VM's lifetime.
+    pub lifetime_max_ns: u64,
+    /// Heavy-tailed VM size mix: `(vcpus, weight)` pairs.
+    pub size_mix: Vec<(usize, u64)>,
+    /// Admission bound: arrivals are skipped while this many VMs live.
+    pub max_live_vms: usize,
+    /// Simulated duration of the churn process.
+    pub horizon_ns: u64,
+    /// Per-tenant p99 end-to-end latency SLO (violation accounting).
+    pub slo_p99_ns: u64,
+}
+
+impl FleetSpec {
+    /// A small overcommitted cluster sized for suite cells and tests:
+    /// `hosts` flat `threads`-thread machines with a 1.5× vCPU overcommit
+    /// cap, ~4 arrivals per simulated second, and a 1–4 vCPU size mix.
+    pub fn small(hosts: usize, threads: usize, horizon_secs: u64) -> FleetSpec {
+        FleetSpec {
+            hosts,
+            threads_per_host: threads,
+            overcommit_cap: (threads as u64 * 3) / 2,
+            arrival_mean_ns: 250 * MS,
+            lifetime_mean_ns: 1_500 * MS,
+            lifetime_max_ns: 5_000 * MS,
+            size_mix: vec![(1, 5), (2, 3), (4, 2)],
+            max_live_vms: hosts * threads,
+            horizon_ns: horizon_secs * 1_000 * MS,
+            slo_p99_ns: 20 * MS,
+        }
+    }
+
+    /// Structural sanity: every field a schedule generator divides by or
+    /// indexes with must be usable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hosts == 0 || self.threads_per_host == 0 {
+            return Err("cluster must have hosts and threads".into());
+        }
+        if self.overcommit_cap == 0 {
+            return Err("overcommit_cap must be positive".into());
+        }
+        if self.arrival_mean_ns == 0 || self.lifetime_mean_ns == 0 {
+            return Err("arrival and lifetime means must be positive".into());
+        }
+        if self.size_mix.is_empty() || self.size_mix.iter().any(|&(v, w)| v == 0 || w == 0) {
+            return Err("size_mix needs positive (vcpus, weight) entries".into());
+        }
+        Ok(())
+    }
+
+    /// Renders the spec as deterministic JSON (sorted keys, exact u64).
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("hosts", Json::Uint(self.hosts as u64)),
+            ("threads_per_host", Json::Uint(self.threads_per_host as u64)),
+            ("overcommit_cap", Json::Uint(self.overcommit_cap)),
+            ("arrival_mean_ns", Json::Uint(self.arrival_mean_ns)),
+            ("lifetime_mean_ns", Json::Uint(self.lifetime_mean_ns)),
+            ("lifetime_max_ns", Json::Uint(self.lifetime_max_ns)),
+            (
+                "size_mix",
+                Json::Arr(
+                    self.size_mix
+                        .iter()
+                        .map(|&(v, w)| {
+                            Json::obj([("vcpus", Json::Uint(v as u64)), ("weight", Json::Uint(w))])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("max_live_vms", Json::Uint(self.max_live_vms as u64)),
+            ("horizon_ns", Json::Uint(self.horizon_ns)),
+            ("slo_p99_ns", Json::Uint(self.slo_p99_ns)),
+        ])
+        .render()
+    }
+
+    /// Parses a spec previously written by [`FleetSpec::to_json`].
+    pub fn from_json(text: &str) -> Result<FleetSpec, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let need =
+            |v: Option<&Json>, what: &str| v.cloned().ok_or_else(|| format!("missing {what}"));
+        let u = |v: &Json, what: &str| v.as_u64().ok_or_else(|| format!("{what} not a u64"));
+        let field =
+            |what: &'static str| -> Result<u64, String> { u(&need(doc.get(what), what)?, what) };
+        let mut size_mix = Vec::new();
+        for entry in need(doc.get("size_mix"), "size_mix")?
+            .as_arr()
+            .ok_or("size_mix not an array")?
+        {
+            let v = u(&need(entry.get("vcpus"), "size_mix.vcpus")?, "vcpus")? as usize;
+            let w = u(&need(entry.get("weight"), "size_mix.weight")?, "weight")?;
+            size_mix.push((v, w));
+        }
+        let spec = FleetSpec {
+            hosts: field("hosts")? as usize,
+            threads_per_host: field("threads_per_host")? as usize,
+            overcommit_cap: field("overcommit_cap")?,
+            arrival_mean_ns: field("arrival_mean_ns")?,
+            lifetime_mean_ns: field("lifetime_mean_ns")?,
+            lifetime_max_ns: field("lifetime_max_ns")?,
+            size_mix,
+            max_live_vms: field("max_live_vms")? as usize,
+            horizon_ns: field("horizon_ns")?,
+            slo_p99_ns: field("slo_p99_ns")?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// One lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmOp {
+    /// A new VM requests admission.
+    Arrive {
+        /// Fleet-wide VM id.
+        uid: u32,
+        /// Nominal size.
+        vcpus: usize,
+    },
+    /// A live VM leaves.
+    Depart {
+        /// Fleet-wide VM id.
+        uid: u32,
+    },
+    /// A live VM's CPU allocation is resized in place (vertical resize via
+    /// bandwidth caps; 100 restores the uncapped allocation).
+    Resize {
+        /// Fleet-wide VM id.
+        uid: u32,
+        /// New per-vCPU quota as a percentage of the period (1..=100).
+        quota_pct: u8,
+    },
+}
+
+/// A stamped lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleEvent {
+    /// When the transition fires.
+    pub at: SimTime,
+    /// What happens.
+    pub op: VmOp,
+}
+
+/// Floor on generated lifetimes: shorter than this and a VM departs
+/// before its workload produces a single measurable request.
+const MIN_LIFETIME_NS: u64 = 100 * MS;
+
+/// Compiles the churn schedule for `(spec, seed)`: a time-sorted event
+/// list that is a pure function of its inputs. Arrivals that would push
+/// the live population past `max_live_vms` are skipped (the bound on
+/// open-loop growth); departures and resizes past the horizon are
+/// dropped — those VMs simply live to the end of the run.
+pub fn generate(spec: &FleetSpec, seed: u64) -> Vec<LifecycleEvent> {
+    spec.validate().expect("valid spec");
+    let mut root = SimRng::new(seed ^ 0xF1EE_7005);
+    let mut arr = root.fork(0xA1);
+    let mut size = root.fork(0x51);
+    let mut life = root.fork(0x1F);
+    let mut rsz = root.fork(0x25);
+    let total_weight: u64 = spec.size_mix.iter().map(|&(_, w)| w).sum();
+
+    let mut events: Vec<LifecycleEvent> = Vec::new();
+    // Min-heap of departure times (negated for BinaryHeap's max order) so
+    // the generator can bound the live population deterministically.
+    let mut departs: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+    let mut t = 0u64;
+    let mut uid = 0u32;
+    loop {
+        t = t.saturating_add(arr.exp(spec.arrival_mean_ns as f64) as u64);
+        if t >= spec.horizon_ns {
+            break;
+        }
+        while matches!(departs.peek(), Some(&std::cmp::Reverse(d)) if d <= t) {
+            departs.pop();
+        }
+        let mut pick = size.range(0, total_weight);
+        let vcpus = spec
+            .size_mix
+            .iter()
+            .find(|&&(_, w)| {
+                if pick < w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .map(|&(v, _)| v)
+            .expect("weights cover the range");
+        // Lifetime and resize draws happen whether or not the arrival is
+        // admitted, so the admission bound never shifts later streams.
+        let lifetime = (life.lognormal(spec.lifetime_mean_ns as f64, 0.8) as u64)
+            .clamp(MIN_LIFETIME_NS, spec.lifetime_max_ns);
+        let resize_at = t + (lifetime as f64 * (0.25 + 0.5 * rsz.f64())) as u64;
+        let resize_pct = if rsz.chance(0.5) { 50 } else { 75 };
+        let wants_resize = rsz.chance(0.35);
+        if departs.len() >= spec.max_live_vms {
+            continue;
+        }
+        events.push(LifecycleEvent {
+            at: SimTime::from_ns(t),
+            op: VmOp::Arrive { uid, vcpus },
+        });
+        let depart_at = t + lifetime;
+        departs.push(std::cmp::Reverse(depart_at));
+        if depart_at < spec.horizon_ns {
+            events.push(LifecycleEvent {
+                at: SimTime::from_ns(depart_at),
+                op: VmOp::Depart { uid },
+            });
+        }
+        if wants_resize && resize_at < depart_at.min(spec.horizon_ns) {
+            events.push(LifecycleEvent {
+                at: SimTime::from_ns(resize_at),
+                op: VmOp::Resize {
+                    uid,
+                    quota_pct: resize_pct,
+                },
+            });
+            // Restore the full allocation for the tail of the lifetime.
+            let restore_at = resize_at + (depart_at - resize_at) / 2;
+            if restore_at < depart_at.min(spec.horizon_ns) {
+                events.push(LifecycleEvent {
+                    at: SimTime::from_ns(restore_at),
+                    op: VmOp::Resize {
+                        uid,
+                        quota_pct: 100,
+                    },
+                });
+            }
+        }
+        uid += 1;
+    }
+    // Stable by timestamp: simultaneous events keep generation order
+    // (arrive before its own resize/depart).
+    events.sort_by_key(|e| e.at);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FleetSpec {
+        FleetSpec::small(4, 4, 4)
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_sorted() {
+        let a = generate(&spec(), 42);
+        let b = generate(&spec(), 42);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(!a.is_empty(), "4 simulated seconds must produce churn");
+        let c = generate(&spec(), 43);
+        assert_ne!(a, c, "seed must reach the schedule");
+    }
+
+    #[test]
+    fn every_depart_and_resize_follows_its_arrival() {
+        let events = generate(&spec(), 7);
+        let mut seen: Vec<u32> = Vec::new();
+        for e in &events {
+            match e.op {
+                VmOp::Arrive { uid, vcpus } => {
+                    assert!(!seen.contains(&uid), "uid {uid} arrives once");
+                    assert!(vcpus > 0);
+                    seen.push(uid);
+                }
+                VmOp::Depart { uid } | VmOp::Resize { uid, .. } => {
+                    assert!(seen.contains(&uid), "uid {uid} used before arrival");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let s = spec();
+        let back = FleetSpec::from_json(&s.to_json()).expect("parses back");
+        assert_eq!(s, back);
+        assert_eq!(s.to_json(), back.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_specs() {
+        assert!(FleetSpec::from_json("{}").is_err());
+        assert!(FleetSpec::from_json("not json").is_err());
+        // Structural validation: an empty size mix parses but is invalid.
+        let mut s = spec();
+        s.size_mix.clear();
+        let mut doc = Json::parse(&spec().to_json()).unwrap();
+        if let Json::Obj(m) = &mut doc {
+            m.insert("size_mix".into(), Json::Arr(Vec::new()));
+        }
+        assert!(FleetSpec::from_json(&doc.render()).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Pluggable VM placement policies.
+//!
+//! A policy sees an immutable snapshot of every host ([`HostView`]) and
+//! picks one (or rejects). The cluster enforces the overcommit cap
+//! *before* calling the policy — a policy cannot place onto a host that
+//! does not fit — and emits a `trace::EventKind::VmPlaced` event carrying
+//! the post-placement occupancy so the invariant checker independently
+//! re-verifies the cap on every decision.
+//!
+//! The interesting policy is [`ProbeAware`]: instead of packing by
+//! nominal vCPU counts it packs by the *probed* vcap capacity the
+//! vSched guests measured (the paper's vCPU abstraction), so a host
+//! whose guests observed preempted/capped vCPUs looks fuller than its
+//! nominal occupancy suggests.
+
+/// An admission request the policy must site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementReq {
+    /// Fleet-wide VM id (for tracing; policies may ignore it).
+    pub uid: u32,
+    /// Nominal size in vCPUs.
+    pub vcpus: usize,
+}
+
+/// Immutable per-host snapshot handed to a policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostView {
+    /// Host index in the cluster.
+    pub host: usize,
+    /// Hardware threads on this host.
+    pub threads: usize,
+    /// vCPUs currently committed (placed and not departed).
+    pub committed: u64,
+    /// Overcommit cap: max committed vCPUs allowed.
+    pub cap: u64,
+    /// Sum of probed vcap capacities over the host's live guest vCPUs,
+    /// in vsched's 0..=1024 per-vCPU units. CFS guests (no probing)
+    /// contribute their nominal `1024 * vcpus`.
+    pub probed_capacity: f64,
+}
+
+impl HostView {
+    /// Whether `req` fits under this host's overcommit cap.
+    pub fn fits(&self, req: &PlacementReq) -> bool {
+        self.committed + req.vcpus as u64 <= self.cap
+    }
+
+    /// Headroom in probed capacity units: physical supply
+    /// (`threads * 1024`) minus what live guests have already claimed
+    /// as probed capacity. Negative when probing shows the host is
+    /// oversubscribed beyond its physical supply.
+    pub fn probed_headroom(&self) -> f64 {
+        self.threads as f64 * 1024.0 - self.probed_capacity
+    }
+}
+
+/// A placement policy: pick a host for `req` out of `hosts`, or `None`
+/// to reject. Implementations must be deterministic — ties broken by
+/// host index, never by iteration order of anything unordered.
+pub trait PlacementPolicy {
+    /// Stable policy id used in cell labels and CLI filters.
+    fn name(&self) -> &'static str;
+    /// Choose a host index, or `None` if nothing fits.
+    fn place(&mut self, req: &PlacementReq, hosts: &[HostView]) -> Option<usize>;
+}
+
+/// First host (by index) with room under its cap.
+#[derive(Debug, Default)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+    fn place(&mut self, req: &PlacementReq, hosts: &[HostView]) -> Option<usize> {
+        hosts.iter().find(|h| h.fits(req)).map(|h| h.host)
+    }
+}
+
+/// Load balancer on nominal counts: the fitting host with the most free
+/// committed-vCPU slots (lowest index wins ties).
+#[derive(Debug, Default)]
+pub struct WorstFit;
+
+impl PlacementPolicy for WorstFit {
+    fn name(&self) -> &'static str {
+        "worst-fit"
+    }
+    fn place(&mut self, req: &PlacementReq, hosts: &[HostView]) -> Option<usize> {
+        hosts
+            .iter()
+            .filter(|h| h.fits(req))
+            .max_by_key(|h| (h.cap - h.committed, std::cmp::Reverse(h.host)))
+            .map(|h| h.host)
+    }
+}
+
+/// Packs by probed capacity: the fitting host with the most *probed*
+/// headroom, i.e. it trusts what the vSched guests measured about their
+/// vCPUs rather than the nominal abstraction. Ties (e.g. an empty
+/// cluster, or all-CFS guests whose probed capacity equals nominal) fall
+/// back to lowest host index, which makes it behave like first-fit until
+/// probing differentiates the hosts.
+#[derive(Debug, Default)]
+pub struct ProbeAware;
+
+impl PlacementPolicy for ProbeAware {
+    fn name(&self) -> &'static str {
+        "probe-aware"
+    }
+    fn place(&mut self, req: &PlacementReq, hosts: &[HostView]) -> Option<usize> {
+        hosts
+            .iter()
+            .filter(|h| h.fits(req))
+            .max_by(|a, b| {
+                a.probed_headroom()
+                    .total_cmp(&b.probed_headroom())
+                    .then(b.host.cmp(&a.host))
+            })
+            .map(|h| h.host)
+    }
+}
+
+/// Every registered policy name, in suite cell order.
+pub const POLICIES: [&str; 3] = ["first-fit", "worst-fit", "probe-aware"];
+
+/// Instantiates a policy by its [`POLICIES`] name.
+pub fn policy_by_name(name: &str) -> Option<Box<dyn PlacementPolicy>> {
+    match name {
+        "first-fit" => Some(Box::new(FirstFit)),
+        "worst-fit" => Some(Box::new(WorstFit)),
+        "probe-aware" => Some(Box::new(ProbeAware)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(host: usize, committed: u64, probed: f64) -> HostView {
+        HostView {
+            host,
+            threads: 4,
+            committed,
+            cap: 6,
+            probed_capacity: probed,
+        }
+    }
+
+    fn req(vcpus: usize) -> PlacementReq {
+        PlacementReq { uid: 0, vcpus }
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_fitting_index() {
+        let hosts = [view(0, 6, 0.0), view(1, 3, 0.0), view(2, 0, 0.0)];
+        assert_eq!(FirstFit.place(&req(2), &hosts), Some(1));
+        assert_eq!(FirstFit.place(&req(4), &hosts), Some(2));
+        assert_eq!(FirstFit.place(&req(7), &hosts), None);
+    }
+
+    #[test]
+    fn worst_fit_spreads_by_free_slots() {
+        let hosts = [view(0, 4, 0.0), view(1, 1, 0.0), view(2, 1, 0.0)];
+        // Hosts 1 and 2 tie on free slots; lowest index wins.
+        assert_eq!(WorstFit.place(&req(1), &hosts), Some(1));
+        let hosts = [view(0, 5, 0.0), view(1, 6, 0.0)];
+        assert_eq!(WorstFit.place(&req(1), &hosts), Some(0));
+        assert_eq!(WorstFit.place(&req(2), &hosts), None);
+    }
+
+    #[test]
+    fn probe_aware_prefers_probed_headroom_over_nominal() {
+        // Host 0 is nominally emptier (2 < 4 committed) but probing shows
+        // its guests hold more real capacity; host 1's guests are being
+        // throttled, so its probed headroom is larger.
+        let hosts = [view(0, 2, 4000.0), view(1, 4, 1000.0)];
+        assert_eq!(ProbeAware.place(&req(1), &hosts), Some(1));
+        // Equal probing falls back to lowest index.
+        let hosts = [view(0, 2, 2048.0), view(1, 2, 2048.0)];
+        assert_eq!(ProbeAware.place(&req(1), &hosts), Some(0));
+    }
+
+    #[test]
+    fn policies_resolve_by_name() {
+        for name in POLICIES {
+            assert_eq!(policy_by_name(name).expect("registered").name(), name);
+        }
+        assert!(policy_by_name("round-robin").is_none());
+    }
+}

@@ -1105,6 +1105,38 @@ impl Machine {
         self.settle_all();
     }
 
+    /// Lockstep re-entry point for multi-machine stepping: advances this
+    /// machine to `until` exactly like [`Machine::run_until`]. A fleet
+    /// `Cluster` calls this on every host per epoch; machines share no
+    /// state, so stepping them in a fixed order is deterministic.
+    pub fn step_until(&mut self, until: SimTime) {
+        self.run_until(until);
+    }
+
+    /// Starts the workload of one VM. [`Machine::start`] does this for
+    /// every VM present at start time; a VM added *after* `start()` (fleet
+    /// arrivals) needs this call once its workload is installed, or it
+    /// will sit idle forever.
+    pub fn start_vm_workload(&mut self, vm: usize) {
+        self.with_vm_and_workload(vm, |g, w, p| w.start(g, p));
+    }
+
+    /// Quiesces a VM in place (fleet departures): drops its workload so
+    /// pending timers become no-ops, removes its scheduler hooks, and
+    /// kills every guest task so the vCPUs halt and stop generating
+    /// events. The VM's slot and vCPU indices stay allocated — per-machine
+    /// indices are load-bearing (trace scoping, `gvcpu_base`) — but a
+    /// quiesced VM consumes no further host time.
+    pub fn quiesce_vm(&mut self, vm: usize) {
+        self.vms[vm].workload = None;
+        self.with_vm(vm, |g, p| {
+            g.take_hooks();
+            for t in 0..g.kern.tasks.len() {
+                g.kern.kill_task(p, TaskId(t as u32));
+            }
+        });
+    }
+
     fn settle_all(&mut self) {
         let now = self.q.now();
         for vm in &mut self.vms {

@@ -113,6 +113,52 @@ fn merge_is_union_and_commutative() {
     });
 }
 
+/// Merge is associative and count-preserving: `(a ⊎ b) ⊎ c` and
+/// `a ⊎ (b ⊎ c)` agree on every observable, and the merged count is the
+/// exact sum of the inputs. Fleet SLO accounting folds per-host and
+/// per-tenant histograms in whatever order cells complete, so this is the
+/// law that makes that reduction order-insensitive.
+#[test]
+fn merge_is_associative_and_count_preserving() {
+    forall(0x68, cases(64), |rng| {
+        let sets: Vec<Vec<u64>> = (0..3)
+            .map(|_| vec_of(rng, 0, 150, |r| r.range(0, 1_000_000_000)))
+            .collect();
+        let hs: Vec<Histogram> = sets
+            .iter()
+            .map(|vals| {
+                let mut h = Histogram::new();
+                for &v in vals {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        // (a ⊎ b) ⊎ c
+        let mut left = hs[0].clone();
+        left.merge(&hs[1]);
+        left.merge(&hs[2]);
+        // a ⊎ (b ⊎ c)
+        let mut bc = hs[1].clone();
+        bc.merge(&hs[2]);
+        let mut right = hs[0].clone();
+        right.merge(&bc);
+        let total: u64 = sets.iter().map(|s| s.len() as u64).sum();
+        assert_eq!(left.count(), total, "merge must preserve counts exactly");
+        assert_eq!(right.count(), total);
+        assert_eq!(left.min(), right.min());
+        assert_eq!(left.max(), right.max());
+        assert_eq!(left.mean().to_bits(), right.mean().to_bits());
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(
+                left.percentile(p),
+                right.percentile(p),
+                "p{p} differs between association orders"
+            );
+        }
+    });
+}
+
 /// `record_n` equals `n` separate `record`s.
 #[test]
 fn record_n_equals_repeated_record() {

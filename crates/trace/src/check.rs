@@ -59,6 +59,15 @@ pub enum ViolationKind {
     /// DegradedEnter while already degraded, DegradedExit while not, or an
     /// exit whose `after_ns` disagrees with the observed enter time.
     DegradedStateMismatch,
+    /// A placement left a host with more committed vCPUs than its
+    /// overcommit cap allows (`occupied > cap` on a `VmPlaced`).
+    OvercommitCapExceeded,
+    /// A VM was placed without a preceding admission.
+    PlacementWithoutAdmission,
+    /// A VM was placed a second time while already placed.
+    DuplicatePlacement,
+    /// A VM departed without ever being placed, or from the wrong host.
+    DepartWithoutPlacement,
 }
 
 impl ViolationKind {
@@ -83,6 +92,10 @@ impl ViolationKind {
             ViolationKind::ThrottleWithoutRefill => "throttle-without-refill",
             ViolationKind::PeltLoadIncrease => "pelt-load-increase",
             ViolationKind::DegradedStateMismatch => "degraded-state-mismatch",
+            ViolationKind::OvercommitCapExceeded => "overcommit-cap-exceeded",
+            ViolationKind::PlacementWithoutAdmission => "placement-without-admission",
+            ViolationKind::DuplicatePlacement => "duplicate-placement",
+            ViolationKind::DepartWithoutPlacement => "depart-without-placement",
         }
     }
 }
@@ -135,6 +148,9 @@ pub struct CheckReport {
     /// vCPUs still throttled when the stream ended (not a violation — the
     /// run may simply have ended mid-period).
     pub still_throttled: usize,
+    /// VMs admitted but never placed by stream end (not a violation — an
+    /// admission may be pending or have been rejected for lack of room).
+    pub unplaced_admissions: usize,
 }
 
 impl CheckReport {
@@ -194,6 +210,10 @@ pub struct InvariantChecker {
     ivh_pending: HashMap<(u16, u16), u32>,
     throttled: HashMap<(u16, u16), SimTime>,
     degraded: HashMap<u16, SimTime>,
+    /// Fleet VMs admitted (by uid) and awaiting placement.
+    admitted: HashMap<u32, SimTime>,
+    /// Fleet VMs currently placed: uid → host.
+    placed: HashMap<u32, u16>,
     recent: std::collections::VecDeque<TraceEvent>,
     events: u64,
     violations: u64,
@@ -219,6 +239,8 @@ impl InvariantChecker {
             ivh_pending: HashMap::new(),
             throttled: HashMap::new(),
             degraded: HashMap::new(),
+            admitted: HashMap::new(),
+            placed: HashMap::new(),
             recent: std::collections::VecDeque::with_capacity(CONTEXT + 1),
             events: 0,
             violations: 0,
@@ -249,6 +271,7 @@ impl InvariantChecker {
             first: self.first.clone(),
             pending_ivh: self.ivh_pending.len(),
             still_throttled: self.throttled.len(),
+            unplaced_admissions: self.admitted.len(),
         }
     }
 
@@ -544,6 +567,59 @@ impl InvariantChecker {
                     );
                 }
             }
+            EventKind::VmAdmitted { uid, .. } => {
+                // Re-admitting a live uid is tolerated only after departure;
+                // a duplicate admission of a placed VM surfaces at the next
+                // VmPlaced as a DuplicatePlacement.
+                self.admitted.insert(uid, ev.at);
+            }
+            EventKind::VmPlaced {
+                uid,
+                host,
+                occupied,
+                cap,
+                ..
+            } => {
+                if self.admitted.remove(&uid).is_none() {
+                    self.flag(
+                        ViolationKind::PlacementWithoutAdmission,
+                        ev,
+                        format!("vm {uid} placed on host {host} without admission"),
+                    );
+                }
+                if let Some(&on) = self.placed.get(&uid) {
+                    self.flag(
+                        ViolationKind::DuplicatePlacement,
+                        ev,
+                        format!("vm {uid} placed on host {host} while already on host {on}"),
+                    );
+                }
+                if occupied > cap {
+                    self.flag(
+                        ViolationKind::OvercommitCapExceeded,
+                        ev,
+                        format!("host {host} committed {occupied} vCPUs over cap {cap}"),
+                    );
+                }
+                self.placed.insert(uid, host);
+            }
+            EventKind::VmDeparted { uid, host, .. } => match self.placed.remove(&uid) {
+                Some(on) if on == host => {}
+                Some(on) => {
+                    self.flag(
+                        ViolationKind::DepartWithoutPlacement,
+                        ev,
+                        format!("vm {uid} departed host {host} but was placed on host {on}"),
+                    );
+                }
+                None => {
+                    self.flag(
+                        ViolationKind::DepartWithoutPlacement,
+                        ev,
+                        format!("vm {uid} departed host {host} without being placed"),
+                    );
+                }
+            },
             EventKind::TaskWake { .. }
             | EventKind::ReschedIpi { .. }
             | EventKind::ProbeSample { .. }
@@ -902,6 +978,74 @@ mod tests {
         assert_eq!(
             c.first().unwrap().kind,
             ViolationKind::DegradedStateMismatch
+        );
+    }
+
+    #[test]
+    fn fleet_placement_lifecycle_checked() {
+        let admit = |at, uid| ev(at, EventKind::VmAdmitted { uid, vcpus: 2 });
+        let place = |at, uid, host, occupied, cap| {
+            ev(
+                at,
+                EventKind::VmPlaced {
+                    uid,
+                    host,
+                    vcpus: 2,
+                    occupied,
+                    cap,
+                },
+            )
+        };
+        let depart = |at, uid, host| {
+            ev(
+                at,
+                EventKind::VmDeparted {
+                    uid,
+                    host,
+                    vcpus: 2,
+                },
+            )
+        };
+        // Admit → place → depart is clean; occupied == cap is allowed.
+        let c = check(&[admit(10, 7), place(20, 7, 1, 6, 6), depart(90, 7, 1)]);
+        let r = c.report();
+        assert!(r.ok(), "unexpected violation: {:?}", r.first);
+        assert_eq!(r.unplaced_admissions, 0);
+        // Admitted but never placed (rejected): clean, but reported.
+        let c = check(&[admit(10, 7)]);
+        let r = c.report();
+        assert!(r.ok());
+        assert_eq!(r.unplaced_admissions, 1);
+        // Placement over the overcommit cap.
+        let c = check(&[admit(10, 7), place(20, 7, 0, 9, 8)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::OvercommitCapExceeded
+        );
+        // Placement without admission.
+        let c = check(&[place(20, 7, 0, 2, 8)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::PlacementWithoutAdmission
+        );
+        // Placing an already-placed VM again.
+        let c = check(&[
+            admit(10, 7),
+            place(20, 7, 0, 2, 8),
+            admit(30, 7),
+            place(40, 7, 1, 2, 8),
+        ]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::DuplicatePlacement);
+        // Departing a VM that was never placed, and from the wrong host.
+        let c = check(&[depart(20, 7, 0)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::DepartWithoutPlacement
+        );
+        let c = check(&[admit(10, 7), place(20, 7, 0, 2, 8), depart(30, 7, 1)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::DepartWithoutPlacement
         );
     }
 

@@ -258,6 +258,32 @@ pub fn chrome_trace(ring: &RingBuffer) -> String {
                      \"args\":{{\"src\":{src}}}"
                 ));
             }
+            EventKind::VmAdmitted { uid, vcpus } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"fleet\",\"name\":\"admit VM{uid}\",\
+                     \"args\":{{\"vcpus\":{vcpus}}}"
+                ));
+            }
+            EventKind::VmPlaced {
+                uid,
+                host,
+                occupied,
+                cap,
+                ..
+            } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"fleet\",\"name\":\"place VM{uid} on H{host}\",\
+                     \"args\":{{\"occupied\":{occupied},\"cap\":{cap}}}"
+                ));
+            }
+            EventKind::VmDeparted { uid, host, .. } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"fleet\",\"name\":\"depart VM{uid} from H{host}\""
+                ));
+            }
             // High-volume accounting deltas stay out of the visual trace;
             // they feed the schedstat totals and the checker instead.
             EventKind::StealAccrue { .. }
@@ -313,7 +339,10 @@ fn vcpu_of(ev: &TraceEvent) -> Option<u16> {
         | EventKind::ProbeRetry { .. }
         | EventKind::DegradedEnter { .. }
         | EventKind::DegradedExit { .. }
-        | EventKind::PeltDecay { .. } => None,
+        | EventKind::PeltDecay { .. }
+        | EventKind::VmAdmitted { .. }
+        | EventKind::VmPlaced { .. }
+        | EventKind::VmDeparted { .. } => None,
     }
 }
 

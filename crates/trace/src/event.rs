@@ -229,6 +229,24 @@ pub enum EventKind {
         load_after: f64,
         idle_ns: u64,
     },
+    /// The fleet layer admitted a VM into the placement pipeline. `uid` is
+    /// the fleet-wide VM id (distinct from per-machine VM indices) and
+    /// `vcpus` its nominal size. Fleet events are emitted into a
+    /// fleet-scoped collector, separate from the per-machine ones.
+    VmAdmitted { uid: u32, vcpus: u16 },
+    /// A placement policy put VM `uid` on `host`. `occupied` is the host's
+    /// committed vCPU count *after* this placement and `cap` its
+    /// overcommit cap, so the checker can assert `occupied <= cap` and
+    /// that every admitted VM is placed at most once.
+    VmPlaced {
+        uid: u32,
+        host: u16,
+        vcpus: u16,
+        occupied: u64,
+        cap: u64,
+    },
+    /// VM `uid` departed `host`, releasing its `vcpus` committed vCPUs.
+    VmDeparted { uid: u32, host: u16, vcpus: u16 },
 }
 
 /// A stamped event: simulated time, owning VM, payload.
@@ -266,6 +284,9 @@ impl EventKind {
             EventKind::DegradedExit { .. } => "degraded_exit",
             EventKind::IvhAbandonedByWatchdog { .. } => "ivh_abandoned_by_watchdog",
             EventKind::PeltDecay { .. } => "pelt_decay",
+            EventKind::VmAdmitted { .. } => "vm_admitted",
+            EventKind::VmPlaced { .. } => "vm_placed",
+            EventKind::VmDeparted { .. } => "vm_departed",
         }
     }
 }
