@@ -55,6 +55,32 @@ VSCHED_SCALE=smoke ./target/release/suite --filter fleet --jobs 4 --seed 42 \
 diff "$tmpdir/fleet_serial.txt" "$tmpdir/fleet_parallel.txt"
 grep -q "violations" "$tmpdir/fleet_serial.txt"
 
+echo "== replay-smoke: fleettrace gen/validate + replayed-day byte-identity"
+# 1) Generate a small trace with the CLI and validate it; a corrupted copy
+#    must be rejected with a nonzero exit and a line-precise error.
+./target/release/fleettrace gen --profile sap-diurnal --horizon-secs 2 \
+    --out "$tmpdir/day.trace.jsonl" 2>/dev/null
+./target/release/fleettrace validate "$tmpdir/day.trace.jsonl" > /dev/null
+sed 's/"op":"depart"/"op":"explode"/' "$tmpdir/day.trace.jsonl" \
+    > "$tmpdir/corrupt.trace.jsonl"
+if ./target/release/fleettrace validate "$tmpdir/corrupt.trace.jsonl" \
+    2> "$tmpdir/corrupt_err.txt"; then
+    echo "fleettrace validate accepted a corrupted trace" >&2
+    exit 1
+fi
+grep -q "line " "$tmpdir/corrupt_err.txt"
+# 2) The committed example trace must replay end-to-end, law-clean.
+./target/release/fleettrace replay examples/sap_day.trace.jsonl \
+    --policy probe-aware --mode vsched > /dev/null
+# 3) The fleet-replay job (every policy x guest mode over one generated
+#    day per profile) must be byte-identical across worker counts.
+VSCHED_SCALE=smoke ./target/release/suite --filter fleet-replay --jobs 1 --seed 42 \
+    --no-ckpt > "$tmpdir/replay_serial.txt" 2>/dev/null
+VSCHED_SCALE=smoke ./target/release/suite --filter fleet-replay --jobs 4 --seed 42 \
+    --no-ckpt > "$tmpdir/replay_parallel.txt" 2>/dev/null
+diff "$tmpdir/replay_serial.txt" "$tmpdir/replay_parallel.txt"
+grep -q "violations" "$tmpdir/replay_serial.txt"
+
 echo "== supervision-smoke: canary isolation, kill/resume, shrink/replay"
 # 1) Canary: two cells fail on purpose (panic + blown deadline). The suite
 #    must exit 0, name both cells in the stderr failure report and the JSON

@@ -255,15 +255,26 @@ fn main() {
     } else {
         eprintln!("# suite ({} scale), serial then parallel...", scale.label());
         let s = bench_suite(scale);
-        eprintln!(
-            "#   suite: {} jobs / {} cells, serial {:.2}s, parallel {:.2}s on {} workers = {:.2}x",
-            s.jobs,
-            s.cells,
-            s.serial_secs,
-            s.parallel_secs,
-            s.workers,
-            s.serial_secs / s.parallel_secs.max(1e-9)
-        );
+        if s.workers > 1 {
+            eprintln!(
+                "#   suite: {} jobs / {} cells, serial {:.2}s, parallel {:.2}s on {} workers = {:.2}x",
+                s.jobs,
+                s.cells,
+                s.serial_secs,
+                s.parallel_secs,
+                s.workers,
+                s.serial_secs / s.parallel_secs.max(1e-9)
+            );
+        } else {
+            // One effective core: "parallel" ran on a single worker, so a
+            // speedup figure would only measure pool overhead. Skip it
+            // rather than publish a lying ~1.0x row.
+            eprintln!(
+                "#   suite: {} jobs / {} cells, serial {:.2}s, parallel {:.2}s on 1 worker \
+                 (speedup skipped: single effective core)",
+                s.jobs, s.cells, s.serial_secs, s.parallel_secs,
+            );
+        }
         Some(s)
     };
 
@@ -297,11 +308,20 @@ fn main() {
                 "    \"parallel_wall_secs\": {},",
                 json_f(s.parallel_secs)
             );
-            let _ = writeln!(
-                j,
-                "    \"speedup\": {}",
-                json_f(s.serial_secs / s.parallel_secs.max(1e-9))
-            );
+            if s.workers > 1 {
+                let _ = writeln!(
+                    j,
+                    "    \"speedup\": {}",
+                    json_f(s.serial_secs / s.parallel_secs.max(1e-9))
+                );
+            } else {
+                let _ = writeln!(j, "    \"speedup\": null,");
+                let _ = writeln!(
+                    j,
+                    "    \"speedup_note\": \"skipped: single effective core, \
+                     parallel pool had 1 worker\""
+                );
+            }
             let _ = writeln!(j, "  }}");
         }
         None => {

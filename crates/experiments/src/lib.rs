@@ -31,6 +31,7 @@ pub mod fig21;
 pub mod fleet;
 pub mod oracle;
 pub mod profiles;
+pub mod replay;
 pub mod runner;
 pub mod shrink;
 pub mod supervise;

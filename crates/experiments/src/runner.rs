@@ -30,7 +30,7 @@ use crate::profiles::{hpvm, rcvm};
 use crate::supervise::{self, CellFailure, FailureReport, SupervisePolicy};
 use crate::{
     chaos, fig02, fig03, fig04, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19,
-    fig20, fig21, table2, table3, table4,
+    fig20, fig21, replay, table2, table3, table4,
 };
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -752,6 +752,41 @@ fn job_fleet() -> Job {
     }
 }
 
+fn job_fleet_replay() -> Job {
+    // One cell per (generator profile, placement policy). The day is
+    // pinned by the profile's canonical day_seed — not the cell seed —
+    // so every cell in a profile replays the identical generated trace;
+    // within a cell, CFS and vSched guests run it back to back.
+    let mut cells = Vec::new();
+    for profile in replay::profile_names() {
+        for &policy in ::fleet::POLICIES.iter() {
+            cells.push(cell(
+                format!("{profile}/{policy}"),
+                move |seed, scale: Scale| {
+                    replay::run_cell(policy, profile, scale.secs(4, 16), seed)
+                },
+            ));
+        }
+    }
+    Job {
+        name: "fleet-replay",
+        desc: "placement policies x guest modes over one replayed SAP-shaped day per profile",
+        cells,
+        reduce: Box::new(|parts, _| {
+            type Pair = (replay::ReplayOutcome, replay::ReplayOutcome);
+            let mut it = parts.into_iter();
+            let mut rows = Vec::new();
+            for profile in replay::profile_names() {
+                for &policy in ::fleet::POLICIES.iter() {
+                    let (cfs, vs) = got::<Pair>(it.next().unwrap());
+                    rows.push((profile, policy, cfs, vs));
+                }
+            }
+            replay::Replay { rows }.to_string()
+        }),
+    }
+}
+
 /// The supervision canary: a job whose cells fail on purpose. Never in
 /// [`registry`] — `run_suite` appends it only when
 /// [`SuiteOptions::canary`] is set (the `VSCHED_CANARY` env gate in the
@@ -814,6 +849,7 @@ pub fn registry() -> Vec<Job> {
         job_table4(),
         job_chaos(),
         job_fleet(),
+        job_fleet_replay(),
     ]
 }
 
@@ -1202,9 +1238,17 @@ mod tests {
     #[test]
     fn registry_covers_the_full_suite() {
         let names: Vec<&str> = registry().iter().map(|j| j.name).collect();
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 21);
         for want in [
-            "fig02", "fig15", "fig18", "fig19", "table2", "table4", "chaos", "fleet",
+            "fig02",
+            "fig15",
+            "fig18",
+            "fig19",
+            "table2",
+            "table4",
+            "chaos",
+            "fleet",
+            "fleet-replay",
         ] {
             assert!(names.contains(&want), "missing {want}");
         }
@@ -1229,7 +1273,7 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.filter, "fig99");
-        assert_eq!(err.valid.len(), 20);
+        assert_eq!(err.valid.len(), 21);
         assert!(err.valid.contains(&"fig03"));
         let msg = err.to_string();
         assert!(msg.contains("fig99") && msg.contains("fig03") && msg.contains("table4"));

@@ -26,9 +26,12 @@ fn outputs(jobs: usize, filter: &str) -> Vec<(&'static str, String)> {
 fn parallel_output_is_byte_identical_to_serial() {
     // fig03 (2 cells) + fig11 (4 cells): cheap figures with float-heavy
     // reductions, plus the chaos cell (fault injection + resilience state
-    // machine must replay identically) and the fleet cell (multi-host
-    // churn, placement, and SLO merging must be worker-count-invariant),
-    // run serially and at two parallel widths.
+    // machine must replay identically) and the fleet cells (multi-host
+    // churn, placement, and SLO merging must be worker-count-invariant;
+    // the "fleet" filter substring-matches both the stochastic "fleet"
+    // job and the trace-driven "fleet-replay" job, so the replayed day
+    // is held to the same byte-identity gate), run serially and at two
+    // parallel widths.
     for filter in ["fig03", "fig11", "chaos", "fleet"] {
         let serial = outputs(1, filter);
         for jobs in [2, 5] {

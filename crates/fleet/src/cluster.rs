@@ -23,7 +23,7 @@ use simcore::time::MS;
 use simcore::{SimRng, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
-use trace::{Collector, EventKind, SharedCollector, TraceSink};
+use trace::{Collector, EventKind, PriorityClass, SharedCollector, TraceSink};
 use vsched::VschedConfig;
 use workloads::latency::{LatencyServer, LatencyServerCfg};
 use workloads::{work_ms, LatencyStats};
@@ -71,6 +71,7 @@ struct HostSim {
 
 struct LiveVm {
     uid: u32,
+    prio: PriorityClass,
     vcpus: usize,
     host: usize,
     vm_idx: usize,
@@ -198,7 +199,7 @@ impl Cluster {
 
     fn apply(&mut self, ev: LifecycleEvent) {
         match ev.op {
-            VmOp::Arrive { uid, vcpus } => self.arrive(ev.at, uid, vcpus),
+            VmOp::Arrive { uid, vcpus, prio } => self.arrive(ev.at, uid, vcpus, prio),
             VmOp::Depart { uid } => self.depart(ev.at, uid),
             VmOp::Resize { uid, quota_pct } => self.resize(uid, quota_pct),
         }
@@ -224,13 +225,14 @@ impl Cluster {
         views
     }
 
-    fn arrive(&mut self, at: SimTime, uid: u32, vcpus: usize) {
+    fn arrive(&mut self, at: SimTime, uid: u32, vcpus: usize, prio: PriorityClass) {
         self.admitted += 1;
         self.fleet_sink.emit(
             at,
             EventKind::VmAdmitted {
                 uid,
                 vcpus: vcpus as u16,
+                prio,
             },
         );
         let views = self.host_views();
@@ -276,6 +278,7 @@ impl Cluster {
         );
         self.live.push(LiveVm {
             uid,
+            prio,
             vcpus,
             host: h,
             vm_idx,
@@ -327,6 +330,7 @@ impl Cluster {
         let s = lv.stats.borrow();
         TenantStats {
             uid: lv.uid,
+            prio: lv.prio,
             vcpus: lv.vcpus,
             lifetime_ns,
             e2e: s.e2e.clone(),

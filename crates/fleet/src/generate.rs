@@ -1,0 +1,342 @@
+//! SAP-shaped synthetic workload generators.
+//!
+//! [`synthesize`] compiles a named [`Profile`] plus a seed into a
+//! [`FleetTrace`]: a diurnal sinusoid modulates arrival intensity
+//! (nonhomogeneous Poisson by thinning), lifetimes come from a
+//! heavy-tail Pareto/lognormal mix, each tenant draws a priority tier,
+//! and bursty "resize storms" sweep the live population with bandwidth
+//! caps. The result is a pure function of `(profile, seed)` — the same
+//! bytes on every run and under every `--jobs` setting — so a replayed
+//! day is pinned by its trace alone.
+
+use crate::lifecycle::{LifecycleEvent, VmOp, MIN_LIFETIME_NS};
+use crate::trace_format::FleetTrace;
+use simcore::time::MS;
+use simcore::{SimRng, SimTime};
+use std::collections::BinaryHeap;
+use trace::{PriorityClass, PRIORITY_CLASSES};
+
+/// A named workload shape. All fields are fixed constants — profiles are
+/// code, not config — so a profile name plus a seed fully pins a trace.
+#[derive(Debug, Clone, Copy)]
+pub struct Profile {
+    /// Stable identifier (CLI `--profile`, suite cell labels).
+    pub name: &'static str,
+    /// One-line description for `fleettrace profiles`.
+    pub desc: &'static str,
+    /// Mean interarrival at baseline intensity (the sinusoid midline).
+    pub base_arrival_mean_ns: u64,
+    /// Relative swing of the diurnal sinusoid, 0.0..1.0.
+    pub diurnal_amplitude: f64,
+    /// Period of one simulated "day" (compressed so quick runs see a
+    /// full cycle).
+    pub day_ns: u64,
+    /// Fraction of lifetimes drawn from the Pareto tail (rest lognormal).
+    pub pareto_frac: f64,
+    /// Pareto shape; lower is heavier-tailed.
+    pub pareto_alpha: f64,
+    /// Pareto scale (minimum of the tail distribution).
+    pub pareto_scale_ns: u64,
+    /// Lognormal body mean lifetime.
+    pub lognorm_mean_ns: u64,
+    /// Lognormal sigma (log-space spread).
+    pub lognorm_sigma: f64,
+    /// Hard lifetime cap.
+    pub lifetime_max_ns: u64,
+    /// Priority-tier weights in [`PRIORITY_CLASSES`] order
+    /// (critical, standard, batch).
+    pub tier_weights: [u64; 3],
+    /// `(vcpus, weight)` size mix.
+    pub size_mix: &'static [(usize, u64)],
+    /// Mean gap between resize-storm onsets.
+    pub storm_gap_mean_ns: u64,
+    /// Storm duration.
+    pub storm_len_ns: u64,
+    /// Per-live-VM probability a storm caps it.
+    pub storm_hit: f64,
+    /// Admission bound on the live population.
+    pub max_live_vms: usize,
+}
+
+/// The built-in profiles, in CLI listing order.
+pub const PROFILES: [Profile; 2] = [
+    Profile {
+        name: "sap-diurnal",
+        desc: "strong day/night arrival swing, heavy Pareto lifetime tail, rare storms",
+        base_arrival_mean_ns: 120 * MS,
+        diurnal_amplitude: 0.8,
+        day_ns: 4_000 * MS,
+        pareto_frac: 0.30,
+        pareto_alpha: 1.5,
+        pareto_scale_ns: 400 * MS,
+        lognorm_mean_ns: 1_200 * MS,
+        lognorm_sigma: 0.8,
+        lifetime_max_ns: 5_000 * MS,
+        tier_weights: [2, 5, 3],
+        size_mix: &[(1, 5), (2, 3), (4, 2)],
+        storm_gap_mean_ns: 2_000 * MS,
+        storm_len_ns: 200 * MS,
+        storm_hit: 0.25,
+        max_live_vms: 16,
+    },
+    Profile {
+        name: "sap-resize-storm",
+        desc: "flat arrivals, lognormal-dominated lifetimes, frequent bursty resize storms",
+        base_arrival_mean_ns: 150 * MS,
+        diurnal_amplitude: 0.25,
+        day_ns: 4_000 * MS,
+        pareto_frac: 0.10,
+        pareto_alpha: 2.0,
+        pareto_scale_ns: 500 * MS,
+        lognorm_mean_ns: 1_500 * MS,
+        lognorm_sigma: 0.6,
+        lifetime_max_ns: 5_000 * MS,
+        tier_weights: [3, 4, 3],
+        size_mix: &[(1, 4), (2, 4), (4, 2)],
+        storm_gap_mean_ns: 800 * MS,
+        storm_len_ns: 300 * MS,
+        storm_hit: 0.7,
+        max_live_vms: 16,
+    },
+];
+
+/// Looks a profile up by its stable name.
+pub fn profile_by_name(name: &str) -> Option<&'static Profile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+/// Canonical seed for a profile's replayed day: FNV-1a of the profile
+/// name. Deliberately independent of suite cell seeds — a replayed day
+/// is *one fixed day*, identical for every policy and guest mode.
+pub fn day_seed(profile_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in profile_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn draw_tier(rng: &mut SimRng, weights: &[u64; 3]) -> PriorityClass {
+    let total: u64 = weights.iter().sum();
+    let mut pick = rng.range(0, total);
+    for (i, &w) in weights.iter().enumerate() {
+        if pick < w {
+            return PRIORITY_CLASSES[i];
+        }
+        pick -= w;
+    }
+    PriorityClass::Standard
+}
+
+/// Synthesizes a trace: a pure function of `(profile, horizon_ns, seed)`.
+///
+/// Stream discipline mirrors `lifecycle::generate`: every distribution
+/// has its own forked stream, and per-arrival draws happen whether or
+/// not the arrival is admitted, so the admission bound never shifts a
+/// later stream. Storms run as a second pass over the recorded live
+/// intervals (uid order), so arrival draws are unaffected by storm
+/// parameters.
+pub fn synthesize(profile: &Profile, horizon_ns: u64, seed: u64) -> FleetTrace {
+    assert!(horizon_ns > 0, "horizon must be positive");
+    let mut root = SimRng::new(seed ^ 0x5A9_DA11);
+    let mut arr = root.fork(0xA1);
+    let mut size = root.fork(0x51);
+    let mut life = root.fork(0x1F);
+    let mut pri = root.fork(0x9A);
+    let mut storm = root.fork(0x57);
+
+    let total_weight: u64 = profile.size_mix.iter().map(|&(_, w)| w).sum();
+    // Thinning: draw candidates at the peak rate, accept with
+    // lambda(t)/lambda_max where lambda(t) tracks the sinusoid.
+    let lambda_max = (1.0 + profile.diurnal_amplitude) / profile.base_arrival_mean_ns as f64;
+    let peak_mean_ns = 1.0 / lambda_max;
+
+    let mut events: Vec<LifecycleEvent> = Vec::new();
+    // (uid, arrive_at, depart_at) for the storm pass.
+    let mut intervals: Vec<(u32, u64, u64)> = Vec::new();
+    let mut departs: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+    let mut t = 0u64;
+    let mut uid = 0u32;
+    loop {
+        t = t.saturating_add(arr.exp(peak_mean_ns).max(1.0) as u64);
+        if t >= horizon_ns {
+            break;
+        }
+        let phase = (t % profile.day_ns) as f64 / profile.day_ns as f64;
+        let lambda_t = (1.0 + profile.diurnal_amplitude * (phase * std::f64::consts::TAU).sin())
+            / profile.base_arrival_mean_ns as f64;
+        let accept = arr.chance(lambda_t / lambda_max);
+
+        // Size, lifetime, and tier draw per candidate — admitted or not —
+        // so knob changes never shift sibling streams.
+        let mut pick = size.range(0, total_weight);
+        let vcpus = profile
+            .size_mix
+            .iter()
+            .find(|&&(_, w)| {
+                if pick < w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .map(|&(v, _)| v)
+            .expect("weights cover the range");
+        let heavy = life.chance(profile.pareto_frac);
+        let body = life.lognormal(profile.lognorm_mean_ns as f64, profile.lognorm_sigma);
+        let tail = life.pareto(profile.pareto_scale_ns as f64, profile.pareto_alpha);
+        let lifetime = (if heavy { tail } else { body } as u64)
+            .clamp(MIN_LIFETIME_NS, profile.lifetime_max_ns);
+        let prio = draw_tier(&mut pri, &profile.tier_weights);
+
+        if !accept {
+            continue;
+        }
+        while matches!(departs.peek(), Some(&std::cmp::Reverse(d)) if d <= t) {
+            departs.pop();
+        }
+        if departs.len() >= profile.max_live_vms {
+            continue;
+        }
+        events.push(LifecycleEvent {
+            at: SimTime::from_ns(t),
+            op: VmOp::Arrive { uid, vcpus, prio },
+        });
+        let depart_at = t + lifetime;
+        departs.push(std::cmp::Reverse(depart_at));
+        if depart_at < horizon_ns {
+            events.push(LifecycleEvent {
+                at: SimTime::from_ns(depart_at),
+                op: VmOp::Depart { uid },
+            });
+        }
+        intervals.push((uid, t, depart_at.min(horizon_ns)));
+        uid += 1;
+    }
+
+    // Storm pass: bursty windows that cap a random subset of whatever is
+    // live, then restore. Strict `<` guards keep each resize inside its
+    // VM's live interval so the trace validates.
+    let mut storm_at = 0u64;
+    loop {
+        storm_at = storm_at.saturating_add(storm.exp(profile.storm_gap_mean_ns as f64) as u64);
+        if storm_at >= horizon_ns {
+            break;
+        }
+        let storm_end = (storm_at + profile.storm_len_ns).min(horizon_ns);
+        let quota_pct: u8 = [40, 60, 80][storm.range(0, 3) as usize];
+        for &(vm, arrive_at, live_until) in &intervals {
+            let lo = storm_at.max(arrive_at);
+            let hi = storm_end.min(live_until);
+            if lo >= hi {
+                continue;
+            }
+            if !storm.chance(profile.storm_hit) {
+                continue;
+            }
+            let cap_at = lo + (storm.f64() * (hi - lo) as f64) as u64;
+            if cap_at >= live_until {
+                continue;
+            }
+            events.push(LifecycleEvent {
+                at: SimTime::from_ns(cap_at),
+                op: VmOp::Resize { uid: vm, quota_pct },
+            });
+            let restore_at = cap_at + (live_until - cap_at) / 2;
+            if restore_at > cap_at && restore_at < live_until {
+                events.push(LifecycleEvent {
+                    at: SimTime::from_ns(restore_at),
+                    op: VmOp::Resize {
+                        uid: vm,
+                        quota_pct: 100,
+                    },
+                });
+            }
+        }
+    }
+
+    // Stable by timestamp: an equal-time resize stays after its arrive
+    // and before nothing it must precede (strict guards keep resizes off
+    // depart timestamps).
+    events.sort_by_key(|e| e.at);
+    let trace = FleetTrace {
+        profile: profile.name.to_string(),
+        day_seed: seed,
+        horizon_ns,
+        events,
+    };
+    trace
+        .validate()
+        .expect("synthesized trace satisfies its own validator");
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_profile_synthesizes_a_valid_nonempty_trace() {
+        for p in &PROFILES {
+            let t = synthesize(p, 4_000 * MS, day_seed(p.name));
+            assert!(!t.events.is_empty(), "{}: empty trace", p.name);
+            t.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let arrivals = t
+                .events
+                .iter()
+                .filter(|e| matches!(e.op, VmOp::Arrive { .. }))
+                .count();
+            assert!(arrivals >= 10, "{}: only {arrivals} arrivals", p.name);
+            let resizes = t
+                .events
+                .iter()
+                .filter(|e| matches!(e.op, VmOp::Resize { .. }))
+                .count();
+            assert!(resizes > 0, "{}: storms never landed", p.name);
+        }
+    }
+
+    #[test]
+    fn synthesis_is_a_pure_function_of_profile_and_seed() {
+        let p = profile_by_name("sap-diurnal").unwrap();
+        let a = synthesize(p, 4_000 * MS, 7);
+        let b = synthesize(p, 4_000 * MS, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.encode(), b.encode());
+        let c = synthesize(p, 4_000 * MS, 8);
+        assert_ne!(a, c, "seed must reach the trace");
+    }
+
+    #[test]
+    fn diurnal_profile_modulates_arrival_intensity() {
+        let p = profile_by_name("sap-diurnal").unwrap();
+        // Long horizon, no admission pressure: compare arrivals landing in
+        // the rising half-day vs the falling half-day of the sinusoid.
+        let mut relaxed = *p;
+        relaxed.max_live_vms = 100_000;
+        let t = synthesize(&relaxed, 40_000 * MS, 3);
+        let (mut up, mut down) = (0u64, 0u64);
+        for e in &t.events {
+            if let VmOp::Arrive { .. } = e.op {
+                let phase = (e.at.ns() % relaxed.day_ns) as f64 / relaxed.day_ns as f64;
+                if phase < 0.5 {
+                    up += 1;
+                } else {
+                    down += 1;
+                }
+            }
+        }
+        assert!(
+            up as f64 > down as f64 * 1.5,
+            "sinusoid peak half must out-arrive the trough half ({up} vs {down})"
+        );
+    }
+
+    #[test]
+    fn day_seed_is_stable_fnv() {
+        assert_eq!(day_seed("sap-diurnal"), day_seed("sap-diurnal"));
+        assert_ne!(day_seed("sap-diurnal"), day_seed("sap-resize-storm"));
+    }
+}

@@ -26,16 +26,33 @@
 //! replays the same churn schedule, placements, and latency histograms
 //! byte-for-byte, which is what lets the experiment suite shard fleet
 //! cells across workers.
+//!
+//! On top of the stochastic churn sits trace-driven replay:
+//!
+//! * [`trace_format`] — the compact versioned [`FleetTrace`] JSONL format
+//!   (line-precise validation, exact-u64 round-trip).
+//! * [`generate`](mod@generate) — SAP-shaped workload [`Profile`]s:
+//!   diurnal sinusoid arrivals × Pareto/lognormal lifetime mix ×
+//!   priority tiers × bursty resize storms, all a pure function of
+//!   `(profile, seed)`.
+//! * [`replay`] — compiles a trace into a [`FleetSpec`] whose churn is
+//!   the trace verbatim, so every policy × guest mode runs the same day.
 
 pub mod cluster;
+pub mod generate;
 pub mod lifecycle;
 pub mod placement;
+pub mod replay;
 pub mod slo;
+pub mod trace_format;
 
 pub use cluster::{Cluster, GuestMode};
-pub use lifecycle::{generate, FleetSpec, LifecycleEvent, VmOp};
+pub use generate::{day_seed, profile_by_name, synthesize, Profile, PROFILES};
+pub use lifecycle::{generate, ChurnModel, FleetSpec, LifecycleEvent, VmOp};
 pub use placement::{
     policy_by_name, FirstFit, HostView, PlacementPolicy, PlacementReq, ProbeAware, WorstFit,
     POLICIES,
 };
+pub use replay::spec_for_trace;
 pub use slo::{SloSummary, TenantStats};
+pub use trace_format::{FleetTrace, TraceError, FORMAT_TAG, FORMAT_VERSION};

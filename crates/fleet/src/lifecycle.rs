@@ -6,10 +6,26 @@
 //! one knob never shifts another stream's draws, and a schedule that is a
 //! pure function of `(spec, seed)`.
 
+use crate::trace_format::FleetTrace;
 use simcore::json::Json;
 use simcore::time::MS;
 use simcore::{SimRng, SimTime};
 use std::collections::BinaryHeap;
+use trace::PriorityClass;
+
+/// Where a fleet's churn schedule comes from.
+///
+/// `Stochastic` is the PR 5 behaviour: a Poisson/exponential process
+/// compiled from `(spec, seed)`. `Trace` replays a pre-generated
+/// [`FleetTrace`] verbatim — the schedule is fixed by the trace alone, so
+/// every placement policy and guest mode runs over the identical day.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnModel {
+    /// Seed-driven Poisson arrivals / lognormal lifetimes (the default).
+    Stochastic,
+    /// Replay this trace's events verbatim.
+    Trace(FleetTrace),
+}
 
 /// Fleet configuration. Round-trips through [`FleetSpec::to_json`] /
 /// [`FleetSpec::from_json`] (exact-u64, like `FaultPlan`).
@@ -36,6 +52,8 @@ pub struct FleetSpec {
     pub horizon_ns: u64,
     /// Per-tenant p99 end-to-end latency SLO (violation accounting).
     pub slo_p99_ns: u64,
+    /// Churn source: stochastic generation or trace replay.
+    pub churn: ChurnModel,
 }
 
 impl FleetSpec {
@@ -54,23 +72,64 @@ impl FleetSpec {
             max_live_vms: hosts * threads,
             horizon_ns: horizon_secs * 1_000 * MS,
             slo_p99_ns: 20 * MS,
+            churn: ChurnModel::Stochastic,
         }
     }
 
     /// Structural sanity: every field a schedule generator divides by or
-    /// indexes with must be usable.
+    /// indexes with must be usable. Errors name the offending field and
+    /// the value it carried, so a bad spec file is fixable from the
+    /// message alone.
     pub fn validate(&self) -> Result<(), String> {
-        if self.hosts == 0 || self.threads_per_host == 0 {
-            return Err("cluster must have hosts and threads".into());
+        if self.hosts == 0 {
+            return Err("hosts must be positive (got 0)".into());
+        }
+        if self.threads_per_host == 0 {
+            return Err("threads_per_host must be positive (got 0)".into());
         }
         if self.overcommit_cap == 0 {
-            return Err("overcommit_cap must be positive".into());
+            return Err("overcommit_cap must be positive (got 0)".into());
         }
-        if self.arrival_mean_ns == 0 || self.lifetime_mean_ns == 0 {
-            return Err("arrival and lifetime means must be positive".into());
+        if self.arrival_mean_ns == 0 {
+            return Err("arrival_mean_ns must be positive (got 0)".into());
         }
-        if self.size_mix.is_empty() || self.size_mix.iter().any(|&(v, w)| v == 0 || w == 0) {
-            return Err("size_mix needs positive (vcpus, weight) entries".into());
+        if self.lifetime_mean_ns == 0 {
+            return Err("lifetime_mean_ns must be positive (got 0)".into());
+        }
+        if self.horizon_ns == 0 {
+            return Err("horizon_ns must be positive (got 0)".into());
+        }
+        if self.size_mix.is_empty() {
+            return Err("size_mix must not be empty".into());
+        }
+        for (i, &(v, w)) in self.size_mix.iter().enumerate() {
+            if v == 0 || w == 0 {
+                return Err(format!(
+                    "size_mix[{i}] must have positive vcpus and weight (got vcpus {v}, weight {w})"
+                ));
+            }
+        }
+        let smallest = self
+            .size_mix
+            .iter()
+            .map(|&(v, _)| v as u64)
+            .min()
+            .expect("size_mix checked non-empty");
+        if smallest > self.overcommit_cap {
+            return Err(format!(
+                "overcommit_cap {} is below the smallest size_mix vcpus {smallest}: \
+                 every arrival would be rejected",
+                self.overcommit_cap
+            ));
+        }
+        if let ChurnModel::Trace(t) = &self.churn {
+            if t.horizon_ns != self.horizon_ns {
+                return Err(format!(
+                    "churn trace horizon_ns {} does not match spec horizon_ns {}",
+                    t.horizon_ns, self.horizon_ns
+                ));
+            }
+            t.validate().map_err(|e| format!("churn trace: {e}"))?;
         }
         Ok(())
     }
@@ -98,6 +157,13 @@ impl FleetSpec {
             ("max_live_vms", Json::Uint(self.max_live_vms as u64)),
             ("horizon_ns", Json::Uint(self.horizon_ns)),
             ("slo_p99_ns", Json::Uint(self.slo_p99_ns)),
+            (
+                "churn",
+                match &self.churn {
+                    ChurnModel::Stochastic => Json::Str("stochastic".into()),
+                    ChurnModel::Trace(t) => t.to_json_value(),
+                },
+            ),
         ])
         .render()
     }
@@ -119,6 +185,15 @@ impl FleetSpec {
             let w = u(&need(entry.get("weight"), "size_mix.weight")?, "weight")?;
             size_mix.push((v, w));
         }
+        // Absent churn means the PR 5 spec shape: stochastic generation.
+        let churn = match doc.get("churn") {
+            None => ChurnModel::Stochastic,
+            Some(Json::Str(s)) if s == "stochastic" => ChurnModel::Stochastic,
+            Some(Json::Str(s)) => return Err(format!("churn: unknown model {s:?}")),
+            Some(v) => ChurnModel::Trace(
+                FleetTrace::from_json_value(v).map_err(|e| format!("churn trace: {e}"))?,
+            ),
+        };
         let spec = FleetSpec {
             hosts: field("hosts")? as usize,
             threads_per_host: field("threads_per_host")? as usize,
@@ -130,6 +205,7 @@ impl FleetSpec {
             max_live_vms: field("max_live_vms")? as usize,
             horizon_ns: field("horizon_ns")?,
             slo_p99_ns: field("slo_p99_ns")?,
+            churn,
         };
         spec.validate()?;
         Ok(spec)
@@ -145,6 +221,8 @@ pub enum VmOp {
         uid: u32,
         /// Nominal size.
         vcpus: usize,
+        /// Tenant priority class (SLO reporting is sliced by tier).
+        prio: PriorityClass,
     },
     /// A live VM leaves.
     Depart {
@@ -172,20 +250,48 @@ pub struct LifecycleEvent {
 
 /// Floor on generated lifetimes: shorter than this and a VM departs
 /// before its workload produces a single measurable request.
-const MIN_LIFETIME_NS: u64 = 100 * MS;
+pub(crate) const MIN_LIFETIME_NS: u64 = 100 * MS;
+
+/// Stochastic tier weights: most tenants are standard, a thin critical
+/// slice, and a batch tail — drawn per arrival from a dedicated stream.
+const TIER_WEIGHTS: [(PriorityClass, u64); 3] = [
+    (PriorityClass::Critical, 2),
+    (PriorityClass::Standard, 5),
+    (PriorityClass::Batch, 3),
+];
+
+fn draw_tier(rng: &mut SimRng) -> PriorityClass {
+    let total: u64 = TIER_WEIGHTS.iter().map(|&(_, w)| w).sum();
+    let mut pick = rng.range(0, total);
+    for &(p, w) in &TIER_WEIGHTS {
+        if pick < w {
+            return p;
+        }
+        pick -= w;
+    }
+    PriorityClass::Standard
+}
 
 /// Compiles the churn schedule for `(spec, seed)`: a time-sorted event
 /// list that is a pure function of its inputs. Arrivals that would push
 /// the live population past `max_live_vms` are skipped (the bound on
 /// open-loop growth); departures and resizes past the horizon are
 /// dropped — those VMs simply live to the end of the run.
+///
+/// With [`ChurnModel::Trace`] the schedule is the trace's event list
+/// verbatim: the seed does not reach it at all.
 pub fn generate(spec: &FleetSpec, seed: u64) -> Vec<LifecycleEvent> {
     spec.validate().expect("valid spec");
+    if let ChurnModel::Trace(t) = &spec.churn {
+        return t.events.clone();
+    }
     let mut root = SimRng::new(seed ^ 0xF1EE_7005);
     let mut arr = root.fork(0xA1);
     let mut size = root.fork(0x51);
     let mut life = root.fork(0x1F);
     let mut rsz = root.fork(0x25);
+    // Appended after the PR 5 forks so their streams are unshifted.
+    let mut pri = root.fork(0x9A);
     let total_weight: u64 = spec.size_mix.iter().map(|&(_, w)| w).sum();
 
     let mut events: Vec<LifecycleEvent> = Vec::new();
@@ -223,12 +329,13 @@ pub fn generate(spec: &FleetSpec, seed: u64) -> Vec<LifecycleEvent> {
         let resize_at = t + (lifetime as f64 * (0.25 + 0.5 * rsz.f64())) as u64;
         let resize_pct = if rsz.chance(0.5) { 50 } else { 75 };
         let wants_resize = rsz.chance(0.35);
+        let prio = draw_tier(&mut pri);
         if departs.len() >= spec.max_live_vms {
             continue;
         }
         events.push(LifecycleEvent {
             at: SimTime::from_ns(t),
-            op: VmOp::Arrive { uid, vcpus },
+            op: VmOp::Arrive { uid, vcpus, prio },
         });
         let depart_at = t + lifetime;
         departs.push(std::cmp::Reverse(depart_at));
@@ -291,7 +398,7 @@ mod tests {
         let mut seen: Vec<u32> = Vec::new();
         for e in &events {
             match e.op {
-                VmOp::Arrive { uid, vcpus } => {
+                VmOp::Arrive { uid, vcpus, .. } => {
                     assert!(!seen.contains(&uid), "uid {uid} arrives once");
                     assert!(vcpus > 0);
                     seen.push(uid);
@@ -301,6 +408,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn all_three_priority_tiers_appear() {
+        let events = generate(&spec(), 11);
+        let mut seen = [false; 3];
+        for e in &events {
+            if let VmOp::Arrive { prio, .. } = e.op {
+                seen[prio.index()] = true;
+            }
+        }
+        assert_eq!(seen, [true; 3], "every tier drawn over 4 seconds of churn");
+    }
+
+    #[test]
+    fn validation_errors_name_the_field_and_value() {
+        let mut zero_life = spec();
+        zero_life.lifetime_mean_ns = 0;
+        assert_eq!(
+            zero_life.validate().unwrap_err(),
+            "lifetime_mean_ns must be positive (got 0)"
+        );
+
+        let mut tiny_cap = spec();
+        tiny_cap.size_mix = vec![(4, 1), (8, 1)];
+        tiny_cap.overcommit_cap = 2;
+        assert_eq!(
+            tiny_cap.validate().unwrap_err(),
+            "overcommit_cap 2 is below the smallest size_mix vcpus 4: \
+             every arrival would be rejected"
+        );
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Trace replay: compiling a [`FleetTrace`] into a runnable [`FleetSpec`].
+//!
+//! The point of a trace is that the *day is fixed*: every placement
+//! policy and guest mode must see the identical arrival/departure/resize
+//! schedule. [`spec_for_trace`] builds a spec whose churn model is the
+//! trace verbatim — `lifecycle::generate` then returns the trace's
+//! events untouched, so the run seed reaches workload phases and host
+//! streams but never the schedule.
+
+use crate::lifecycle::{ChurnModel, FleetSpec, VmOp};
+use crate::trace_format::FleetTrace;
+
+/// Builds a spec that replays `trace` on a `hosts × threads` cluster.
+///
+/// Cluster shape (hosts, threads, overcommit cap) stays a caller choice —
+/// the trace records *demand*, not the fleet it lands on. Rate-style
+/// fields (`arrival_mean_ns`, …) keep their [`FleetSpec::small`] values;
+/// they are dead knobs under trace churn but keep the spec's JSON shape
+/// uniform. `max_live_vms` is lifted to the trace's own peak so the
+/// admission bound never second-guesses a schedule that already chose
+/// its population.
+pub fn spec_for_trace(trace: &FleetTrace, hosts: usize, threads: usize) -> FleetSpec {
+    let mut spec = FleetSpec::small(hosts, threads, 1);
+    spec.horizon_ns = trace.horizon_ns;
+    let mut live = 0usize;
+    let mut peak = 0usize;
+    for e in &trace.events {
+        match e.op {
+            VmOp::Arrive { .. } => {
+                live += 1;
+                peak = peak.max(live);
+            }
+            VmOp::Depart { .. } => live = live.saturating_sub(1),
+            VmOp::Resize { .. } => {}
+        }
+    }
+    spec.max_live_vms = peak.max(1);
+    spec.churn = ChurnModel::Trace(trace.clone());
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, GuestMode};
+    use crate::generate::{day_seed, profile_by_name, synthesize};
+    use crate::lifecycle;
+    use crate::placement::policy_by_name;
+    use simcore::time::MS;
+
+    #[test]
+    fn replayed_schedule_is_the_trace_verbatim_for_any_seed() {
+        let p = profile_by_name("sap-diurnal").unwrap();
+        let trace = synthesize(p, 2_000 * MS, day_seed(p.name));
+        let spec = spec_for_trace(&trace, 2, 2);
+        spec.validate().expect("replay spec validates");
+        let a = lifecycle::generate(&spec, 1);
+        let b = lifecycle::generate(&spec, 999);
+        assert_eq!(a, trace.events, "seed must not reach a replayed schedule");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_spec_round_trips_through_json_with_embedded_trace() {
+        let p = profile_by_name("sap-resize-storm").unwrap();
+        let trace = synthesize(p, 1_000 * MS, day_seed(p.name));
+        let spec = spec_for_trace(&trace, 2, 2);
+        let back = FleetSpec::from_json(&spec.to_json()).expect("parses back");
+        assert_eq!(spec, back);
+        assert_eq!(spec.to_json(), back.to_json());
+    }
+
+    #[test]
+    fn cluster_replays_a_trace_end_to_end_without_violations() {
+        let p = profile_by_name("sap-diurnal").unwrap();
+        let trace = synthesize(p, 1_000 * MS, day_seed(p.name));
+        let spec = spec_for_trace(&trace, 2, 2);
+        let mut c = Cluster::new(
+            spec,
+            GuestMode::Cfs,
+            policy_by_name("first-fit").unwrap(),
+            7,
+        );
+        let s = c.run();
+        assert!(s.admitted > 0);
+        assert_eq!(s.admitted, s.placed + s.rejected);
+        assert_eq!(s.violations, 0, "first law broken: {:?}", s.first_law);
+    }
+}

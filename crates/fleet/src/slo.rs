@@ -10,6 +10,7 @@
 use crate::lifecycle::FleetSpec;
 use metrics::Histogram;
 use simcore::time::MS;
+use trace::PriorityClass;
 
 /// Per-tenant accounting, snapshotted when the VM departs (or when the
 /// run's horizon is reached for still-live VMs).
@@ -17,6 +18,8 @@ use simcore::time::MS;
 pub struct TenantStats {
     /// Fleet-wide VM id.
     pub uid: u32,
+    /// Tenant priority class (SLO reporting is sliced by tier).
+    pub prio: PriorityClass,
     /// Nominal size in vCPUs.
     pub vcpus: usize,
     /// Time between placement and departure/horizon.
@@ -59,6 +62,11 @@ pub struct SloSummary {
     pub p99_ms: f64,
     /// The single worst tenant's p99, ms.
     pub worst_tenant_p99_ms: f64,
+    /// Merged p99 per priority tier in [`PRIORITY_CLASSES`] order
+    /// (critical, standard, batch); 0.0 for an unpopulated tier.
+    pub tier_p99_ms: [f64; 3],
+    /// Measured tenants per priority tier (same order).
+    pub tier_tenants: [usize; 3],
     /// Tenants whose own p99 exceeded `spec.slo_p99_ns`.
     pub slo_violations: usize,
     /// Tenants with at least one completed request (the SLO denominator).
@@ -95,6 +103,8 @@ pub fn summarize(
     rejected: u64,
 ) -> SloSummary {
     let mut fleet = Histogram::new();
+    let mut tiers: [Histogram; 3] = [Histogram::new(), Histogram::new(), Histogram::new()];
+    let mut tier_tenants = [0usize; 3];
     let mut completed = 0u64;
     let mut dropped = 0u64;
     let mut worst_p99 = 0u64;
@@ -102,15 +112,23 @@ pub fn summarize(
     let mut measured = 0usize;
     for t in &tenants {
         fleet.merge(&t.e2e);
+        tiers[t.prio.index()].merge(&t.e2e);
         completed += t.completed;
         dropped += t.dropped;
         if t.e2e.count() > 0 {
             measured += 1;
+            tier_tenants[t.prio.index()] += 1;
             let p99 = t.e2e.p99();
             worst_p99 = worst_p99.max(p99);
             if p99 > spec.slo_p99_ns {
                 slo_violations += 1;
             }
+        }
+    }
+    let mut tier_p99_ms = [0.0f64; 3];
+    for (i, h) in tiers.iter().enumerate() {
+        if h.count() > 0 {
+            tier_p99_ms[i] = h.p99() as f64 / MS as f64;
         }
     }
 
@@ -153,6 +171,8 @@ pub fn summarize(
         p50_ms: fleet.p50() as f64 / MS as f64,
         p99_ms: fleet.p99() as f64 / MS as f64,
         worst_tenant_p99_ms: worst_p99 as f64 / MS as f64,
+        tier_p99_ms,
+        tier_tenants,
         slo_violations,
         measured_tenants: measured,
         fairness,
@@ -169,6 +189,7 @@ pub fn summarize(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trace::PRIORITY_CLASSES;
 
     fn tenant(uid: u32, latencies_ns: &[u64], lifetime_ns: u64) -> TenantStats {
         let mut e2e = Histogram::new();
@@ -177,6 +198,7 @@ mod tests {
         }
         TenantStats {
             uid,
+            prio: PRIORITY_CLASSES[uid as usize % 3],
             vcpus: 1,
             lifetime_ns,
             e2e,
@@ -206,6 +228,18 @@ mod tests {
         assert!(s.fairness > 0.5 && s.fairness <= 1.0);
         assert!((s.mean_util - 0.75).abs() < 1e-9);
         assert!((s.peak_util - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_tier_p99_slices_by_priority_class() {
+        let spec = FleetSpec::small(2, 2, 1);
+        // uid % 3 picks the tier: 0 → critical, 1 → standard, 2 → batch.
+        let crit = tenant(0, &[MS, 2 * MS], 1_000 * MS);
+        let std_ = tenant(1, &[30 * MS], 1_000 * MS);
+        let s = summarize(&spec, vec![crit, std_], &[], 2, 2, 0);
+        assert_eq!(s.tier_tenants, [1, 1, 0]);
+        assert!(s.tier_p99_ms[0] < s.tier_p99_ms[1], "{:?}", s.tier_p99_ms);
+        assert_eq!(s.tier_p99_ms[2], 0.0, "empty tier reports 0");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use simcore::propcheck;
 use simcore::time::MS;
-use vsched_fleet::{policy_by_name, Cluster, FleetSpec, GuestMode, VmOp, POLICIES};
+use vsched_fleet::{policy_by_name, ChurnModel, Cluster, FleetSpec, GuestMode, VmOp, POLICIES};
 
 /// Property case budget; `--features property-tests` widens the sweep.
 fn cases(base: usize) -> usize {
@@ -20,10 +20,13 @@ fn random_spec(rng: &mut simcore::SimRng) -> FleetSpec {
     for _ in 0..1 + rng.index(4) {
         mix.push((1 + rng.index(8), 1 + rng.range(0, 9)));
     }
+    // Valid specs keep the smallest size under the cap (anything else is
+    // rejected by FleetSpec::validate as an always-rejecting fleet).
+    let smallest = mix.iter().map(|&(v, _)| v as u64).min().unwrap();
     FleetSpec {
         hosts: 1 + rng.index(8),
         threads_per_host: 1 + rng.index(8),
-        overcommit_cap: 1 + rng.range(0, 16),
+        overcommit_cap: smallest + rng.range(0, 16),
         arrival_mean_ns: 1 + rng.range(0, 500 * MS),
         lifetime_mean_ns: 1 + rng.range(0, 3_000 * MS),
         lifetime_max_ns: 1 + rng.range(0, 10_000 * MS),
@@ -31,6 +34,7 @@ fn random_spec(rng: &mut simcore::SimRng) -> FleetSpec {
         max_live_vms: 1 + rng.index(32),
         horizon_ns: 1 + rng.range(0, 30_000 * MS),
         slo_p99_ns: 1 + rng.range(0, 100 * MS),
+        churn: ChurnModel::Stochastic,
     }
 }
 

@@ -983,7 +983,16 @@ mod tests {
 
     #[test]
     fn fleet_placement_lifecycle_checked() {
-        let admit = |at, uid| ev(at, EventKind::VmAdmitted { uid, vcpus: 2 });
+        let admit = |at, uid| {
+            ev(
+                at,
+                EventKind::VmAdmitted {
+                    uid,
+                    vcpus: 2,
+                    prio: crate::PriorityClass::Standard,
+                },
+            )
+        };
         let place = |at, uid, host, occupied, cap| {
             ev(
                 at,

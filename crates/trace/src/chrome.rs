@@ -258,11 +258,12 @@ pub fn chrome_trace(ring: &RingBuffer) -> String {
                      \"args\":{{\"src\":{src}}}"
                 ));
             }
-            EventKind::VmAdmitted { uid, vcpus } => {
+            EventKind::VmAdmitted { uid, vcpus, prio } => {
                 w.event(format!(
                     "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
                      \"cat\":\"fleet\",\"name\":\"admit VM{uid}\",\
-                     \"args\":{{\"vcpus\":{vcpus}}}"
+                     \"args\":{{\"vcpus\":{vcpus},\"prio\":\"{}\"}}",
+                    prio.name()
                 ));
             }
             EventKind::VmPlaced {

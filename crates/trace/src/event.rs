@@ -74,6 +74,57 @@ pub enum ProbeKind {
     Vtop,
 }
 
+/// Tenant priority class of a fleet VM.
+///
+/// Real fleets (the SAP Cloud Infrastructure Dataset) segment tenants into
+/// priority tiers with very different lifetime and SLO profiles; the fleet
+/// layer stamps each admission with its tier so per-tier tail latency is
+/// visible in the trace and the SLO accounting. Lives here (like
+/// [`FaultClass`]) because `trace` sits below `fleet` in the dependency
+/// graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PriorityClass {
+    /// Latency-critical production tenants (tightest SLO).
+    Critical,
+    /// Default production tier.
+    Standard,
+    /// Preemptible batch / best-effort tenants.
+    Batch,
+}
+
+/// Every priority tier, in severity order (index = stable tier id).
+pub const PRIORITY_CLASSES: [PriorityClass; 3] = [
+    PriorityClass::Critical,
+    PriorityClass::Standard,
+    PriorityClass::Batch,
+];
+
+impl PriorityClass {
+    /// Stable serialization name (fleet trace files store these).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PriorityClass::Critical => "critical",
+            PriorityClass::Standard => "standard",
+            PriorityClass::Batch => "batch",
+        }
+    }
+
+    /// Inverse of [`PriorityClass::name`].
+    pub fn from_name(name: &str) -> Option<PriorityClass> {
+        Some(match name {
+            "critical" => PriorityClass::Critical,
+            "standard" => PriorityClass::Standard,
+            "batch" => PriorityClass::Batch,
+            _ => return None,
+        })
+    }
+
+    /// Stable tier index into [`PRIORITY_CLASSES`]-shaped arrays.
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
 /// Class of an injected host-side fault (chaos mode).
 ///
 /// Lives here rather than in `hostsim` because `trace` sits below both the
@@ -230,10 +281,15 @@ pub enum EventKind {
         idle_ns: u64,
     },
     /// The fleet layer admitted a VM into the placement pipeline. `uid` is
-    /// the fleet-wide VM id (distinct from per-machine VM indices) and
-    /// `vcpus` its nominal size. Fleet events are emitted into a
-    /// fleet-scoped collector, separate from the per-machine ones.
-    VmAdmitted { uid: u32, vcpus: u16 },
+    /// the fleet-wide VM id (distinct from per-machine VM indices),
+    /// `vcpus` its nominal size, and `prio` its tenant priority tier.
+    /// Fleet events are emitted into a fleet-scoped collector, separate
+    /// from the per-machine ones.
+    VmAdmitted {
+        uid: u32,
+        vcpus: u16,
+        prio: PriorityClass,
+    },
     /// A placement policy put VM `uid` on `host`. `occupied` is the host's
     /// committed vCPU count *after* this placement and `cap` its
     /// overcommit cap, so the checker can assert `occupied <= cap` and
