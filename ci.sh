@@ -54,6 +54,12 @@ VSCHED_SCALE=smoke ./target/release/suite --filter fleet --jobs 4 --seed 42 \
     --no-ckpt > "$tmpdir/fleet_parallel.txt" 2>/dev/null
 diff "$tmpdir/fleet_serial.txt" "$tmpdir/fleet_parallel.txt"
 grep -q "violations" "$tmpdir/fleet_serial.txt"
+# The *cluster-stepping* pool (host shards inside each cell, distinct from
+# the suite's job pool above) must be equally invisible: a forced
+# four-worker stepping pool vs the run above, byte-identical figures.
+VSCHED_SCALE=smoke ./target/release/suite --filter fleet --jobs 1 --seed 42 \
+    --fleet-threads 4 --no-ckpt > "$tmpdir/fleet_step4.txt" 2>/dev/null
+diff "$tmpdir/fleet_serial.txt" "$tmpdir/fleet_step4.txt"
 
 echo "== replay-smoke: fleettrace gen/validate + replayed-day byte-identity"
 # 1) Generate a small trace with the CLI and validate it; a corrupted copy
@@ -69,9 +75,17 @@ if ./target/release/fleettrace validate "$tmpdir/corrupt.trace.jsonl" \
     exit 1
 fi
 grep -q "line " "$tmpdir/corrupt_err.txt"
-# 2) The committed example trace must replay end-to-end, law-clean.
+# 2) The committed example trace must replay end-to-end, law-clean, and
+#    the cluster-stepping pool must be invisible in the replay output:
+#    one host-stepping worker vs four, byte-identical stdout. This pins
+#    the stepping parallelism itself, not just the suite-level pool.
 ./target/release/fleettrace replay examples/sap_day.trace.jsonl \
-    --policy probe-aware --mode vsched > /dev/null
+    --policy probe-aware --mode vsched --fleet-threads 1 \
+    > "$tmpdir/step_serial.txt"
+./target/release/fleettrace replay examples/sap_day.trace.jsonl \
+    --policy probe-aware --mode vsched --fleet-threads 4 \
+    > "$tmpdir/step_parallel.txt"
+diff "$tmpdir/step_serial.txt" "$tmpdir/step_parallel.txt"
 # 3) The fleet-replay job (every policy x guest mode over one generated
 #    day per profile) must be byte-identical across worker counts.
 VSCHED_SCALE=smoke ./target/release/suite --filter fleet-replay --jobs 1 --seed 42 \

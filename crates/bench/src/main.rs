@@ -12,12 +12,17 @@
 //! * `pelt_update` — ns per `Pelt::update` (the per-event decay math the
 //!   fixed-point table optimizes).
 //! * `fleet_step_rate` — events/sec stepping a churned 16-host fleet
-//!   cluster in lockstep (the cluster-scaling baseline).
+//!   cluster in lockstep, pinned to one worker (the serial baseline the
+//!   sharded-stepping rows below measure against).
 //! * `figure_fig03_quick` — one full quick-scale figure, as simulated
 //!   seconds per wall second (everything composed).
+//! * `fleet` rows — the same churned cluster at 16/64/256/1000 hosts,
+//!   each stepped serially (`--fleet-threads 1`) and on the auto-sized
+//!   host-stepping pool, with the summaries asserted identical. The
+//!   256-host speedup is the sharded-stepping acceptance metric on
+//!   multi-core runners; single-core runners report `speedup: null`.
 //! * `suite` — the full figure/table suite, serial (`--jobs 1`) vs
-//!   parallel (auto-sized pool): the speedup column is the tentpole's
-//!   acceptance metric on multi-core runners.
+//!   parallel (auto-sized pool).
 //!
 //! Scale comes from `VSCHED_SCALE` (default quick) or `--scale`; use
 //! `--skip-suite` for a micro-only pass and `--out` to redirect the JSON.
@@ -26,8 +31,10 @@ use experiments::runner::{run_suite, SuiteOptions};
 use experiments::Scale;
 use guestos::pelt::{Pelt, PeltState};
 use hostsim::{HostSpec, ScenarioBuilder, VmSpec};
+use simcore::time::MS;
 use simcore::{SimRng, SimTime};
 use std::fmt::Write as _;
+use std::num::NonZeroUsize;
 use std::time::Instant;
 use workloads::{build, work_ms, Stressor};
 
@@ -116,16 +123,17 @@ fn bench_pelt_update(iters: u64) -> Micro {
 
 /// Fleet steady-state step rate: a churned 16-host cluster of vSched
 /// guests under the probe-aware policy, counting simulation events
-/// dispatched across all hosts per wall second. The baseline any future
-/// cluster-stepping perf work (sharded stepping, migration) measures
-/// against.
+/// dispatched across all hosts per wall second. Pinned to one worker so
+/// the row stays comparable across runners and releases — the `fleet`
+/// rows below carry the serial-vs-pool comparison.
 fn bench_fleet_step_rate(sim_secs: u64) -> Micro {
     let spec = fleet::FleetSpec::small(16, 4, sim_secs);
-    let mut c = fleet::Cluster::new(
+    let mut c = fleet::Cluster::with_threads(
         spec,
         fleet::GuestMode::Vsched,
         fleet::policy_by_name("probe-aware").expect("registered policy"),
         1,
+        NonZeroUsize::MIN,
     );
     let t0 = Instant::now();
     let s = c.run();
@@ -137,6 +145,78 @@ fn bench_fleet_step_rate(sim_secs: u64) -> Micro {
         unit: "events",
         units: c.events_dispatched(),
         secs,
+    }
+}
+
+/// One fleet-size point of the sharded-stepping comparison.
+struct FleetRow {
+    hosts: usize,
+    horizon_secs: u64,
+    arrival_mean_ms: u64,
+    events: u64,
+    serial_secs: f64,
+    parallel_secs: f64,
+    /// Effective workers in the parallel run (pool size capped at hosts).
+    workers: usize,
+}
+
+impl FleetRow {
+    fn serial_per_sec(&self) -> f64 {
+        self.events as f64 / self.serial_secs.max(1e-12)
+    }
+    fn parallel_per_sec(&self) -> f64 {
+        self.events as f64 / self.parallel_secs.max(1e-12)
+    }
+}
+
+/// Steps the same churned vSched/probe-aware fleet twice — serial, then
+/// on the auto-sized stepping pool — and asserts the runs are
+/// indistinguishable (same events dispatched, same summary) before
+/// reporting the wall-clock ratio.
+fn bench_fleet_cluster(hosts: usize, horizon_secs: u64) -> FleetRow {
+    let mut spec = fleet::FleetSpec::small(hosts, 4, horizon_secs);
+    // Hold per-host placement pressure constant as the fleet grows: the
+    // 16-host row keeps the historical 250 ms mean interarrival, larger
+    // fleets arrive proportionally faster (floored at 4 ms).
+    spec.arrival_mean_ns = (250 * MS * 16 / hosts as u64).max(4 * MS);
+    let run = |workers: NonZeroUsize| {
+        let mut c = fleet::Cluster::with_threads(
+            spec.clone(),
+            fleet::GuestMode::Vsched,
+            fleet::policy_by_name("probe-aware").expect("registered policy"),
+            1,
+            workers,
+        );
+        let t0 = Instant::now();
+        let s = c.run();
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(s.violations, 0, "bench run must satisfy the fleet laws");
+        (s, c.events_dispatched(), secs, c.effective_workers())
+    };
+    let (ss, serial_events, serial_secs, _) = run(NonZeroUsize::MIN);
+    let (ps, parallel_events, parallel_secs, workers) = run(fleet::default_fleet_threads());
+    assert_eq!(
+        serial_events, parallel_events,
+        "parallel stepping dispatched different events at {hosts} hosts"
+    );
+    assert_eq!(
+        (ss.admitted, ss.placed, ss.completed, ss.trace_events),
+        (ps.admitted, ps.placed, ps.completed, ps.trace_events),
+        "parallel stepping summary diverged from serial at {hosts} hosts"
+    );
+    assert_eq!(
+        (ss.p99_ms.to_bits(), ss.mean_util.to_bits()),
+        (ps.p99_ms.to_bits(), ps.mean_util.to_bits()),
+        "parallel stepping floats diverged from serial at {hosts} hosts"
+    );
+    FleetRow {
+        hosts,
+        horizon_secs,
+        arrival_mean_ms: spec.arrival_mean_ns / MS,
+        events: serial_events,
+        serial_secs,
+        parallel_secs,
+        workers,
     }
 }
 
@@ -250,6 +330,38 @@ fn main() {
         );
     }
 
+    eprintln!("# fleet cluster stepping, serial vs pool");
+    let fleet_rows = [
+        bench_fleet_cluster(16, 10),
+        bench_fleet_cluster(64, 4),
+        bench_fleet_cluster(256, 2),
+        bench_fleet_cluster(1000, 1),
+    ];
+    for r in &fleet_rows {
+        if r.workers > 1 {
+            eprintln!(
+                "#   {:>4} hosts {:>10} events: serial {:>13.0} /s, pool({}) {:>13.0} /s = {:.2}x",
+                r.hosts,
+                r.events,
+                r.serial_per_sec(),
+                r.workers,
+                r.parallel_per_sec(),
+                r.serial_secs / r.parallel_secs.max(1e-9)
+            );
+        } else {
+            // Same convention as the suite row below: on a single
+            // effective core a "speedup" only measures pool overhead.
+            eprintln!(
+                "#   {:>4} hosts {:>10} events: serial {:>13.0} /s, pool(1) {:>13.0} /s \
+                 (speedup skipped: single effective core)",
+                r.hosts,
+                r.events,
+                r.serial_per_sec(),
+                r.parallel_per_sec(),
+            );
+        }
+    }
+
     let suite = if skip_suite {
         None
     } else {
@@ -295,6 +407,45 @@ fn main() {
             json_f(m.per_sec())
         );
     }
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"fleet\": {{");
+    let _ = writeln!(
+        j,
+        "    \"note\": \"sharded host stepping (per-epoch barriers); per-host scratch \
+         (utilization series, placement host views) is preallocated at cluster \
+         construction — the pre-preallocation 16-host serial baseline was \
+         2677444 events/sec\","
+    );
+    let _ = writeln!(j, "    \"rows\": [");
+    for (i, r) in fleet_rows.iter().enumerate() {
+        let comma = if i + 1 < fleet_rows.len() { "," } else { "" };
+        let speedup = if r.workers > 1 {
+            format!(
+                "\"speedup\": {}",
+                json_f(r.serial_secs / r.parallel_secs.max(1e-9))
+            )
+        } else {
+            "\"speedup\": null, \"speedup_note\": \"skipped: single effective core, \
+             stepping pool had 1 worker\""
+                .to_string()
+        };
+        let _ = writeln!(
+            j,
+            "      {{\"hosts\": {}, \"horizon_secs\": {}, \"arrival_mean_ms\": {}, \
+             \"events\": {}, \"serial_secs\": {}, \"serial_per_sec\": {}, \
+             \"parallel_secs\": {}, \"parallel_per_sec\": {}, \"workers\": {}, {speedup}}}{comma}",
+            r.hosts,
+            r.horizon_secs,
+            r.arrival_mean_ms,
+            r.events,
+            json_f(r.serial_secs),
+            json_f(r.serial_per_sec()),
+            json_f(r.parallel_secs),
+            json_f(r.parallel_per_sec()),
+            r.workers,
+        );
+    }
+    let _ = writeln!(j, "    ]");
     let _ = writeln!(j, "  }},");
     match &suite {
         Some(s) => {

@@ -7,7 +7,7 @@
 //! ```text
 //! cargo run --release -p experiments --bin suite -- [--jobs N] [--filter S]
 //!     [--scale smoke|quick|paper] [--seed N] [--retries N] [--deadline-ms N]
-//!     [--ckpt-dir PATH | --no-ckpt] [--resume] [--list]
+//!     [--fleet-threads N] [--ckpt-dir PATH | --no-ckpt] [--resume] [--list]
 //!     [--shrink SEED | --replay FILE]
 //! ```
 //!
@@ -29,6 +29,10 @@
 //!   supervision smoke).
 //! * `--list` prints every registered job id with its cell count and a
 //!   one-line description, then exits.
+//! * `--fleet-threads N` bounds the host-stepping worker pool inside the
+//!   fleet/fleet-replay cells' clusters (default: available parallelism;
+//!   `0` is rejected with a named-field error). Worker count never
+//!   changes suite output — only wall clock.
 
 use experiments::runner::{registry, run_suite, SuiteOptions};
 use experiments::{chaos, checkpoint, shrink, Scale};
@@ -40,8 +44,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: suite [--jobs N] [--filter SUBSTR[,SUBSTR...]] \
          [--scale smoke|quick|paper] [--seed N] [--retries N] [--deadline-ms N] \
-         [--ckpt-dir PATH | --no-ckpt] [--resume] [--list] \
-         [--shrink SEED | --replay FILE]"
+         [--fleet-threads N] [--ckpt-dir PATH | --no-ckpt] [--resume] [--list] \
+         [--shrink SEED | --replay FILE]\n\
+         \n\
+         --fleet-threads N   host-stepping workers for fleet/fleet-replay \
+         cells (default: available parallelism; output is byte-identical \
+         at any worker count)"
     );
     std::process::exit(2);
 }
@@ -164,6 +172,13 @@ fn main() {
                 let ms: u64 = value("--deadline-ms").parse().unwrap_or_else(|_| usage());
                 opts.supervise.deadline = Some(Duration::from_millis(ms));
             }
+            "--fleet-threads" => match fleet::parse_fleet_threads(&value("--fleet-threads")) {
+                Ok(n) => opts.fleet_threads = Some(n),
+                Err(e) => {
+                    eprintln!("--fleet-threads: {e}");
+                    usage();
+                }
+            },
             "--ckpt-dir" => opts.checkpoint = Some(PathBuf::from(value("--ckpt-dir"))),
             "--no-ckpt" => no_ckpt = true,
             "--resume" => opts.resume = true,
@@ -187,6 +202,11 @@ fn main() {
         for j in registry() {
             println!("{:<8} {:>3} cells  {}", j.name, j.cells.len(), j.desc);
         }
+        println!(
+            "# fleet/fleet-replay cells shard host stepping across a cluster \
+             pool; override with --fleet-threads N (default: available \
+             parallelism, byte-identical output at any worker count)"
+        );
         return;
     }
     if let Some(seed) = shrink_seed {

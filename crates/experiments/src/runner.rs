@@ -873,6 +873,11 @@ pub struct SuiteOptions {
     pub resume: bool,
     /// Append the always-failing canary job (CI supervision smoke).
     pub canary: bool,
+    /// Host-stepping workers for the fleet cells' clusters
+    /// (`--fleet-threads`); `None` keeps the fleet crate's process
+    /// default (available parallelism). Worker count never changes cell
+    /// output — only wall clock — so it stays out of the checkpoint key.
+    pub fleet_threads: Option<std::num::NonZeroUsize>,
 }
 
 impl Default for SuiteOptions {
@@ -886,6 +891,7 @@ impl Default for SuiteOptions {
             checkpoint: None,
             resume: false,
             canary: false,
+            fleet_threads: None,
         }
     }
 }
@@ -988,6 +994,11 @@ fn filter_matches(name: &str, filter: Option<&str>) -> bool {
 /// supervision. A filter that selects nothing is an error (listing the
 /// valid ids) rather than a silently empty run.
 pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteResult, FilterError> {
+    if let Some(n) = opts.fleet_threads {
+        // Cells reach their clusters through `Cluster::new`, which reads
+        // the fleet crate's process-wide default.
+        ::fleet::set_default_fleet_threads(Some(n));
+    }
     let all = registry();
     let valid: Vec<&'static str> = all.iter().map(|j| j.name).collect();
     let mut jobs: Vec<Job> = all

@@ -140,12 +140,24 @@ fn suite_list_prints_every_job_with_a_description() {
         .expect("suite binary runs");
     assert!(out.status.success(), "--list must exit 0");
     let text = String::from_utf8(out.stdout).expect("utf8 listing");
-    let lines: Vec<&str> = text.lines().collect();
+    // Job lines, then `#`-prefixed operational notes (the fleet-threads
+    // hint) which must come last and are not job rows.
+    let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
     let jobs = registry();
     assert_eq!(
         lines.len(),
         jobs.len(),
         "one listing line per registered job:\n{text}"
+    );
+    assert!(
+        text.lines()
+            .skip_while(|l| !l.starts_with('#'))
+            .all(|l| l.starts_with('#')),
+        "notes must trail the job rows:\n{text}"
+    );
+    assert!(
+        text.contains("--fleet-threads"),
+        "--list must document the fleet-threads knob:\n{text}"
     );
     for (line, job) in lines.iter().zip(&jobs) {
         assert!(

@@ -5,25 +5,31 @@
 //! fleettrace gen --profile sap-diurnal [--seed N] [--horizon-secs S] [--out FILE]
 //! fleettrace validate FILE
 //! fleettrace replay FILE [--policy P] [--mode cfs|vsched] [--hosts N] [--threads N] [--seed N]
+//!     [--fleet-threads N]
 //! ```
 //!
 //! `gen` defaults the seed to the profile's canonical day seed, so
 //! `fleettrace gen --profile X` always reproduces the same day the suite
 //! replays. `validate` exits nonzero with a line-precise error for any
 //! corrupt trace. `replay` runs the trace through a full cluster and
-//! exits nonzero if any trace law is violated.
+//! exits nonzero if any trace law is violated; `--fleet-threads` bounds
+//! the cluster's host-stepping worker pool (default: available
+//! parallelism) and never changes the replay's output — only wall clock.
 
 use std::process::ExitCode;
 use vsched_fleet::{
-    day_seed, policy_by_name, profile_by_name, spec_for_trace, synthesize, Cluster, FleetTrace,
-    GuestMode, PROFILES,
+    day_seed, parse_fleet_threads, policy_by_name, profile_by_name, spec_for_trace, synthesize,
+    Cluster, FleetTrace, GuestMode, PROFILES,
 };
 
 const USAGE: &str = "usage:
   fleettrace profiles
   fleettrace gen --profile <name> [--seed <u64>] [--horizon-secs <u64>] [--out <file>]
   fleettrace validate <file>
-  fleettrace replay <file> [--policy <name>] [--mode cfs|vsched] [--hosts <n>] [--threads <n>] [--seed <u64>]";
+  fleettrace replay <file> [--policy <name>] [--mode cfs|vsched] [--hosts <n>] [--threads <n>] [--seed <u64>]
+      [--fleet-threads <n>]   host-stepping workers (default: available
+                              parallelism; output is byte-identical at
+                              any worker count)";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("fleettrace: {msg}");
@@ -68,6 +74,10 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&mut args),
         "validate" => cmd_validate(&mut args),
         "replay" => cmd_replay(&mut args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         other => return fail(&format!("unknown subcommand {other:?}")),
     };
     match run {
@@ -168,6 +178,10 @@ fn cmd_replay(args: &mut Vec<String>) -> Result<ExitCode, String> {
     let hosts = parse_u64(take_flag(args, "--hosts")?, "--hosts")?.unwrap_or(4) as usize;
     let threads = parse_u64(take_flag(args, "--threads")?, "--threads")?.unwrap_or(4) as usize;
     let seed = parse_u64(take_flag(args, "--seed")?, "--seed")?.unwrap_or(1);
+    let fleet_threads = match take_flag(args, "--fleet-threads")? {
+        None => None,
+        Some(s) => Some(parse_fleet_threads(&s)?),
+    };
     if hosts == 0 || threads == 0 {
         return Err("--hosts and --threads must be positive".into());
     }
@@ -184,7 +198,10 @@ fn cmd_replay(args: &mut Vec<String>) -> Result<ExitCode, String> {
     let policy =
         policy_by_name(&policy_name).ok_or_else(|| format!("unknown policy {policy_name:?}"))?;
     let spec = spec_for_trace(&trace, hosts, threads);
-    let mut cluster = Cluster::new(spec, mode, policy, seed);
+    let mut cluster = match fleet_threads {
+        Some(n) => Cluster::with_threads(spec, mode, policy, seed, n),
+        None => Cluster::new(spec, mode, policy, seed),
+    };
     let s = cluster.run();
     println!(
         "replayed {path} (profile {:?}) on {hosts}x{threads} {} / {policy_name}",

@@ -8,13 +8,27 @@
 //! collector whose invariant checker enforces the overcommit cap and
 //! single-placement laws independently of the cluster's own bookkeeping.
 //!
+//! Hosts share no state *between* barriers, so [`Cluster::run`] shards
+//! the stepping itself across a scoped worker pool ([`crate::pstep`]):
+//! every epoch boundary and every placement event is a join barrier, and
+//! all cross-host decisions (admission, placement, SLO accounting,
+//! fleet-collector events) happen serially on the coordinator between
+//! rounds. Worker count ([`Cluster::with_threads`], default
+//! [`crate::threads::default_fleet_threads`]) never changes output —
+//! per-host RNG streams are forked at construction, utilization samples
+//! live per host, and checker reports fold in host-id order — which
+//! `tests/parallel_step.rs` and the `ci.sh` fleet smoke pin down
+//! byte-for-byte.
+//!
 //! Per-machine collectors stay separate from the fleet collector: vCPU
 //! and task ids restart at zero on every host, so mixing their streams
 //! would alias ids and trip the per-host conservation laws.
 
 use crate::lifecycle::{self, FleetSpec, LifecycleEvent, VmOp};
 use crate::placement::{HostView, PlacementPolicy, PlacementReq};
+use crate::pstep::StepPool;
 use crate::slo::{self, SloSummary, TenantStats};
+use crate::threads;
 use guestos::{GuestConfig, VcpuId};
 use hostsim::scenario::ScenarioBuilder;
 use hostsim::topology::HostSpec;
@@ -22,6 +36,7 @@ use hostsim::Machine;
 use simcore::time::MS;
 use simcore::{SimRng, SimTime};
 use std::cell::RefCell;
+use std::num::NonZeroUsize;
 use std::rc::Rc;
 use trace::{Collector, EventKind, PriorityClass, SharedCollector, TraceSink};
 use vsched::VschedConfig;
@@ -57,7 +72,7 @@ const EPOCH_NS: u64 = 50 * MS;
 /// CFS bandwidth period used for vertical resizes.
 const RESIZE_PERIOD_NS: u64 = 4 * MS;
 
-struct HostSim {
+pub(crate) struct HostSim {
     m: Machine,
     collector: SharedCollector,
     /// Committed (placed, not departed) vCPUs — the checker re-verifies
@@ -65,8 +80,27 @@ struct HostSim {
     committed: u64,
     /// Active-ns total at the previous utilization sample.
     prev_active_ns: u64,
-    /// Sampled utilization per epoch (0..=1).
+    /// Sampled utilization per epoch (0..=1); capacity preallocated for
+    /// the whole horizon at construction so epochs never reallocate.
     util: Vec<f64>,
+}
+
+impl HostSim {
+    /// One host's share of a barrier round: step to the barrier and, on
+    /// epoch boundaries, fold the utilization sample in place. Touches
+    /// only this host's state, so rounds can run it from any worker.
+    pub(crate) fn step_round(&mut self, until: SimTime, sample_now_ns: Option<u64>, threads: u64) {
+        self.m.step_until(until);
+        if let Some(now_ns) = sample_now_ns {
+            // Δ active-ns across all of the host's vCPUs over
+            // `threads × window`.
+            let active = self.m.total_active_ns();
+            let window = EPOCH_NS.min(now_ns.max(1));
+            let used = active.saturating_sub(self.prev_active_ns);
+            self.prev_active_ns = active;
+            self.util.push(used as f64 / (threads * window) as f64);
+        }
+    }
 }
 
 struct LiveVm {
@@ -93,27 +127,50 @@ pub struct Cluster {
     live: Vec<LiveVm>,
     tenants: Vec<TenantStats>,
     wl_rng: SimRng,
+    /// Requested stepping workers; effective count also caps at the host
+    /// count ([`Cluster::effective_workers`]).
+    fleet_threads: NonZeroUsize,
+    /// Reusable [`HostView`] buffer for placement decisions, preallocated
+    /// at construction so arrivals never allocate a fresh snapshot.
+    views_scratch: Vec<HostView>,
     admitted: u64,
     placed: u64,
     rejected: u64,
 }
 
 impl Cluster {
-    /// Builds the cluster: N started machines with per-host trace
-    /// checkers, the compiled churn schedule, and an empty fleet-level
-    /// collector for placement events.
+    /// Builds the cluster with the process-default stepping worker count
+    /// ([`threads::default_fleet_threads`]); see [`Cluster::with_threads`].
     pub fn new(
         spec: FleetSpec,
         mode: GuestMode,
         policy: Box<dyn PlacementPolicy>,
         seed: u64,
     ) -> Cluster {
+        Self::with_threads(spec, mode, policy, seed, threads::default_fleet_threads())
+    }
+
+    /// Builds the cluster: N started machines with per-host trace
+    /// checkers, the compiled churn schedule, and an empty fleet-level
+    /// collector for placement events. `fleet_threads` bounds the
+    /// stepping pool; any value produces byte-identical output.
+    pub fn with_threads(
+        spec: FleetSpec,
+        mode: GuestMode,
+        policy: Box<dyn PlacementPolicy>,
+        seed: u64,
+        fleet_threads: NonZeroUsize,
+    ) -> Cluster {
         spec.validate().expect("valid spec");
         let schedule = lifecycle::generate(&spec, seed);
+        // One sample per epoch plus the horizon remainder.
+        let epochs = (spec.horizon_ns / EPOCH_NS + 2) as usize;
         let mut hosts = Vec::with_capacity(spec.hosts);
         for h in 0..spec.hosts {
             // Per-host seed: mixed so host streams are independent but a
-            // host's stream is stable when the fleet size changes.
+            // host's stream is stable when the fleet size changes. Forked
+            // here, never shared — each worker only ever advances the
+            // streams of hosts it has claimed.
             let host_seed = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(h as u64 + 1));
             let mut m =
                 ScenarioBuilder::new(HostSpec::flat(spec.threads_per_host), host_seed).build();
@@ -125,10 +182,11 @@ impl Cluster {
                 collector,
                 committed: 0,
                 prev_active_ns: 0,
-                util: Vec::new(),
+                util: Vec::with_capacity(epochs),
             });
         }
         let (fleet_sink, fleet_collector) = TraceSink::shared(Collector::default().with_checker());
+        let views_scratch = Vec::with_capacity(spec.hosts);
         Cluster {
             spec,
             mode,
@@ -140,6 +198,8 @@ impl Cluster {
             live: Vec::new(),
             tenants: Vec::new(),
             wl_rng: SimRng::new(seed ^ 0x0F1E_E75E_ED00),
+            fleet_threads,
+            views_scratch,
             admitted: 0,
             placed: 0,
             rejected: 0,
@@ -157,9 +217,43 @@ impl Cluster {
         self.hosts.iter().map(|h| h.m.events_dispatched).sum()
     }
 
+    /// Stepping workers a run actually uses: the requested count capped
+    /// at the host count (a worker per host saturates every round).
+    pub fn effective_workers(&self) -> usize {
+        self.fleet_threads.get().min(self.hosts.len().max(1))
+    }
+
+    /// Per-host sampled utilization series, in host-id order (what the
+    /// byte-identity tests compare across worker counts).
+    pub fn host_util(&self) -> Vec<&[f64]> {
+        self.hosts.iter().map(|h| h.util.as_slice()).collect()
+    }
+
     /// Replays the whole schedule to the horizon and folds the outcome
     /// into an [`SloSummary`].
+    ///
+    /// With more than one effective worker the host stepping runs on a
+    /// scoped pool kept alive for the whole run; one worker (or one
+    /// host) takes the plain serial path, which doubles as the baseline
+    /// the parallel path must match byte-for-byte.
     pub fn run(&mut self) -> SloSummary {
+        let workers = self.effective_workers();
+        if workers <= 1 {
+            return self.run_with(None);
+        }
+        let pool = StepPool::new();
+        std::thread::scope(|s| {
+            // The coordinator claims round work too, so spawn one fewer.
+            for _ in 0..workers - 1 {
+                s.spawn(|| pool.worker_loop());
+            }
+            let out = self.run_with(Some(&pool));
+            pool.shutdown();
+            out
+        })
+    }
+
+    fn run_with(&mut self, pool: Option<&StepPool>) -> SloSummary {
         let horizon = self.spec.horizon_ns;
         let schedule = std::mem::take(&mut self.schedule);
         let mut next = 0usize;
@@ -168,11 +262,14 @@ impl Cluster {
             while next < schedule.len() && schedule[next].at.ns() <= epoch_end {
                 let ev = schedule[next];
                 next += 1;
-                self.step_all(ev.at);
+                // Placement barrier: every host reaches the decision
+                // instant before any cross-host state is read or written.
+                self.step_all(ev.at, None, pool);
                 self.apply(ev);
             }
-            self.step_all(SimTime::from_ns(epoch_end));
-            self.sample_util(epoch_end);
+            // Epoch barrier; the utilization sample folds into each host
+            // on whichever worker stepped it.
+            self.step_all(SimTime::from_ns(epoch_end), Some(epoch_end), pool);
             if epoch_end >= horizon {
                 break;
             }
@@ -190,10 +287,17 @@ impl Cluster {
         self.summary()
     }
 
-    /// Advances every host to the same barrier on the virtual clock.
-    fn step_all(&mut self, until: SimTime) {
-        for h in &mut self.hosts {
-            h.m.step_until(until);
+    /// Advances every host to the same barrier on the virtual clock,
+    /// serially or through the stepping pool.
+    fn step_all(&mut self, until: SimTime, sample_now_ns: Option<u64>, pool: Option<&StepPool>) {
+        let threads = self.spec.threads_per_host as u64;
+        match pool {
+            Some(p) => p.run_round(&mut self.hosts, until, sample_now_ns, threads),
+            None => {
+                for h in &mut self.hosts {
+                    h.step_round(until, sample_now_ns, threads);
+                }
+            }
         }
     }
 
@@ -205,10 +309,13 @@ impl Cluster {
         }
     }
 
-    /// Snapshot of every host the policy can choose from.
-    fn host_views(&mut self) -> Vec<HostView> {
+    /// Refreshes the reusable snapshot of every host the policy can
+    /// choose from (held in `views_scratch`; placement events are too
+    /// frequent to allocate a fresh snapshot per decision).
+    fn refresh_host_views(&mut self) {
         let mode = self.mode;
-        let mut views = Vec::with_capacity(self.hosts.len());
+        let views = &mut self.views_scratch;
+        views.clear();
         for (h, host) in self.hosts.iter_mut().enumerate() {
             let mut probed = 0.0;
             for lv in self.live.iter().filter(|lv| lv.host == h) {
@@ -222,7 +329,6 @@ impl Cluster {
                 probed_capacity: probed,
             });
         }
-        views
     }
 
     fn arrive(&mut self, at: SimTime, uid: u32, vcpus: usize, prio: PriorityClass) {
@@ -235,13 +341,16 @@ impl Cluster {
                 prio,
             },
         );
-        let views = self.host_views();
+        self.refresh_host_views();
         let req = PlacementReq { uid, vcpus };
-        let Some(h) = self.policy.place(&req, &views) else {
+        let Some(h) = self.policy.place(&req, &self.views_scratch) else {
             self.rejected += 1;
             return;
         };
-        assert!(views[h].fits(&req), "policy must respect the cap");
+        assert!(
+            self.views_scratch[h].fits(&req),
+            "policy must respect the cap"
+        );
         let host = &mut self.hosts[h];
         let threads = self.spec.threads_per_host;
         let vm_idx = host.m.add_vm(
@@ -339,19 +448,6 @@ impl Cluster {
         }
     }
 
-    /// Per-host utilization over the last epoch: Δ active-ns across all
-    /// of the host's vCPUs over `threads × window`.
-    fn sample_util(&mut self, now_ns: u64) {
-        let threads = self.spec.threads_per_host as u64;
-        for h in &mut self.hosts {
-            let active: u64 = (0..h.m.vcpus.len()).map(|gv| h.m.vcpu_active_ns(gv)).sum();
-            let window = EPOCH_NS.min(now_ns.max(1));
-            let used = active.saturating_sub(h.prev_active_ns);
-            h.prev_active_ns = active;
-            h.util.push(used as f64 / (threads * window) as f64);
-        }
-    }
-
     fn summary(&self) -> SloSummary {
         let util: Vec<Vec<f64>> = self.hosts.iter().map(|h| h.util.clone()).collect();
         let mut s = slo::summarize(
@@ -362,20 +458,26 @@ impl Cluster {
             self.placed,
             self.rejected,
         );
-        let reports: Vec<trace::CheckReport> = std::iter::once(&self.fleet_collector)
-            .chain(self.hosts.iter().map(|h| &h.collector))
-            .map(|c| {
-                c.borrow()
-                    .checker
-                    .as_ref()
-                    .expect("collector has a checker")
-                    .report()
-            })
-            .collect();
-        s.trace_events = reports.iter().map(|r| r.events).sum();
-        s.violations = reports.iter().map(|r| r.violations).sum();
-        s.first_law = reports.iter().find_map(|r| r.first_law());
-        s.unplaced = reports[0].unplaced_admissions;
+        // Fold order is fleet collector then hosts by ascending id — a
+        // pure function of host id, never of which worker finished a
+        // round first (`trace::CheckReport::fold` keeps the first
+        // violation in fold order).
+        let report = |c: &SharedCollector| {
+            c.borrow()
+                .checker
+                .as_ref()
+                .expect("collector has a checker")
+                .report()
+        };
+        let fleet_report = report(&self.fleet_collector);
+        let folded = trace::CheckReport::fold(
+            std::iter::once(fleet_report.clone())
+                .chain(self.hosts.iter().map(|h| report(&h.collector))),
+        );
+        s.trace_events = folded.events;
+        s.violations = folded.violations;
+        s.first_law = folded.first_law();
+        s.unplaced = fleet_report.unplaced_admissions;
         s
     }
 }
@@ -446,6 +548,50 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6), "seed must reach the outcome");
+    }
+
+    #[test]
+    fn pool_stepping_matches_serial_byte_for_byte() {
+        let digest = |workers: usize| {
+            let mut c = Cluster::with_threads(
+                small_spec(),
+                GuestMode::Vsched,
+                policy_by_name("probe-aware").unwrap(),
+                9,
+                NonZeroUsize::new(workers).unwrap(),
+            );
+            let s = c.run();
+            let util: Vec<Vec<u64>> = c
+                .host_util()
+                .iter()
+                .map(|h| h.iter().map(|u| u.to_bits()).collect())
+                .collect();
+            (
+                s.admitted,
+                s.placed,
+                s.completed,
+                s.p50_ms.to_bits(),
+                s.p99_ms.to_bits(),
+                s.trace_events,
+                s.violations,
+                util,
+            )
+        };
+        let serial = digest(1);
+        assert_eq!(serial, digest(2));
+        assert_eq!(serial, digest(8), "workers beyond host count are capped");
+    }
+
+    #[test]
+    fn effective_workers_cap_at_host_count() {
+        let c = Cluster::with_threads(
+            small_spec(),
+            GuestMode::Cfs,
+            policy_by_name("first-fit").unwrap(),
+            1,
+            NonZeroUsize::new(16).unwrap(),
+        );
+        assert_eq!(c.effective_workers(), 2, "2 hosts bound the pool");
     }
 
     #[test]

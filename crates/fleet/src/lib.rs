@@ -7,7 +7,10 @@
 //! This crate layers that on the existing stack:
 //!
 //! * [`cluster`] — a [`Cluster`] owning N [`hostsim::Machine`]s stepped in
-//!   lockstep on the virtual clock ([`hostsim::Machine::step_until`]).
+//!   lockstep on the virtual clock ([`hostsim::Machine::step_until`]),
+//!   sharded across a scoped worker pool with a join barrier at every
+//!   epoch and placement event ([`threads`] resolves the worker count;
+//!   output is byte-identical at any count).
 //! * [`lifecycle`] — a seed-driven open-loop arrival/departure/resize
 //!   process (Poisson-style interarrivals, bounded lognormal lifetimes,
 //!   heavy-tailed size mix) plus a [`FleetSpec`] config that round-trips
@@ -42,8 +45,10 @@ pub mod cluster;
 pub mod generate;
 pub mod lifecycle;
 pub mod placement;
+mod pstep;
 pub mod replay;
 pub mod slo;
+pub mod threads;
 pub mod trace_format;
 
 pub use cluster::{Cluster, GuestMode};
@@ -55,4 +60,5 @@ pub use placement::{
 };
 pub use replay::spec_for_trace;
 pub use slo::{SloSummary, TenantStats};
+pub use threads::{default_fleet_threads, parse_fleet_threads, set_default_fleet_threads};
 pub use trace_format::{FleetTrace, TraceError, FORMAT_TAG, FORMAT_VERSION};

@@ -590,6 +590,15 @@ impl Machine {
         v.active_ns + extra
     }
 
+    /// Active (executing) time summed across every vCPU, including
+    /// in-progress segments — the utilization numerator a fleet samples
+    /// per host at each epoch barrier.
+    pub fn total_active_ns(&self) -> u64 {
+        (0..self.vcpus.len())
+            .map(|gv| self.vcpu_active_ns(gv))
+            .sum()
+    }
+
     fn settle_vcpu_state(&mut self, gv: GVcpu) {
         let now = self.q.now();
         let v = &mut self.vcpus[gv];
@@ -1108,7 +1117,18 @@ impl Machine {
     /// Lockstep re-entry point for multi-machine stepping: advances this
     /// machine to `until` exactly like [`Machine::run_until`]. A fleet
     /// `Cluster` calls this on every host per epoch; machines share no
-    /// state, so stepping them in a fixed order is deterministic.
+    /// state, so stepping them in *any* order — or from different worker
+    /// threads — is deterministic.
+    ///
+    /// A `Machine` is deliberately **not** `Send`: its trace plumbing and
+    /// workload handles are `Rc`-based so the single-host emit path stays
+    /// allocation- and atomic-free. A cluster that steps machines from a
+    /// worker pool must instead confine each machine — and everything its
+    /// `Rc` graph reaches (guest kernels, workload, per-host collector) —
+    /// to exactly one worker per barrier interval, with a happens-before
+    /// edge between successive owners. `fleet`'s stepping pool enforces
+    /// that by claiming stable host indices under a mutex and joining
+    /// every worker before any cross-host state is touched.
     pub fn step_until(&mut self, until: SimTime) {
         self.run_until(until);
     }

@@ -165,6 +165,34 @@ impl CheckReport {
     pub fn first_law(&self) -> Option<&'static str> {
         self.first.as_ref().map(|v| v.kind.law_name())
     }
+
+    /// Folds many collectors' reports into one verdict: counters sum and
+    /// the first violation *in fold order* wins. Callers that check
+    /// several collectors (a fleet cluster folds `[fleet, host 0,
+    /// host 1, …]`) must pass a deterministic order — host id, not
+    /// completion order — so the merged report is identical no matter
+    /// how many workers produced the underlying streams.
+    pub fn fold(reports: impl IntoIterator<Item = CheckReport>) -> CheckReport {
+        let mut out = CheckReport {
+            events: 0,
+            violations: 0,
+            first: None,
+            pending_ivh: 0,
+            still_throttled: 0,
+            unplaced_admissions: 0,
+        };
+        for r in reports {
+            out.events += r.events;
+            out.violations += r.violations;
+            if out.first.is_none() {
+                out.first = r.first;
+            }
+            out.pending_ivh += r.pending_ivh;
+            out.still_throttled += r.still_throttled;
+            out.unplaced_admissions += r.unplaced_admissions;
+        }
+        out
+    }
 }
 
 impl fmt::Display for CheckReport {
@@ -1088,5 +1116,29 @@ mod tests {
             c.first().unwrap().kind,
             ViolationKind::IvhUnmatchedResolution
         );
+    }
+
+    #[test]
+    fn fold_sums_counters_and_keeps_the_first_violation_in_fold_order() {
+        let clean = check(&[ev(1, EventKind::VcpuWake { vcpu: 0 })]).report();
+        let broken = |at: u64| {
+            check(&[ev(
+                at,
+                EventKind::IvhAbandonedByWatchdog {
+                    task: 5,
+                    src: 0,
+                    target: 3,
+                    waited_ns: 40,
+                },
+            )])
+            .report()
+        };
+        let folded = CheckReport::fold([clean.clone(), broken(7), broken(99)]);
+        assert_eq!(folded.events, 3);
+        assert_eq!(folded.violations, 2);
+        // Fold order decides `first`, not timestamps or completion order.
+        assert_eq!(folded.first.as_ref().unwrap().event.at.ns(), 7);
+        let refolded = CheckReport::fold([broken(99), clean, broken(7)]);
+        assert_eq!(refolded.first.as_ref().unwrap().event.at.ns(), 99);
     }
 }
