@@ -95,6 +95,51 @@ VSCHED_SCALE=smoke ./target/release/suite --filter fleet-replay --jobs 4 --seed 
 diff "$tmpdir/replay_serial.txt" "$tmpdir/replay_parallel.txt"
 grep -q "violations" "$tmpdir/replay_serial.txt"
 
+echo "== fleet-chaos-smoke: faulted day determinism, seed sweep, shrink round-trip"
+# 1) Fixed seed: the fleet-chaos job (pinned SAP day x pinned failure
+#    plan, every policy x guest config) must be byte-identical across
+#    suite workers AND across cluster-stepping workers, and every cell
+#    must end law-clean with nothing stranded on a dead host.
+VSCHED_SCALE=smoke ./target/release/suite --filter fleet-chaos --jobs 1 --seed 42 \
+    --no-ckpt > "$tmpdir/fchaos_serial.txt" 2>/dev/null
+VSCHED_SCALE=smoke ./target/release/suite --filter fleet-chaos --jobs 4 --seed 42 \
+    --no-ckpt > "$tmpdir/fchaos_parallel.txt" 2>/dev/null
+diff "$tmpdir/fchaos_serial.txt" "$tmpdir/fchaos_parallel.txt"
+VSCHED_SCALE=smoke ./target/release/suite --filter fleet-chaos --jobs 1 --seed 42 \
+    --fleet-threads 4 --no-ckpt > "$tmpdir/fchaos_step4.txt" 2>/dev/null
+diff "$tmpdir/fchaos_serial.txt" "$tmpdir/fchaos_step4.txt"
+grep -q "stranded" "$tmpdir/fchaos_serial.txt"
+# 2) Randomized seed: migration laws on a fresh faulted day each run. The
+#    seed is printed so a CI failure replays locally with
+#    FLEET_CHAOS_SEED=<seed> cargo test --release -p vsched-fleet --test fleet_chaos.
+fleet_chaos_seed=$(date +%s%N)
+echo "   fleet-chaos-smoke randomized seed: $fleet_chaos_seed"
+if ! FLEET_CHAOS_SEED="$fleet_chaos_seed" \
+    cargo test -q --release -p vsched-fleet --test fleet_chaos; then
+    echo "fleet-chaos-smoke FAILED with FLEET_CHAOS_SEED=$fleet_chaos_seed (replay locally with that env var)" >&2
+    exit 1
+fi
+# 3) Shrink + replay the fault plan under the synthetic law (healthy code
+#    passes the real checker, so CI exercises the fleet ddmin pipeline
+#    with the canary law), mirroring the single-host shrink gate below.
+VSCHED_SHRINK_LAW=synthetic ./target/release/suite --shrink-fleet 3735928559 \
+    2> "$tmpdir/fshrink_err.txt"
+grep -q "repro written" "$tmpdir/fshrink_err.txt"
+VSCHED_SHRINK_LAW=synthetic ./target/release/suite \
+    --replay-fleet target/fleet_chaos_repro_3735928559.json \
+    2> "$tmpdir/freplay_err.txt"
+grep -q "reproduced law 'fleet-synthetic-canary'" "$tmpdir/freplay_err.txt"
+# 4) The committed maintenance-drain day replays law-clean under a chaos
+#    overlay, byte-identically at 1 vs 4 stepping workers.
+./target/release/fleettrace replay examples/sap_drain.trace.jsonl \
+    --policy probe-aware --mode vsched --chaos-seed 99 --migration handoff \
+    --fleet-threads 1 > "$tmpdir/drain_serial.txt"
+./target/release/fleettrace replay examples/sap_drain.trace.jsonl \
+    --policy probe-aware --mode vsched --chaos-seed 99 --migration handoff \
+    --fleet-threads 4 > "$tmpdir/drain_step4.txt"
+diff "$tmpdir/drain_serial.txt" "$tmpdir/drain_step4.txt"
+grep -q "chaos seed" "$tmpdir/drain_serial.txt"
+
 echo "== supervision-smoke: canary isolation, kill/resume, shrink/replay"
 # 1) Canary: two cells fail on purpose (panic + blown deadline). The suite
 #    must exit 0, name both cells in the stderr failure report and the JSON

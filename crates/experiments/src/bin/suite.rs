@@ -23,8 +23,11 @@
 //!   down to a locally-minimal action subset failing the same checker law,
 //!   written to `target/chaos_repro_<seed>.json`; `--replay FILE` re-runs a
 //!   repro file and exits 0 iff the failure still reproduces.
-//!   `VSCHED_SHRINK_LAW=synthetic` swaps the real checker for the
-//!   synthetic canary law (tests/CI).
+//!   `--shrink-fleet SEED` does the same for the fleet-chaos cell's
+//!   `FleetChaosPlan` (host crashes/drains/degradations), writing
+//!   `target/fleet_chaos_repro_<seed>.json`; `--replay-fleet FILE` re-runs
+//!   one. `VSCHED_SHRINK_LAW=synthetic` swaps the real checkers for the
+//!   synthetic canary laws (tests/CI).
 //! * `VSCHED_CANARY=1` appends the always-failing canary job (CI
 //!   supervision smoke).
 //! * `--list` prints every registered job id with its cell count and a
@@ -45,7 +48,7 @@ fn usage() -> ! {
         "usage: suite [--jobs N] [--filter SUBSTR[,SUBSTR...]] \
          [--scale smoke|quick|paper] [--seed N] [--retries N] [--deadline-ms N] \
          [--fleet-threads N] [--ckpt-dir PATH | --no-ckpt] [--resume] [--list] \
-         [--shrink SEED | --replay FILE]\n\
+         [--shrink SEED | --replay FILE | --shrink-fleet SEED | --replay-fleet FILE]\n\
          \n\
          --fleet-threads N   host-stepping workers for fleet/fleet-replay \
          cells (default: available parallelism; output is byte-identical \
@@ -104,6 +107,80 @@ fn shrink_main(seed: u64, opts: &SuiteOptions) -> ! {
     }
 }
 
+fn shrink_fleet_main(seed: u64, opts: &SuiteOptions) -> ! {
+    let horizon = opts.scale.secs(4, 16);
+    let plan = experiments::fleet_chaos::plan_for_seed(seed, horizon);
+    eprintln!(
+        "# shrink-fleet: seed {seed} -> {} host faults over {horizon}s horizon (law: {})",
+        plan.events.len(),
+        if use_synthetic_law() {
+            "synthetic"
+        } else {
+            "fleet chaos checker"
+        },
+    );
+    let shrunk = if use_synthetic_law() {
+        shrink::shrink_fleet_plan(&plan, shrink::fleet_synthetic_law)
+    } else {
+        shrink::shrink_fleet_plan(&plan, |p| shrink::fleet_chaos_checker_law(p, seed))
+    };
+    match shrunk {
+        Ok(out) => {
+            let path = PathBuf::from(format!("target/fleet_chaos_repro_{seed}.json"));
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = checkpoint::atomic_write(&path, out.plan.to_json().as_bytes()) {
+                eprintln!("# shrink-fleet: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            eprintln!(
+                "# shrink-fleet: law '{}' holds at {} of {} host faults ({} oracle runs); \
+                 repro written to {}",
+                out.law,
+                out.plan.events.len(),
+                out.original_events,
+                out.oracle_runs,
+                path.display()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("# shrink-fleet: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn replay_fleet_main(path: &str, opts: &SuiteOptions) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("# replay-fleet: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let plan = fleet::FleetChaosPlan::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("# replay-fleet: {path} is not a fleet chaos repro: {e}");
+        std::process::exit(2);
+    });
+    let law = if use_synthetic_law() {
+        shrink::fleet_synthetic_law(&plan)
+    } else {
+        shrink::fleet_chaos_checker_law(&plan, opts.seed)
+    };
+    match law {
+        Some(l) => {
+            eprintln!(
+                "# replay-fleet: reproduced law '{l}' with {} host fault(s) from {path}",
+                plan.events.len()
+            );
+            std::process::exit(0);
+        }
+        None => {
+            eprintln!("# replay-fleet: plan from {path} passes every law; no reproduction");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn replay_main(path: &str, opts: &SuiteOptions) -> ! {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("# replay: cannot read {path}: {e}");
@@ -146,6 +223,8 @@ fn main() {
     let mut no_ckpt = false;
     let mut shrink_seed: Option<u64> = None;
     let mut replay_file: Option<String> = None;
+    let mut shrink_fleet_seed: Option<u64> = None;
+    let mut replay_fleet_file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -186,6 +265,11 @@ fn main() {
                 shrink_seed = Some(value("--shrink").parse().unwrap_or_else(|_| usage()));
             }
             "--replay" => replay_file = Some(value("--replay")),
+            "--shrink-fleet" => {
+                shrink_fleet_seed =
+                    Some(value("--shrink-fleet").parse().unwrap_or_else(|_| usage()));
+            }
+            "--replay-fleet" => replay_fleet_file = Some(value("--replay-fleet")),
             "--list" => list = true,
             "--help" | "-h" => usage(),
             other => {
@@ -214,6 +298,12 @@ fn main() {
     }
     if let Some(path) = replay_file {
         replay_main(&path, &opts);
+    }
+    if let Some(seed) = shrink_fleet_seed {
+        shrink_fleet_main(seed, &opts);
+    }
+    if let Some(path) = replay_fleet_file {
+        replay_fleet_main(&path, &opts);
     }
 
     let res = match run_suite(&opts) {

@@ -54,6 +54,9 @@ pub struct FleetOutcome {
     pub worst_tenant_p99_ms: f64,
     /// Tenants whose own p99 busted the spec's SLO.
     pub slo_violations: usize,
+    /// Tenants whose own p99 busted their *tier's* target
+    /// (critical, standard, batch).
+    pub tier_slo_violations: [usize; 3],
     /// Tenants with at least one completed request.
     pub measured_tenants: usize,
     /// Jain's fairness index over per-tenant completion rates.
@@ -97,6 +100,7 @@ fn outcome(s: ::fleet::SloSummary) -> FleetOutcome {
         p99_ms: s.p99_ms,
         worst_tenant_p99_ms: s.worst_tenant_p99_ms,
         slo_violations: s.slo_violations,
+        tier_slo_violations: s.tier_slo_violations,
         measured_tenants: s.measured_tenants,
         fairness: s.fairness,
         mean_util: s.mean_util,
@@ -126,6 +130,7 @@ impl fmt::Display for Fleet {
             "p50 ms",
             "p99 ms",
             "SLO viol",
+            "tier viol c/s/b",
             "fairness",
             "util",
             "violations",
@@ -140,6 +145,12 @@ impl fmt::Display for Fleet {
                     format!("{:.2}", o.p50_ms),
                     format!("{:.2}", o.p99_ms),
                     format!("{}/{}", o.slo_violations, o.measured_tenants),
+                    format!(
+                        "{}/{}/{}",
+                        o.tier_slo_violations[0],
+                        o.tier_slo_violations[1],
+                        o.tier_slo_violations[2]
+                    ),
                     format!("{:.3}", o.fairness),
                     format!("{:.2}", o.mean_util),
                     o.violations.to_string(),

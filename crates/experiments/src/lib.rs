@@ -29,6 +29,7 @@ pub mod fig18_19;
 pub mod fig20;
 pub mod fig21;
 pub mod fleet;
+pub mod fleet_chaos;
 pub mod oracle;
 pub mod profiles;
 pub mod replay;

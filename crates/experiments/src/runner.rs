@@ -30,7 +30,7 @@ use crate::profiles::{hpvm, rcvm};
 use crate::supervise::{self, CellFailure, FailureReport, SupervisePolicy};
 use crate::{
     chaos, fig02, fig03, fig04, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19,
-    fig20, fig21, replay, table2, table3, table4,
+    fig20, fig21, fleet_chaos, replay, table2, table3, table4,
 };
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -787,6 +787,44 @@ fn job_fleet_replay() -> Job {
     }
 }
 
+fn job_fleet_chaos() -> Job {
+    // One cell per (policy, guest config). Every cell replays the same
+    // faulted day — trace pinned by the profile's day_seed, failures by
+    // fleet_chaos::chaos_day_seed — so rows differ only in scheduler and
+    // migration mode; the reduce footer reports the handoff-vs-cold
+    // ablation per policy.
+    let mut cells = Vec::new();
+    for &policy in ::fleet::POLICIES.iter() {
+        for &g in fleet_chaos::GUEST_CONFIGS.iter() {
+            cells.push(cell(
+                format!("{policy}/{}", g.label()),
+                move |seed, scale: Scale| fleet_chaos::run_cell(policy, g, scale.secs(4, 16), seed),
+            ));
+        }
+    }
+    Job {
+        name: "fleet-chaos",
+        desc: "host-failure chaos, evacuation, and degraded mode on a replayed faulted day",
+        cells,
+        reduce: Box::new(|parts, scale| {
+            let mut it = parts.into_iter();
+            let mut rows = Vec::new();
+            for &policy in ::fleet::POLICIES.iter() {
+                let outs: Vec<fleet_chaos::FleetChaosOutcome> = fleet_chaos::GUEST_CONFIGS
+                    .iter()
+                    .map(|_| got::<fleet_chaos::FleetChaosOutcome>(it.next().unwrap()))
+                    .collect();
+                rows.push((policy, outs.try_into().expect("three guest configs")));
+            }
+            fleet_chaos::FleetChaos {
+                faults: fleet_chaos::plan_for(scale.secs(4, 16)).events.len(),
+                rows,
+            }
+            .to_string()
+        }),
+    }
+}
+
 /// The supervision canary: a job whose cells fail on purpose. Never in
 /// [`registry`] — `run_suite` appends it only when
 /// [`SuiteOptions::canary`] is set (the `VSCHED_CANARY` env gate in the
@@ -850,6 +888,7 @@ pub fn registry() -> Vec<Job> {
         job_chaos(),
         job_fleet(),
         job_fleet_replay(),
+        job_fleet_chaos(),
     ]
 }
 
@@ -1249,7 +1288,7 @@ mod tests {
     #[test]
     fn registry_covers_the_full_suite() {
         let names: Vec<&str> = registry().iter().map(|j| j.name).collect();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 22);
         for want in [
             "fig02",
             "fig15",
@@ -1260,6 +1299,7 @@ mod tests {
             "chaos",
             "fleet",
             "fleet-replay",
+            "fleet-chaos",
         ] {
             assert!(names.contains(&want), "missing {want}");
         }
@@ -1284,7 +1324,7 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.filter, "fig99");
-        assert_eq!(err.valid.len(), 21);
+        assert_eq!(err.valid.len(), 22);
         assert!(err.valid.contains(&"fig03"));
         let msg = err.to_string();
         assert!(msg.contains("fig99") && msg.contains("fig03") && msg.contains("table4"));

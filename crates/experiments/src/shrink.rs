@@ -21,6 +21,8 @@
 //! `suite --shrink` binary wires in the real chaos checker.
 
 use crate::chaos::{self, ChaosMode};
+use crate::fleet_chaos::ChaosGuests;
+use ::fleet::{FleetChaosPlan, HostOp};
 use hostsim::FaultPlan;
 
 /// What a completed shrink reports.
@@ -53,21 +55,17 @@ impl std::fmt::Display for ShrinkError {
     }
 }
 
-/// Delta-debugs `plan` against `law`, which returns the name of the law a
-/// candidate plan fails (or `None` if it passes). Returns a locally
-/// minimal plan failing the same law as the full plan.
-pub fn shrink_plan(
-    plan: &FaultPlan,
-    mut law: impl FnMut(&FaultPlan) -> Option<String>,
-) -> Result<ShrinkOutcome, ShrinkError> {
-    let mut runs = 0usize;
-    let mut check = |candidate: &FaultPlan, runs: &mut usize| -> Option<String> {
-        *runs += 1;
-        law(candidate)
-    };
-    let target = check(plan, &mut runs).ok_or(ShrinkError::PlanPasses)?;
-
-    let mut events = plan.events.clone();
+/// The core ddmin loop, generic over the event list (host-level fault
+/// actions, fleet-level host faults, anything orderable into a plan):
+/// repeatedly drops one chunk at a time — keeping any complement that
+/// still fails `target` — at progressively finer granularity, until no
+/// single removal preserves the failure. `fails` runs the oracle on a
+/// candidate subsequence and returns the law it breaks, if any.
+fn ddmin<E: Clone>(
+    mut events: Vec<E>,
+    target: &str,
+    mut fails: impl FnMut(&[E]) -> Option<String>,
+) -> Vec<E> {
     let mut n = 2usize;
     while events.len() >= 2 {
         let chunk = events.len().div_ceil(n);
@@ -75,7 +73,7 @@ pub fn shrink_plan(
         // Try each chunk's *complement* (i.e. drop one chunk at a time);
         // for n == 2 this also covers "keep one half".
         for start in (0..events.len()).step_by(chunk) {
-            let candidate: Vec<_> = events[..start]
+            let candidate: Vec<E> = events[..start]
                 .iter()
                 .chain(events[(start + chunk).min(events.len())..].iter())
                 .cloned()
@@ -83,8 +81,7 @@ pub fn shrink_plan(
             if candidate.is_empty() {
                 continue;
             }
-            let cand_plan = plan.with_events(candidate.clone());
-            if check(&cand_plan, &mut runs).as_deref() == Some(target.as_str()) {
+            if fails(&candidate).as_deref() == Some(target) {
                 events = candidate;
                 n = n.saturating_sub(1).max(2);
                 reduced = true;
@@ -98,10 +95,59 @@ pub fn shrink_plan(
             n = (n * 2).min(events.len());
         }
     }
+    events
+}
+
+/// Delta-debugs `plan` against `law`, which returns the name of the law a
+/// candidate plan fails (or `None` if it passes). Returns a locally
+/// minimal plan failing the same law as the full plan.
+pub fn shrink_plan(
+    plan: &FaultPlan,
+    mut law: impl FnMut(&FaultPlan) -> Option<String>,
+) -> Result<ShrinkOutcome, ShrinkError> {
+    let mut runs = 1usize;
+    let target = law(plan).ok_or(ShrinkError::PlanPasses)?;
+    let events = ddmin(plan.events.clone(), &target, |evs| {
+        runs += 1;
+        law(&plan.with_events(evs.to_vec()))
+    });
     Ok(ShrinkOutcome {
         plan: plan.with_events(events),
         law: target,
         original_actions: plan.events.len(),
+        oracle_runs: runs,
+    })
+}
+
+/// What a completed fleet-plan shrink reports.
+#[derive(Debug, Clone)]
+pub struct FleetShrinkOutcome {
+    /// The minimized chaos plan (same seed and spec, fewer host faults).
+    pub plan: FleetChaosPlan,
+    /// The checker law every kept candidate failed.
+    pub law: String,
+    /// Host faults in the original plan.
+    pub original_events: usize,
+    /// Oracle invocations spent.
+    pub oracle_runs: usize,
+}
+
+/// Fleet sibling of [`shrink_plan`]: delta-debugs a [`FleetChaosPlan`]
+/// down to a 1-minimal host-fault subset still failing the same law.
+pub fn shrink_fleet_plan(
+    plan: &FleetChaosPlan,
+    mut law: impl FnMut(&FleetChaosPlan) -> Option<String>,
+) -> Result<FleetShrinkOutcome, ShrinkError> {
+    let mut runs = 1usize;
+    let target = law(plan).ok_or(ShrinkError::PlanPasses)?;
+    let events = ddmin(plan.events.clone(), &target, |evs| {
+        runs += 1;
+        law(&plan.with_events(evs.to_vec()))
+    });
+    Ok(FleetShrinkOutcome {
+        plan: plan.with_events(events),
+        law: target,
+        original_events: plan.events.len(),
         oracle_runs: runs,
     })
 }
@@ -132,6 +178,39 @@ pub fn synthetic_law(plan: &FaultPlan) -> Option<String> {
         .filter(|e| e.class == FaultClass::StressorBurst)
         .count();
     (churn >= 2 && burst >= 1).then(|| "synthetic-canary".to_string())
+}
+
+/// The fleet production oracle: replay the fleet-chaos cell's canonical
+/// day under `plan` (vSched guests, probe-state handoff) and report
+/// which trace law (if any) the checkers saw broken first.
+pub fn fleet_chaos_checker_law(plan: &FleetChaosPlan, seed: u64) -> Option<String> {
+    let horizon_ns = plan
+        .spec()
+        .start
+        .ns()
+        .saturating_add(plan.spec().horizon_ns)
+        .max(1);
+    run_cell_under(plan, horizon_ns, seed)
+}
+
+fn run_cell_under(plan: &FleetChaosPlan, horizon_ns: u64, seed: u64) -> Option<String> {
+    crate::fleet_chaos::run_plan(
+        "probe-aware",
+        ChaosGuests::VschedHandoff,
+        plan,
+        horizon_ns,
+        seed,
+    )
+    .first_law
+}
+
+/// Fleet sibling of [`synthetic_law`]: fails iff the plan still contains
+/// at least one crash *and* at least one drain — so the minimal repro is
+/// exactly two host faults. Selected by `VSCHED_SHRINK_LAW=synthetic`.
+pub fn fleet_synthetic_law(plan: &FleetChaosPlan) -> Option<String> {
+    let crash = plan.events.iter().filter(|e| e.op == HostOp::Crash).count();
+    let drain = plan.events.iter().filter(|e| e.op == HostOp::Drain).count();
+    (crash >= 1 && drain >= 1).then(|| "fleet-synthetic-canary".to_string())
 }
 
 #[cfg(test)]
@@ -200,5 +279,54 @@ mod tests {
         let back = FaultPlan::from_json(&out.plan.to_json()).unwrap();
         assert_eq!(back, out.plan);
         assert!(synthetic_law(&back).is_some(), "parsed repro still fails");
+    }
+
+    fn fleet_plan(seed: u64) -> FleetChaosPlan {
+        let spec = ::fleet::FleetChaosSpec::for_fleet(4, 6_000 * MS).mean_gap(300 * MS);
+        FleetChaosPlan::generate(seed, &spec)
+    }
+
+    #[test]
+    fn fleet_plans_shrink_to_a_one_minimal_crash_drain_pair() {
+        let full = fleet_plan(0xF1EE7);
+        assert!(
+            fleet_synthetic_law(&full).is_some(),
+            "seed must fail the fleet synthetic law to start ({} events)",
+            full.events.len()
+        );
+        let out = shrink_fleet_plan(&full, fleet_synthetic_law).unwrap();
+        assert_eq!(out.law, "fleet-synthetic-canary");
+        // The fleet synthetic law's minimum is one crash plus one drain.
+        assert_eq!(out.plan.events.len(), 2);
+        for skip in 0..out.plan.events.len() {
+            let mut fewer = out.plan.events.clone();
+            fewer.remove(skip);
+            assert!(
+                fleet_synthetic_law(&out.plan.with_events(fewer)).is_none(),
+                "not 1-minimal at index {skip}"
+            );
+        }
+    }
+
+    #[test]
+    fn shrunk_fleet_plan_round_trips_through_the_repro_file_format() {
+        let full = fleet_plan(0xF1EE7);
+        let out = shrink_fleet_plan(&full, fleet_synthetic_law).unwrap();
+        let back = FleetChaosPlan::from_json(&out.plan.to_json()).unwrap();
+        assert_eq!(back, out.plan);
+        assert!(
+            fleet_synthetic_law(&back).is_some(),
+            "parsed repro still fails"
+        );
+    }
+
+    #[test]
+    fn passing_fleet_plan_reports_nothing_to_shrink() {
+        let spec = ::fleet::FleetChaosSpec::for_fleet(2, 2_000 * MS).only(::fleet::HostOp::Degrade);
+        let p = FleetChaosPlan::generate(3, &spec);
+        assert!(matches!(
+            shrink_fleet_plan(&p, fleet_synthetic_law),
+            Err(ShrinkError::PlanPasses)
+        ));
     }
 }

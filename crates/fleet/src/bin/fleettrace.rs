@@ -5,7 +5,7 @@
 //! fleettrace gen --profile sap-diurnal [--seed N] [--horizon-secs S] [--out FILE]
 //! fleettrace validate FILE
 //! fleettrace replay FILE [--policy P] [--mode cfs|vsched] [--hosts N] [--threads N] [--seed N]
-//!     [--fleet-threads N]
+//!     [--fleet-threads N] [--chaos-seed N] [--migration handoff|cold-reprobe]
 //! ```
 //!
 //! `gen` defaults the seed to the profile's canonical day seed, so
@@ -15,11 +15,15 @@
 //! exits nonzero if any trace law is violated; `--fleet-threads` bounds
 //! the cluster's host-stepping worker pool (default: available
 //! parallelism) and never changes the replay's output — only wall clock.
+//! `--chaos-seed` overlays a seed-generated host-failure plan (crashes,
+//! maintenance drains, transient degradations) on the replayed day;
+//! `--migration` picks whether drain evacuations hand probe state to the
+//! destination (`handoff`, the default) or re-probe cold.
 
 use std::process::ExitCode;
 use vsched_fleet::{
     day_seed, parse_fleet_threads, policy_by_name, profile_by_name, spec_for_trace, synthesize,
-    Cluster, FleetTrace, GuestMode, PROFILES,
+    Cluster, FleetChaosPlan, FleetChaosSpec, FleetTrace, GuestMode, MigrationMode, PROFILES,
 };
 
 const USAGE: &str = "usage:
@@ -29,7 +33,11 @@ const USAGE: &str = "usage:
   fleettrace replay <file> [--policy <name>] [--mode cfs|vsched] [--hosts <n>] [--threads <n>] [--seed <u64>]
       [--fleet-threads <n>]   host-stepping workers (default: available
                               parallelism; output is byte-identical at
-                              any worker count)";
+                              any worker count)
+      [--chaos-seed <u64>]    overlay a seed-generated host-failure plan
+      [--migration handoff|cold-reprobe]
+                              probe-state handling on drain evacuations
+                              (default handoff)";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("fleettrace: {msg}");
@@ -182,6 +190,12 @@ fn cmd_replay(args: &mut Vec<String>) -> Result<ExitCode, String> {
         None => None,
         Some(s) => Some(parse_fleet_threads(&s)?),
     };
+    let chaos_seed = parse_u64(take_flag(args, "--chaos-seed")?, "--chaos-seed")?;
+    let migration = match take_flag(args, "--migration")?.as_deref() {
+        None => MigrationMode::Handoff,
+        Some(name) => MigrationMode::from_name(name)
+            .ok_or_else(|| format!("--migration must be handoff or cold-reprobe (got {name:?})"))?,
+    };
     if hosts == 0 || threads == 0 {
         return Err("--hosts and --threads must be positive".into());
     }
@@ -202,12 +216,34 @@ fn cmd_replay(args: &mut Vec<String>) -> Result<ExitCode, String> {
         Some(n) => Cluster::with_threads(spec, mode, policy, seed, n),
         None => Cluster::new(spec, mode, policy, seed),
     };
+    let chaos = chaos_seed.map(|cs| {
+        let cspec = FleetChaosSpec::for_fleet(hosts as u16, trace.horizon_ns);
+        FleetChaosPlan::generate(cs, &cspec)
+    });
+    if let Some(plan) = &chaos {
+        cluster.set_chaos(plan.clone());
+        cluster.set_migration_mode(migration);
+    }
     let s = cluster.run();
     println!(
         "replayed {path} (profile {:?}) on {hosts}x{threads} {} / {policy_name}",
         trace.profile,
         mode.label()
     );
+    if let Some(plan) = &chaos {
+        println!(
+            "  chaos seed {:#x}: {} planned faults ({} migration); \
+             failures {} migrated {} evac-failed {} shed {} stranded {}",
+            plan.seed,
+            plan.events.len(),
+            migration.name(),
+            s.host_failures,
+            s.migrations,
+            s.evacuations_failed,
+            s.shed_admissions,
+            s.stranded
+        );
+    }
     println!(
         "  admitted {} = placed {} + rejected {}; completed {} dropped {}",
         s.admitted, s.placed, s.rejected, s.completed, s.dropped

@@ -23,7 +23,21 @@
 //! Per-machine collectors stay separate from the fleet collector: vCPU
 //! and task ids restart at zero on every host, so mixing their streams
 //! would alias ids and trip the per-host conservation laws.
+//!
+//! [`Cluster::set_chaos`] layers a [`crate::chaos::FleetChaosPlan`] on
+//! the run: crash/drain faults merge into the event loop (recoveries
+//! first, then failures, then lifecycle on ties), degrade windows
+//! compile to per-host script actions at install time, and a failed
+//! host's machine simply stops being stepped — the same skip on the
+//! serial and pooled paths, so worker count still never changes output.
+//! Residents of a failing host are evacuated by live migration
+//! ([`crate::chaos::MigrationMode`] decides whether drained vSched
+//! guests hand their probe state to the destination); victims that find
+//! no headroom retry with exponential backoff while the fleet sheds
+//! Batch- then Standard-tier admissions (degraded mode), and depart if
+//! the retry budget runs dry.
 
+use crate::chaos::{FleetChaosPlan, HostFault, MigrationMode};
 use crate::lifecycle::{self, FleetSpec, LifecycleEvent, VmOp};
 use crate::placement::{HostView, PlacementPolicy, PlacementReq};
 use crate::pstep::StepPool;
@@ -36,9 +50,11 @@ use hostsim::Machine;
 use simcore::time::MS;
 use simcore::{SimRng, SimTime};
 use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::num::NonZeroUsize;
 use std::rc::Rc;
-use trace::{Collector, EventKind, PriorityClass, SharedCollector, TraceSink};
+use trace::{Collector, EventKind, HostFailKind, PriorityClass, SharedCollector, TraceSink};
 use vsched::VschedConfig;
 use workloads::latency::{LatencyServer, LatencyServerCfg};
 use workloads::{work_ms, LatencyStats};
@@ -72,6 +88,10 @@ const EPOCH_NS: u64 = 50 * MS;
 /// CFS bandwidth period used for vertical resizes.
 const RESIZE_PERIOD_NS: u64 = 4 * MS;
 
+/// Placement retries a stranded evacuee gets (exponential epoch backoff)
+/// before the cluster gives up and departs it.
+const EVAC_MAX_RETRIES: u32 = 3;
+
 pub(crate) struct HostSim {
     m: Machine,
     collector: SharedCollector,
@@ -83,13 +103,31 @@ pub(crate) struct HostSim {
     /// Sampled utilization per epoch (0..=1); capacity preallocated for
     /// the whole horizon at construction so epochs never reallocate.
     util: Vec<f64>,
+    /// Down (crashed or draining): the machine is not stepped and the
+    /// placement layer must not see the host. Flipped only between
+    /// rounds on the coordinator, so every worker observes the same
+    /// value for a whole round.
+    failed: bool,
+    /// When the current outage began (recovery reports the wall delta).
+    failed_at_ns: u64,
 }
 
 impl HostSim {
     /// One host's share of a barrier round: step to the barrier and, on
     /// epoch boundaries, fold the utilization sample in place. Touches
     /// only this host's state, so rounds can run it from any worker.
+    ///
+    /// A failed host skips the stepping — its machine stays frozen at
+    /// the failure barrier until recovery fast-forwards it — but still
+    /// contributes a zero utilization sample, keeping every host's
+    /// series the same length at any worker count.
     pub(crate) fn step_round(&mut self, until: SimTime, sample_now_ns: Option<u64>, threads: u64) {
+        if self.failed {
+            if sample_now_ns.is_some() {
+                self.util.push(0.0);
+            }
+            return;
+        }
         self.m.step_until(until);
         if let Some(now_ns) = sample_now_ns {
             // Δ active-ns across all of the host's vCPUs over
@@ -111,6 +149,20 @@ struct LiveVm {
     vm_idx: usize,
     stats: Rc<RefCell<LatencyStats>>,
     arrived_ns: u64,
+}
+
+/// Per-vCPU probe state captured from a draining source instance:
+/// `(published capacity, core capacity)`, `None` for never-probed vCPUs.
+type ProbeSnapshot = Vec<Option<(f64, f64)>>;
+
+/// A victim of a failed host that found no headroom: it stays quiesced
+/// on the (down) source — counted in its committed vCPUs — until a
+/// backoff retry places it or the budget runs dry.
+struct PendingEvac {
+    uid: u32,
+    retries: u32,
+    next_retry_ns: u64,
+    snapshot: Option<ProbeSnapshot>,
 }
 
 /// A deterministic multi-host cluster run: `(spec, mode, policy, seed)`
@@ -136,6 +188,18 @@ pub struct Cluster {
     admitted: u64,
     placed: u64,
     rejected: u64,
+    /// Installed fault schedule, if any ([`Cluster::set_chaos`]).
+    chaos: Option<FleetChaosPlan>,
+    /// Probe-state policy for drained vSched guests.
+    migration_mode: MigrationMode,
+    /// Evacuees waiting for headroom, serviced at epoch barriers.
+    pending_evac: Vec<PendingEvac>,
+    /// Scheduled host recoveries: `(recover_at_ns, host)` min-heap.
+    recoveries: BinaryHeap<Reverse<(u64, usize)>>,
+    host_failures: u64,
+    migrations: u64,
+    evacuations_failed: u64,
+    shed_admissions: u64,
 }
 
 impl Cluster {
@@ -183,6 +247,8 @@ impl Cluster {
                 committed: 0,
                 prev_active_ns: 0,
                 util: Vec::with_capacity(epochs),
+                failed: false,
+                failed_at_ns: 0,
             });
         }
         let (fleet_sink, fleet_collector) = TraceSink::shared(Collector::default().with_checker());
@@ -203,7 +269,38 @@ impl Cluster {
             admitted: 0,
             placed: 0,
             rejected: 0,
+            chaos: None,
+            migration_mode: MigrationMode::Handoff,
+            pending_evac: Vec::new(),
+            recoveries: BinaryHeap::new(),
+            host_failures: 0,
+            migrations: 0,
+            evacuations_failed: 0,
+            shed_admissions: 0,
         }
+    }
+
+    /// Installs a fleet chaos plan. Must be called before [`Cluster::run`]:
+    /// crash/drain faults merge into the run loop, and each host's degrade
+    /// windows compile to machine script actions here (exactly once per
+    /// machine — the plan's stressor reversals predict load arena ids).
+    pub fn set_chaos(&mut self, plan: FleetChaosPlan) {
+        assert!(
+            self.live.is_empty() && self.tenants.is_empty(),
+            "set_chaos must run before the cluster steps"
+        );
+        for (h, host) in self.hosts.iter_mut().enumerate() {
+            if let Some(fp) = plan.degrade_plan_for_host(h as u16, self.spec.threads_per_host) {
+                fp.apply(&mut host.m);
+            }
+        }
+        self.chaos = Some(plan);
+    }
+
+    /// Chooses how drained vSched guests transfer probe state (the
+    /// handoff-vs-cold-reprobe ablation). Default: [`MigrationMode::Handoff`].
+    pub fn set_migration_mode(&mut self, mode: MigrationMode) {
+        self.migration_mode = mode;
     }
 
     /// The compiled churn schedule (for tests and inspection).
@@ -256,26 +353,71 @@ impl Cluster {
     fn run_with(&mut self, pool: Option<&StepPool>) -> SloSummary {
         let horizon = self.spec.horizon_ns;
         let schedule = std::mem::take(&mut self.schedule);
+        let chaos_fails: Vec<HostFault> = self
+            .chaos
+            .as_ref()
+            .map(|p| p.fail_events().copied().collect())
+            .unwrap_or_default();
         let mut next = 0usize;
+        let mut cnext = 0usize;
         let mut epoch_end = EPOCH_NS.min(horizon);
         loop {
-            while next < schedule.len() && schedule[next].at.ns() <= epoch_end {
-                let ev = schedule[next];
-                next += 1;
-                // Placement barrier: every host reaches the decision
-                // instant before any cross-host state is read or written.
-                self.step_all(ev.at, None, pool);
-                self.apply(ev);
+            // Merge the three event sources in time order. Ties resolve
+            // recovery → failure → lifecycle: a host recovering at the
+            // same instant another fails (or a VM arrives) must be
+            // usable before the decision is made.
+            loop {
+                let rt = self
+                    .recoveries
+                    .peek()
+                    .map(|&Reverse((t, _))| t)
+                    .filter(|&t| t <= epoch_end);
+                let ct = chaos_fails
+                    .get(cnext)
+                    .map(|f| f.at.ns())
+                    .filter(|&t| t <= epoch_end);
+                let lt = schedule
+                    .get(next)
+                    .map(|e| e.at.ns())
+                    .filter(|&t| t <= epoch_end);
+                let Some(at) = [rt, ct, lt].iter().flatten().copied().min() else {
+                    break;
+                };
+                // Placement/fault barrier: every host reaches the
+                // decision instant before any cross-host state is read
+                // or written.
+                self.step_all(SimTime::from_ns(at), None, pool);
+                if rt == Some(at) {
+                    let Reverse((t, h)) = self.recoveries.pop().expect("peeked");
+                    self.recover_host(t, h);
+                } else if ct == Some(at) {
+                    let f = chaos_fails[cnext];
+                    cnext += 1;
+                    self.fail_host(&f);
+                } else {
+                    let ev = schedule[next];
+                    next += 1;
+                    self.apply(ev);
+                }
             }
             // Epoch barrier; the utilization sample folds into each host
-            // on whichever worker stepped it.
+            // on whichever worker stepped it. Backed-up evacuations are
+            // retried here, after every host has settled.
             self.step_all(SimTime::from_ns(epoch_end), Some(epoch_end), pool);
+            self.service_pending(epoch_end);
             if epoch_end >= horizon {
                 break;
             }
             epoch_end = (epoch_end + EPOCH_NS).min(horizon);
         }
         self.schedule = schedule;
+        // Hosts still down at the horizon would hold their stranded
+        // evacuees forever; depart them so the run ends with zero
+        // stranded placements (the checker's stranded_vms cross-checks).
+        for p in std::mem::take(&mut self.pending_evac) {
+            self.evacuations_failed += 1;
+            self.force_depart(SimTime::from_ns(horizon), p.uid);
+        }
         // Still-live tenants are snapshotted against the horizon; they
         // stay placed, which the checker permits (placement is released
         // only by an explicit depart).
@@ -311,12 +453,19 @@ impl Cluster {
 
     /// Refreshes the reusable snapshot of every host the policy can
     /// choose from (held in `views_scratch`; placement events are too
-    /// frequent to allocate a fresh snapshot per decision).
+    /// frequent to allocate a fresh snapshot per decision). Failed hosts
+    /// are excluded entirely — a policy cannot place onto a host it
+    /// cannot see, which is what keeps the no-placement-onto-failed-host
+    /// law structural. Views carry their host id, so lookups after a
+    /// decision go through [`Cluster::ensure_fits`], never by index.
     fn refresh_host_views(&mut self) {
         let mode = self.mode;
         let views = &mut self.views_scratch;
         views.clear();
         for (h, host) in self.hosts.iter_mut().enumerate() {
+            if host.failed {
+                continue;
+            }
             let mut probed = 0.0;
             for lv in self.live.iter().filter(|lv| lv.host == h) {
                 probed += probed_capacity(&mut host.m, lv.vm_idx, lv.vcpus, mode);
@@ -331,6 +480,48 @@ impl Cluster {
         }
     }
 
+    /// Verifies a placement decision against the destination's cap and
+    /// liveness. The error names every field involved, so a policy bug —
+    /// or a recovery re-admission onto a host that refilled while the VM
+    /// was stranded — is diagnosable from the message alone instead of
+    /// being silently accepted into an over-cap host.
+    fn ensure_fits(&self, h: usize, req: &PlacementReq) -> Result<(), String> {
+        let view = self
+            .views_scratch
+            .iter()
+            .find(|v| v.host == h)
+            .ok_or_else(|| {
+                format!(
+                    "policy placed uid {} on host {h} which is failed or unknown \
+                 (views cover {} hosts)",
+                    req.uid,
+                    self.views_scratch.len()
+                )
+            })?;
+        if !view.fits(req) {
+            return Err(format!(
+                "placement overflows host {h}: committed {} + vcpus {} \
+                 exceeds overcommit_cap {} (uid {})",
+                view.committed, req.vcpus, view.cap, req.uid
+            ));
+        }
+        Ok(())
+    }
+
+    /// Current degraded-mode shed level: 1 while any evacuation is backed
+    /// up (shed Batch admissions), 2 once an evacuee has been retried
+    /// twice without finding headroom (shed Standard too). Critical
+    /// admissions are never shed.
+    fn shed_level(&self) -> u8 {
+        if self.pending_evac.iter().any(|p| p.retries >= 2) {
+            2
+        } else if self.pending_evac.is_empty() {
+            0
+        } else {
+            1
+        }
+    }
+
     fn arrive(&mut self, at: SimTime, uid: u32, vcpus: usize, prio: PriorityClass) {
         self.admitted += 1;
         self.fleet_sink.emit(
@@ -341,39 +532,35 @@ impl Cluster {
                 prio,
             },
         );
+        // Fleet degraded mode: while evacuations are backed up, shed the
+        // lowest tiers at admission instead of letting them compete with
+        // evacuees for the remaining headroom.
+        let shed = match self.shed_level() {
+            2 => prio != PriorityClass::Critical,
+            1 => prio == PriorityClass::Batch,
+            _ => false,
+        };
+        if shed {
+            self.rejected += 1;
+            self.shed_admissions += 1;
+            return;
+        }
         self.refresh_host_views();
         let req = PlacementReq { uid, vcpus };
         let Some(h) = self.policy.place(&req, &self.views_scratch) else {
             self.rejected += 1;
             return;
         };
-        assert!(
-            self.views_scratch[h].fits(&req),
-            "policy must respect the cap"
-        );
-        let host = &mut self.hosts[h];
+        self.ensure_fits(h, &req).unwrap_or_else(|e| panic!("{e}"));
         let threads = self.spec.threads_per_host;
-        let vm_idx = host.m.add_vm(
+        let vm_idx = self.hosts[h].m.add_vm(
             GuestConfig::new(vcpus),
             vec![(0..threads).collect(); vcpus],
             1024,
             None,
         );
-        if self.mode == GuestMode::Vsched {
-            host.m
-                .with_vm(vm_idx, |g, p| vsched::install(g, p, VschedConfig::full()));
-        }
-        // Open-loop latency server at ~50% of the VM's nominal capacity:
-        // the same load point the single-host experiments use.
-        let service = work_ms(0.5);
-        let interarrival = service / 1024.0 / vcpus as f64 / 0.5;
-        let (server, stats) = LatencyServer::new(
-            LatencyServerCfg::new(vcpus, service, interarrival),
-            self.wl_rng.fork(uid as u64),
-        );
-        host.m.set_workload(vm_idx, Box::new(server));
-        host.m.start_vm_workload(vm_idx);
-        host.committed += vcpus as u64;
+        let stats = self.install_guest(h, vm_idx, uid, vcpus, None, None);
+        self.hosts[h].committed += vcpus as u64;
         self.placed += 1;
         self.fleet_sink.emit(
             at,
@@ -381,7 +568,7 @@ impl Cluster {
                 uid,
                 host: h as u16,
                 vcpus: vcpus as u16,
-                occupied: host.committed,
+                occupied: self.hosts[h].committed,
                 cap: self.spec.overcommit_cap,
             },
         );
@@ -396,6 +583,278 @@ impl Cluster {
         });
     }
 
+    /// Installs the guest scheduler and latency workload into a VM slot —
+    /// shared by first placement (fresh stats), live migration (the
+    /// tenant's histograms follow it), and post-outage resumption.
+    /// `snapshot` seeds the fresh vSched instance's vcap from the source
+    /// host's probe state (drain handoff); without one the instance
+    /// probes from nominal, like a cold boot.
+    fn install_guest(
+        &mut self,
+        h: usize,
+        vm_idx: usize,
+        uid: u32,
+        vcpus: usize,
+        stats: Option<Rc<RefCell<LatencyStats>>>,
+        snapshot: Option<&ProbeSnapshot>,
+    ) -> Rc<RefCell<LatencyStats>> {
+        // Migration/resume forks are salted so they can never collide
+        // with any uid's arrival fork; they are only drawn under chaos,
+        // keeping fault-free runs byte-identical.
+        let rng = match stats {
+            None => self.wl_rng.fork(uid as u64),
+            Some(_) => self.wl_rng.fork(uid as u64 ^ 0x4D16_8A7E),
+        };
+        let mode = self.mode;
+        let host = &mut self.hosts[h];
+        if mode == GuestMode::Vsched {
+            host.m
+                .with_vm(vm_idx, |g, p| vsched::install(g, p, VschedConfig::full()));
+            if let Some(snap) = snapshot {
+                host.m.with_vm(vm_idx, |g, _p| {
+                    let vs = vsched::instance(g).expect("vsched just installed");
+                    for (v, entry) in snap.iter().enumerate().take(vcpus) {
+                        if let Some((cap, core)) = entry {
+                            vs.vcap.seed_capacity(VcpuId(v), *cap, *core);
+                        }
+                    }
+                });
+            }
+        }
+        // Open-loop latency server at ~50% of the VM's nominal capacity:
+        // the same load point the single-host experiments use.
+        let service = work_ms(0.5);
+        let interarrival = service / 1024.0 / vcpus as f64 / 0.5;
+        let cfg = LatencyServerCfg::new(vcpus, service, interarrival);
+        let stats = match stats {
+            None => {
+                let (server, stats) = LatencyServer::new(cfg, rng);
+                host.m.set_workload(vm_idx, Box::new(server));
+                stats
+            }
+            Some(stats) => {
+                let server = LatencyServer::with_stats(cfg, rng, Rc::clone(&stats));
+                host.m.set_workload(vm_idx, Box::new(server));
+                stats
+            }
+        };
+        host.m.start_vm_workload(vm_idx);
+        stats
+    }
+
+    /// Takes a host down. Every resident is evacuated by live migration
+    /// in arrival order; victims with no headroom anywhere go to the
+    /// pending queue (quiesced on the dead source, still counted in its
+    /// committed vCPUs). A failure landing on an already-down host is
+    /// dropped silently — there is nothing further to take away.
+    fn fail_host(&mut self, fault: &HostFault) {
+        let h = fault.host as usize;
+        if h >= self.hosts.len() || self.hosts[h].failed {
+            return;
+        }
+        let kind = fault
+            .op
+            .fail_kind()
+            .expect("degrade never reaches fail_host");
+        let victims: Vec<u32> = self
+            .live
+            .iter()
+            .filter(|lv| lv.host == h)
+            .map(|lv| lv.uid)
+            .collect();
+        self.fleet_sink.emit(
+            fault.at,
+            EventKind::HostFailed {
+                host: h as u16,
+                kind,
+                residents: victims.len() as u16,
+            },
+        );
+        self.host_failures += 1;
+        self.hosts[h].failed = true;
+        self.hosts[h].failed_at_ns = fault.at.ns();
+        self.recoveries
+            .push(Reverse((fault.at.ns().saturating_add(fault.down_ns), h)));
+        for uid in victims {
+            let i = self
+                .live
+                .iter()
+                .position(|lv| lv.uid == uid)
+                .expect("victim is live");
+            // Drain handoff: capture the source instance's probe state
+            // before quiescing tears the hooks down. Crash victims
+            // always re-probe cold — the state died with the host.
+            let snapshot = (kind == HostFailKind::Drain
+                && self.migration_mode == MigrationMode::Handoff
+                && self.mode == GuestMode::Vsched)
+                .then(|| self.capture_probe_state(i))
+                .flatten();
+            let vm_idx = self.live[i].vm_idx;
+            self.hosts[h].m.quiesce_vm(vm_idx);
+            if !self.try_migrate(fault.at, uid, snapshot.as_ref()) {
+                self.pending_evac.push(PendingEvac {
+                    uid,
+                    retries: 0,
+                    next_retry_ns: fault.at.ns() + EPOCH_NS,
+                    snapshot,
+                });
+            }
+        }
+    }
+
+    /// Reads the per-vCPU capacities a victim's vSched instance has
+    /// published so far (`None` without an instance — CFS guests).
+    fn capture_probe_state(&mut self, i: usize) -> Option<ProbeSnapshot> {
+        let (host, vm_idx, vcpus) = {
+            let lv = &self.live[i];
+            (lv.host, lv.vm_idx, lv.vcpus)
+        };
+        self.hosts[host].m.with_vm(vm_idx, |g, _p| {
+            vsched::instance(g).map(|vs| {
+                (0..vcpus)
+                    .map(|v| {
+                        vs.vcap.cap[v]
+                            .initialized()
+                            .then(|| (vs.vcap.cap[v].get(), vs.vcap.core_cap[v]))
+                    })
+                    .collect()
+            })
+        })
+    }
+
+    /// Tries to re-place an evacuee through the normal placement policy
+    /// (over views that exclude failed hosts). On success the VM boots on
+    /// the destination and a `VmMigrated` event records the move with
+    /// both hosts' post-move occupancy; `false` means no host had
+    /// headroom and the caller keeps it pending.
+    fn try_migrate(&mut self, at: SimTime, uid: u32, snapshot: Option<&ProbeSnapshot>) -> bool {
+        let i = self
+            .live
+            .iter()
+            .position(|lv| lv.uid == uid)
+            .expect("evacuee is live");
+        let (vcpus, from) = (self.live[i].vcpus, self.live[i].host);
+        self.refresh_host_views();
+        let req = PlacementReq { uid, vcpus };
+        let Some(h) = self.policy.place(&req, &self.views_scratch) else {
+            return false;
+        };
+        self.ensure_fits(h, &req).unwrap_or_else(|e| panic!("{e}"));
+        let threads = self.spec.threads_per_host;
+        let vm_idx = self.hosts[h].m.add_vm(
+            GuestConfig::new(vcpus),
+            vec![(0..threads).collect(); vcpus],
+            1024,
+            None,
+        );
+        let stats = Rc::clone(&self.live[i].stats);
+        self.install_guest(h, vm_idx, uid, vcpus, Some(stats), snapshot);
+        self.hosts[from].committed -= vcpus as u64;
+        self.hosts[h].committed += vcpus as u64;
+        self.fleet_sink.emit(
+            at,
+            EventKind::VmMigrated {
+                uid,
+                from: from as u16,
+                to: h as u16,
+                vcpus: vcpus as u16,
+                from_occupied: self.hosts[from].committed,
+                to_occupied: self.hosts[h].committed,
+                cap: self.spec.overcommit_cap,
+            },
+        );
+        self.live[i].host = h;
+        self.live[i].vm_idx = vm_idx;
+        self.migrations += 1;
+        true
+    }
+
+    /// Brings a host back. Stranded evacuees still sited on it resume in
+    /// place — they were never unplaced, so no event is emitted; they get
+    /// a fresh guest boot (cold probing: the quiesced instance's state
+    /// died with the outage) and leave the pending queue.
+    fn recover_host(&mut self, at_ns: u64, h: usize) {
+        debug_assert!(self.hosts[h].failed);
+        self.hosts[h].failed = false;
+        let down_ns = at_ns - self.hosts[h].failed_at_ns;
+        self.fleet_sink.emit(
+            SimTime::from_ns(at_ns),
+            EventKind::HostRecovered {
+                host: h as u16,
+                down_ns,
+            },
+        );
+        for p in std::mem::take(&mut self.pending_evac) {
+            let i = self
+                .live
+                .iter()
+                .position(|lv| lv.uid == p.uid)
+                .expect("pending evacuee is live");
+            if self.live[i].host != h {
+                self.pending_evac.push(p);
+                continue;
+            }
+            let (vm_idx, vcpus, stats) = (
+                self.live[i].vm_idx,
+                self.live[i].vcpus,
+                Rc::clone(&self.live[i].stats),
+            );
+            self.install_guest(h, vm_idx, p.uid, vcpus, Some(stats), None);
+        }
+    }
+
+    /// Retries backed-up evacuations at an epoch barrier: each due entry
+    /// gets one placement attempt, then exponential epoch backoff, then —
+    /// past [`EVAC_MAX_RETRIES`] — a forced departure.
+    fn service_pending(&mut self, now_ns: u64) {
+        if self.pending_evac.is_empty() {
+            return;
+        }
+        for mut p in std::mem::take(&mut self.pending_evac) {
+            if p.next_retry_ns > now_ns {
+                self.pending_evac.push(p);
+                continue;
+            }
+            if self.try_migrate(SimTime::from_ns(now_ns), p.uid, p.snapshot.as_ref()) {
+                continue;
+            }
+            p.retries += 1;
+            if p.retries > EVAC_MAX_RETRIES {
+                // Out of retries: the tenant's session is lost.
+                self.evacuations_failed += 1;
+                self.force_depart(SimTime::from_ns(now_ns), p.uid);
+            } else {
+                p.next_retry_ns = now_ns + (EPOCH_NS << p.retries);
+                self.pending_evac.push(p);
+            }
+        }
+    }
+
+    /// Departs a pending evacuee that will never be placed. Its VM was
+    /// already quiesced when the host failed; only the bookkeeping and
+    /// the departure event remain (departing from a failed host is legal
+    /// — departure releases placement wherever the VM sits).
+    fn force_depart(&mut self, at: SimTime, uid: u32) {
+        let i = self
+            .live
+            .iter()
+            .position(|lv| lv.uid == uid)
+            .expect("pending evacuee is live");
+        let lv = self.live.remove(i);
+        self.hosts[lv.host].committed -= lv.vcpus as u64;
+        self.fleet_sink.emit(
+            at,
+            EventKind::VmDeparted {
+                uid,
+                host: lv.host as u16,
+                vcpus: lv.vcpus as u16,
+            },
+        );
+        let lifetime = at.ns().saturating_sub(lv.arrived_ns);
+        let t = Self::snapshot(&lv, lifetime);
+        self.tenants.push(t);
+    }
+
     fn depart(&mut self, at: SimTime, uid: u32) {
         // Rejected arrivals still get a Depart in the schedule; there is
         // nothing to tear down for them.
@@ -403,8 +862,15 @@ impl Cluster {
             return;
         };
         let lv = self.live.remove(i);
+        // A stranded evacuee can reach its scheduled departure while
+        // still waiting for headroom: it was already quiesced when its
+        // host failed, and its pending retry must be cancelled.
+        if let Some(pi) = self.pending_evac.iter().position(|p| p.uid == uid) {
+            self.pending_evac.remove(pi);
+        } else {
+            self.hosts[lv.host].m.quiesce_vm(lv.vm_idx);
+        }
         let host = &mut self.hosts[lv.host];
-        host.m.quiesce_vm(lv.vm_idx);
         host.committed -= lv.vcpus as u64;
         self.fleet_sink.emit(
             at,
@@ -425,6 +891,11 @@ impl Cluster {
         let Some(lv) = self.live.iter().find(|lv| lv.uid == uid) else {
             return;
         };
+        // Nothing to throttle while the VM's host is down; its frozen
+        // machine must not be touched at a stale local clock.
+        if self.hosts[lv.host].failed {
+            return;
+        }
         let qp = if quota_pct >= 100 {
             None
         } else {
@@ -478,6 +949,11 @@ impl Cluster {
         s.violations = folded.violations;
         s.first_law = folded.first_law();
         s.unplaced = fleet_report.unplaced_admissions;
+        s.stranded = fleet_report.stranded_vms;
+        s.host_failures = self.host_failures;
+        s.migrations = self.migrations;
+        s.evacuations_failed = self.evacuations_failed;
+        s.shed_admissions = self.shed_admissions;
         s
     }
 }
@@ -592,6 +1068,49 @@ mod tests {
             NonZeroUsize::new(16).unwrap(),
         );
         assert_eq!(c.effective_workers(), 2, "2 hosts bound the pool");
+    }
+
+    #[test]
+    fn placement_overflow_error_names_every_field() {
+        let mut c = Cluster::new(
+            small_spec(),
+            GuestMode::Cfs,
+            policy_by_name("first-fit").unwrap(),
+            1,
+        );
+        c.refresh_host_views();
+        let req = PlacementReq { uid: 7, vcpus: 99 };
+        assert_eq!(
+            c.ensure_fits(0, &req).unwrap_err(),
+            "placement overflows host 0: committed 0 + vcpus 99 \
+             exceeds overcommit_cap 3 (uid 7)"
+        );
+        assert!(
+            c.ensure_fits(5, &req)
+                .unwrap_err()
+                .contains("failed or unknown"),
+            "out-of-range hosts are named too"
+        );
+    }
+
+    #[test]
+    fn chaos_day_evacuates_every_resident() {
+        use crate::chaos::{FleetChaosPlan, FleetChaosSpec};
+        let spec = FleetSpec::small(3, 4, 2);
+        let plan = FleetChaosPlan::generate(21, &FleetChaosSpec::for_fleet(3, spec.horizon_ns));
+        let mut c = Cluster::new(
+            spec,
+            GuestMode::Vsched,
+            policy_by_name("worst-fit").unwrap(),
+            21,
+        );
+        c.set_chaos(plan);
+        let s = c.run();
+        assert!(s.host_failures > 0, "2s of chaos must strike");
+        assert_eq!(s.violations, 0, "law broken: {:?}", s.first_law);
+        assert_eq!(s.stranded, 0, "every victim migrated or departed");
+        assert_eq!(s.admitted, s.placed + s.rejected);
+        assert!(s.completed > 0);
     }
 
     #[test]

@@ -56,10 +56,19 @@ pub struct Profile {
     pub storm_hit: f64,
     /// Admission bound on the live population.
     pub max_live_vms: usize,
+    /// Start of the maintenance-drain window (0 with `drain_len_ns == 0`
+    /// means no drain). Arrivals are frozen inside the window, everything
+    /// live at its start is evicted (staggered through the first half),
+    /// and each evictee re-arrives after the window with its interrupted
+    /// remainder — the mass-departure-then-refill shape a host drain
+    /// imposes on a fleet.
+    pub drain_at_ns: u64,
+    /// Length of the maintenance-drain window.
+    pub drain_len_ns: u64,
 }
 
 /// The built-in profiles, in CLI listing order.
-pub const PROFILES: [Profile; 2] = [
+pub const PROFILES: [Profile; 3] = [
     Profile {
         name: "sap-diurnal",
         desc: "strong day/night arrival swing, heavy Pareto lifetime tail, rare storms",
@@ -78,6 +87,8 @@ pub const PROFILES: [Profile; 2] = [
         storm_len_ns: 200 * MS,
         storm_hit: 0.25,
         max_live_vms: 16,
+        drain_at_ns: 0,
+        drain_len_ns: 0,
     },
     Profile {
         name: "sap-resize-storm",
@@ -97,6 +108,29 @@ pub const PROFILES: [Profile; 2] = [
         storm_len_ns: 300 * MS,
         storm_hit: 0.7,
         max_live_vms: 16,
+        drain_at_ns: 0,
+        drain_len_ns: 0,
+    },
+    Profile {
+        name: "sap-maintenance-drain",
+        desc: "mid-day maintenance freeze: mass departures, then staggered re-arrivals",
+        base_arrival_mean_ns: 130 * MS,
+        diurnal_amplitude: 0.3,
+        day_ns: 4_000 * MS,
+        pareto_frac: 0.15,
+        pareto_alpha: 1.8,
+        pareto_scale_ns: 500 * MS,
+        lognorm_mean_ns: 1_600 * MS,
+        lognorm_sigma: 0.6,
+        lifetime_max_ns: 5_000 * MS,
+        tier_weights: [2, 5, 3],
+        size_mix: &[(1, 4), (2, 4), (4, 2)],
+        storm_gap_mean_ns: 1_200 * MS,
+        storm_len_ns: 250 * MS,
+        storm_hit: 0.4,
+        max_live_vms: 16,
+        drain_at_ns: 1_500 * MS,
+        drain_len_ns: 600 * MS,
     },
 ];
 
@@ -191,7 +225,12 @@ pub fn synthesize(profile: &Profile, horizon_ns: u64, seed: u64) -> FleetTrace {
             .clamp(MIN_LIFETIME_NS, profile.lifetime_max_ns);
         let prio = draw_tier(&mut pri, &profile.tier_weights);
 
-        if !accept {
+        // A maintenance window freezes admission: candidates still burn
+        // their draws (streams stay aligned), but none are admitted.
+        let in_drain = profile.drain_len_ns > 0
+            && t >= profile.drain_at_ns
+            && t < profile.drain_at_ns + profile.drain_len_ns;
+        if !accept || in_drain {
             continue;
         }
         while matches!(departs.peek(), Some(&std::cmp::Reverse(d)) if d <= t) {
@@ -214,6 +253,62 @@ pub fn synthesize(profile: &Profile, horizon_ns: u64, seed: u64) -> FleetTrace {
         }
         intervals.push((uid, t, depart_at.min(horizon_ns)));
         uid += 1;
+    }
+
+    // Maintenance-drain pass: everything live at the window start is
+    // evicted (departures staggered through the window's first half) and
+    // re-admitted as a fresh tenant after the window with its
+    // interrupted remainder. The drain stream forks *after* every other
+    // stream, so profiles without a window synthesize byte-identical
+    // traces to pre-drain builds. Runs before the storm pass so resizes
+    // respect the shortened live intervals.
+    if profile.drain_len_ns > 0 && profile.drain_at_ns < horizon_ns {
+        let mut drain = root.fork(0xD7);
+        let drain_end = profile.drain_at_ns.saturating_add(profile.drain_len_ns);
+        let half = (profile.drain_len_ns / 2).max(1);
+        let evictable = intervals.len();
+        for i in 0..evictable {
+            let (vm, arrive_at, live_until) = intervals[i];
+            // Both staggers draw per candidate — live at the window or
+            // not — so window tweaks never reshuffle who gets which slot.
+            let out_at = profile.drain_at_ns + (drain.f64() * half as f64) as u64;
+            let re_at = drain_end.saturating_add((drain.f64() * half as f64) as u64);
+            if arrive_at >= profile.drain_at_ns || live_until <= out_at {
+                continue;
+            }
+            let (vcpus, prio) = events
+                .iter()
+                .find_map(|e| match e.op {
+                    VmOp::Arrive { uid, vcpus, prio } if uid == vm => Some((vcpus, prio)),
+                    _ => None,
+                })
+                .expect("every interval has an arrival");
+            // The eviction replaces the natural departure.
+            events.retain(|e| !matches!(e.op, VmOp::Depart { uid } if uid == vm));
+            if out_at < horizon_ns {
+                events.push(LifecycleEvent {
+                    at: SimTime::from_ns(out_at),
+                    op: VmOp::Depart { uid: vm },
+                });
+            }
+            let remainder = live_until.saturating_sub(out_at).max(MIN_LIFETIME_NS);
+            intervals[i].2 = out_at.min(horizon_ns);
+            if re_at < horizon_ns {
+                events.push(LifecycleEvent {
+                    at: SimTime::from_ns(re_at),
+                    op: VmOp::Arrive { uid, vcpus, prio },
+                });
+                let redep = re_at.saturating_add(remainder);
+                if redep < horizon_ns {
+                    events.push(LifecycleEvent {
+                        at: SimTime::from_ns(redep),
+                        op: VmOp::Depart { uid },
+                    });
+                }
+                intervals.push((uid, re_at, redep.min(horizon_ns)));
+                uid += 1;
+            }
+        }
     }
 
     // Storm pass: bursty windows that cap a random subset of whatever is
@@ -332,6 +427,65 @@ mod tests {
             up as f64 > down as f64 * 1.5,
             "sinusoid peak half must out-arrive the trough half ({up} vs {down})"
         );
+    }
+
+    #[test]
+    fn maintenance_drain_empties_then_refills() {
+        let p = profile_by_name("sap-maintenance-drain").unwrap();
+        let t = synthesize(p, 4_000 * MS, day_seed(p.name));
+        let drain_end = p.drain_at_ns + p.drain_len_ns;
+        let mut arrivals_in_window = 0usize;
+        let mut departs_in_window = 0usize;
+        let mut refills = 0usize;
+        for e in &t.events {
+            let at = e.at.ns();
+            match e.op {
+                VmOp::Arrive { .. } if at >= p.drain_at_ns && at < drain_end => {
+                    arrivals_in_window += 1;
+                }
+                VmOp::Arrive { .. } if at >= drain_end && at < drain_end + p.drain_len_ns => {
+                    refills += 1;
+                }
+                VmOp::Depart { .. } if at >= p.drain_at_ns && at < drain_end => {
+                    departs_in_window += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(
+            arrivals_in_window, 0,
+            "admission must freeze inside the maintenance window"
+        );
+        assert!(
+            departs_in_window >= 3,
+            "drain must mass-depart the live population ({departs_in_window} departs)"
+        );
+        assert!(
+            refills >= 3,
+            "evictees must re-arrive after the window ({refills} arrivals)"
+        );
+    }
+
+    #[test]
+    fn committed_example_traces_pin_synthesis_bytes() {
+        // The drain stream forks only when a window exists, so profiles
+        // without one must keep synthesizing exactly the traces committed
+        // before the drain pass existed — the examples/ files are goldens.
+        for (file, profile) in [
+            ("sap_day.trace.jsonl", "sap-diurnal"),
+            ("sap_drain.trace.jsonl", "sap-maintenance-drain"),
+        ] {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/");
+            let committed = std::fs::read_to_string(format!("{path}{file}"))
+                .unwrap_or_else(|e| panic!("examples/{file}: {e}"));
+            let p = profile_by_name(profile).unwrap();
+            let t = synthesize(p, 4_000 * MS, day_seed(p.name));
+            assert_eq!(
+                committed.trim_end(),
+                t.encode().trim_end(),
+                "examples/{file} drifted from synthesize({profile})"
+            );
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! * [`replay`] — compiles a trace into a [`FleetSpec`] whose churn is
 //!   the trace verbatim, so every policy × guest mode runs the same day.
 
+pub mod chaos;
 pub mod cluster;
 pub mod generate;
 pub mod lifecycle;
@@ -51,6 +52,7 @@ pub mod slo;
 pub mod threads;
 pub mod trace_format;
 
+pub use chaos::{FleetChaosPlan, FleetChaosSpec, HostFault, HostOp, MigrationMode, HOST_OPS};
 pub use cluster::{Cluster, GuestMode};
 pub use generate::{day_seed, profile_by_name, synthesize, Profile, PROFILES};
 pub use lifecycle::{generate, ChurnModel, FleetSpec, LifecycleEvent, VmOp};

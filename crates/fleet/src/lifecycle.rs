@@ -52,8 +52,22 @@ pub struct FleetSpec {
     pub horizon_ns: u64,
     /// Per-tenant p99 end-to-end latency SLO (violation accounting).
     pub slo_p99_ns: u64,
+    /// Per-tier p99 targets in `PRIORITY_CLASSES` order (critical,
+    /// standard, batch). Critical runs tighter than the fleet-wide SLO,
+    /// batch looser; [`FleetSpec::validate`] enforces the ordering.
+    pub tier_slo_p99_ns: [u64; 3],
     /// Churn source: stochastic generation or trace replay.
     pub churn: ChurnModel,
+}
+
+/// Derived per-tier targets when a spec predates them: critical at half
+/// the fleet-wide SLO, standard at it, batch at four times it.
+fn derived_tier_slo(slo_p99_ns: u64) -> [u64; 3] {
+    [
+        (slo_p99_ns / 2).max(1),
+        slo_p99_ns,
+        slo_p99_ns.saturating_mul(4),
+    ]
 }
 
 impl FleetSpec {
@@ -72,6 +86,7 @@ impl FleetSpec {
             max_live_vms: hosts * threads,
             horizon_ns: horizon_secs * 1_000 * MS,
             slo_p99_ns: 20 * MS,
+            tier_slo_p99_ns: derived_tier_slo(20 * MS),
             churn: ChurnModel::Stochastic,
         }
     }
@@ -98,6 +113,22 @@ impl FleetSpec {
         }
         if self.horizon_ns == 0 {
             return Err("horizon_ns must be positive (got 0)".into());
+        }
+        let [crit, std, batch] = self.tier_slo_p99_ns;
+        if crit == 0 {
+            return Err("slo_crit_p99_ns must be positive (got 0)".into());
+        }
+        if crit > std {
+            return Err(format!(
+                "slo_crit_p99_ns {crit} exceeds slo_std_p99_ns {std}: \
+                 critical tenants must run a tighter SLO than standard"
+            ));
+        }
+        if std > batch {
+            return Err(format!(
+                "slo_std_p99_ns {std} exceeds slo_batch_p99_ns {batch}: \
+                 batch tenants must run the loosest SLO"
+            ));
         }
         if self.size_mix.is_empty() {
             return Err("size_mix must not be empty".into());
@@ -157,6 +188,9 @@ impl FleetSpec {
             ("max_live_vms", Json::Uint(self.max_live_vms as u64)),
             ("horizon_ns", Json::Uint(self.horizon_ns)),
             ("slo_p99_ns", Json::Uint(self.slo_p99_ns)),
+            ("slo_crit_p99_ns", Json::Uint(self.tier_slo_p99_ns[0])),
+            ("slo_std_p99_ns", Json::Uint(self.tier_slo_p99_ns[1])),
+            ("slo_batch_p99_ns", Json::Uint(self.tier_slo_p99_ns[2])),
             (
                 "churn",
                 match &self.churn {
@@ -194,6 +228,16 @@ impl FleetSpec {
                 FleetTrace::from_json_value(v).map_err(|e| format!("churn trace: {e}"))?,
             ),
         };
+        let slo_p99_ns = field("slo_p99_ns")?;
+        // Absent tier keys mean the PR 5 spec shape: derive them from the
+        // fleet-wide SLO so old spec files keep parsing.
+        let derived = derived_tier_slo(slo_p99_ns);
+        let tier = |key: &'static str, dflt: u64| -> Result<u64, String> {
+            match doc.get(key) {
+                None => Ok(dflt),
+                Some(v) => u(v, key),
+            }
+        };
         let spec = FleetSpec {
             hosts: field("hosts")? as usize,
             threads_per_host: field("threads_per_host")? as usize,
@@ -204,7 +248,12 @@ impl FleetSpec {
             size_mix,
             max_live_vms: field("max_live_vms")? as usize,
             horizon_ns: field("horizon_ns")?,
-            slo_p99_ns: field("slo_p99_ns")?,
+            slo_p99_ns,
+            tier_slo_p99_ns: [
+                tier("slo_crit_p99_ns", derived[0])?,
+                tier("slo_std_p99_ns", derived[1])?,
+                tier("slo_batch_p99_ns", derived[2])?,
+            ],
             churn,
         };
         spec.validate()?;
@@ -439,6 +488,33 @@ mod tests {
             "overcommit_cap 2 is below the smallest size_mix vcpus 4: \
              every arrival would be rejected"
         );
+    }
+
+    #[test]
+    fn tier_slo_targets_validate_and_default() {
+        let mut s = spec();
+        s.tier_slo_p99_ns = [30 * MS, 20 * MS, 80 * MS];
+        assert_eq!(
+            s.validate().unwrap_err(),
+            "slo_crit_p99_ns 30000000 exceeds slo_std_p99_ns 20000000: \
+             critical tenants must run a tighter SLO than standard"
+        );
+        s.tier_slo_p99_ns = [5 * MS, 90 * MS, 80 * MS];
+        assert_eq!(
+            s.validate().unwrap_err(),
+            "slo_std_p99_ns 90000000 exceeds slo_batch_p99_ns 80000000: \
+             batch tenants must run the loosest SLO"
+        );
+        // A spec rendered before the tier keys existed still parses, with
+        // targets derived from the fleet-wide SLO.
+        let mut doc = Json::parse(&spec().to_json()).unwrap();
+        if let Json::Obj(m) = &mut doc {
+            m.remove("slo_crit_p99_ns");
+            m.remove("slo_std_p99_ns");
+            m.remove("slo_batch_p99_ns");
+        }
+        let back = FleetSpec::from_json(&doc.render()).unwrap();
+        assert_eq!(back.tier_slo_p99_ns, [10 * MS, 20 * MS, 80 * MS]);
     }
 
     #[test]

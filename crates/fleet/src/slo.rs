@@ -69,6 +69,9 @@ pub struct SloSummary {
     pub tier_tenants: [usize; 3],
     /// Tenants whose own p99 exceeded `spec.slo_p99_ns`.
     pub slo_violations: usize,
+    /// Tenants whose own p99 exceeded their *tier's* target
+    /// (`spec.tier_slo_p99_ns`), in [`PRIORITY_CLASSES`] order.
+    pub tier_slo_violations: [usize; 3],
     /// Tenants with at least one completed request (the SLO denominator).
     pub measured_tenants: usize,
     /// Jain's fairness index over per-tenant completion rates
@@ -87,6 +90,18 @@ pub struct SloSummary {
     /// Admitted-but-unplaced VMs left in the fleet checker (should equal
     /// `rejected` on a clean run).
     pub unplaced: usize,
+    /// VMs still placed on a failed host when the run ended (should be 0:
+    /// the cluster force-departs unevacuable residents at the horizon).
+    pub stranded: usize,
+    /// Host crash/drain events the chaos plan actually injected.
+    pub host_failures: u64,
+    /// VMs live-migrated off a crashing or draining host.
+    pub migrations: u64,
+    /// Evacuations that exhausted their retry budget (victim departed).
+    pub evacuations_failed: u64,
+    /// Admissions shed by fleet degraded mode (Batch first, then
+    /// Standard; Critical is never shed). Counted inside `rejected`.
+    pub shed_admissions: u64,
     /// Per-tenant snapshots, in departure order.
     pub tenants: Vec<TenantStats>,
 }
@@ -109,6 +124,7 @@ pub fn summarize(
     let mut dropped = 0u64;
     let mut worst_p99 = 0u64;
     let mut slo_violations = 0usize;
+    let mut tier_slo_violations = [0usize; 3];
     let mut measured = 0usize;
     for t in &tenants {
         fleet.merge(&t.e2e);
@@ -122,6 +138,9 @@ pub fn summarize(
             worst_p99 = worst_p99.max(p99);
             if p99 > spec.slo_p99_ns {
                 slo_violations += 1;
+            }
+            if p99 > spec.tier_slo_p99_ns[t.prio.index()] {
+                tier_slo_violations[t.prio.index()] += 1;
             }
         }
     }
@@ -174,6 +193,7 @@ pub fn summarize(
         tier_p99_ms,
         tier_tenants,
         slo_violations,
+        tier_slo_violations,
         measured_tenants: measured,
         fairness,
         mean_util,
@@ -182,6 +202,11 @@ pub fn summarize(
         violations: 0,
         first_law: None,
         unplaced: 0,
+        stranded: 0,
+        host_failures: 0,
+        migrations: 0,
+        evacuations_failed: 0,
+        shed_admissions: 0,
         tenants,
     }
 }
@@ -228,6 +253,20 @@ mod tests {
         assert!(s.fairness > 0.5 && s.fairness <= 1.0);
         assert!((s.mean_util - 0.75).abs() < 1e-9);
         assert!((s.peak_util - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tier_targets_count_violations_per_class() {
+        let spec = FleetSpec::small(2, 2, 1); // tiers: 10ms / 20ms / 80ms
+        let crit = tenant(0, &[15 * MS], 1_000 * MS); // busts 10ms
+        let std_ = tenant(1, &[15 * MS], 1_000 * MS); // within 20ms
+        let batch = tenant(2, &[60 * MS], 1_000 * MS); // within 80ms
+        let s = summarize(&spec, vec![crit, std_, batch], &[], 3, 3, 0);
+        assert_eq!(s.tier_slo_violations, [1, 0, 0]);
+        assert_eq!(
+            s.slo_violations, 1,
+            "fleet-wide 20ms SLO still counts the batch tenant"
+        );
     }
 
     #[test]

@@ -23,6 +23,13 @@ fn random_spec(rng: &mut simcore::SimRng) -> FleetSpec {
     // Valid specs keep the smallest size under the cap (anything else is
     // rejected by FleetSpec::validate as an always-rejecting fleet).
     let smallest = mix.iter().map(|&(v, _)| v as u64).min().unwrap();
+    let slo_p99_ns = 1 + rng.range(0, 100 * MS);
+    // Tier targets must order critical ≤ standard ≤ batch to validate.
+    let tier_slo_p99_ns = [
+        (slo_p99_ns / 2).max(1),
+        slo_p99_ns,
+        slo_p99_ns + rng.range(0, 100 * MS),
+    ];
     FleetSpec {
         hosts: 1 + rng.index(8),
         threads_per_host: 1 + rng.index(8),
@@ -33,7 +40,8 @@ fn random_spec(rng: &mut simcore::SimRng) -> FleetSpec {
         size_mix: mix,
         max_live_vms: 1 + rng.index(32),
         horizon_ns: 1 + rng.range(0, 30_000 * MS),
-        slo_p99_ns: 1 + rng.range(0, 100 * MS),
+        slo_p99_ns,
+        tier_slo_p99_ns,
         churn: ChurnModel::Stochastic,
     }
 }

@@ -13,8 +13,8 @@ use simcore::time::MS;
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
 use vsched_fleet::{
-    parse_fleet_threads, policy_by_name, ChurnModel, Cluster, FleetSpec, FleetTrace, GuestMode,
-    SloSummary,
+    parse_fleet_threads, policy_by_name, ChurnModel, Cluster, FleetChaosPlan, FleetChaosSpec,
+    FleetSpec, FleetTrace, GuestMode, MigrationMode, SloSummary,
 };
 
 /// Property case budget; `--features property-tests` widens the sweep.
@@ -58,6 +58,16 @@ fn digest(c: &Cluster, s: &SloSummary) -> String {
         d,
         "slo {}/{} events {} viol {} law {:?} unplaced {} | ",
         s.slo_violations, s.measured_tenants, s.trace_events, s.violations, s.first_law, s.unplaced
+    );
+    let _ = write!(
+        d,
+        "tierslo {:?} stranded {} fail {} mig {} evacfail {} shed {} | ",
+        s.tier_slo_violations,
+        s.stranded,
+        s.host_failures,
+        s.migrations,
+        s.evacuations_failed,
+        s.shed_admissions
     );
     for t in &s.tenants {
         let _ = write!(
@@ -152,6 +162,59 @@ fn committed_sap_day_replays_identically_across_worker_counts() {
             "replayed day diverged at {workers} workers"
         );
     }
+}
+
+fn run_chaos_digest(
+    spec: &FleetSpec,
+    policy: &str,
+    migration: MigrationMode,
+    seed: u64,
+    chaos_seed: u64,
+    workers: usize,
+) -> String {
+    let mut c = Cluster::with_threads(
+        spec.clone(),
+        GuestMode::Vsched,
+        policy_by_name(policy).expect("registered policy"),
+        seed,
+        nz(workers),
+    );
+    let cspec = FleetChaosSpec::for_fleet(spec.hosts as u16, spec.horizon_ns);
+    c.set_chaos(FleetChaosPlan::generate(chaos_seed, &cspec));
+    c.set_migration_mode(migration);
+    let s = c.run();
+    digest(&c, &s)
+}
+
+/// The tentpole's determinism gate: a chaos day — failures, evacuations,
+/// retries, recoveries, degraded-mode sheds — must be byte-identical at
+/// 1, 2, and N stepping workers, in both migration modes.
+#[test]
+fn chaos_days_step_identically_at_1_2_and_n_workers() {
+    propcheck::forall(0xC4A05, cases(3), |rng| {
+        let mut spec = random_spec(rng);
+        // Long enough that the scaled fault window actually fires.
+        spec.horizon_ns = 800 * MS + rng.range(0, 800 * MS);
+        let seed = rng.u64();
+        let chaos_seed = rng.u64();
+        let policy = ["first-fit", "worst-fit", "probe-aware"][rng.index(3)];
+        let migration = if rng.index(2) == 0 {
+            MigrationMode::Handoff
+        } else {
+            MigrationMode::ColdReprobe
+        };
+        let serial = run_chaos_digest(&spec, policy, migration, seed, chaos_seed, 1);
+        assert_eq!(
+            serial,
+            run_chaos_digest(&spec, policy, migration, seed, chaos_seed, 2),
+            "2 workers diverged from serial ({policy}, {migration:?}, chaos {chaos_seed:#x})"
+        );
+        assert_eq!(
+            serial,
+            run_chaos_digest(&spec, policy, migration, seed, chaos_seed, 7),
+            "7 workers diverged from serial ({policy}, {migration:?}, chaos {chaos_seed:#x})"
+        );
+    });
 }
 
 #[test]

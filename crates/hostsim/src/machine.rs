@@ -355,6 +355,10 @@ pub struct Machine {
     /// harness's events/sec denominator).
     pub events_dispatched: u64,
     finished: bool,
+    /// Whether [`Machine::start`] has run. Script entries appended after
+    /// start ([`Machine::at`]) are posted to the event queue directly
+    /// rather than waiting for the start-time sweep.
+    started: bool,
 }
 
 impl Machine {
@@ -388,6 +392,7 @@ impl Machine {
             placeholder: Some(Self::placeholder_guest()),
             events_dispatched: 0,
             finished: false,
+            started: false,
         }
     }
 
@@ -465,10 +470,16 @@ impl Machine {
         self.vms[vm].workload = Some(w);
     }
 
-    /// Appends a scripted action at an absolute time. Call before
-    /// [`Machine::start`].
+    /// Appends a scripted action at an absolute time. Before
+    /// [`Machine::start`] the entry joins the start-time sweep; after
+    /// start (fleet chaos injecting mid-run degradation) it is posted to
+    /// the event queue directly, so `t` must not be in the past.
     pub fn at(&mut self, t: SimTime, action: ScriptAction) {
         self.script.push((t, action));
+        if self.started {
+            let idx = self.script.len() - 1;
+            self.q.post(t, Ev::Script { idx });
+        }
     }
 
     /// Registers a periodic sampler; returns its id.
@@ -1088,6 +1099,7 @@ impl Machine {
 
     /// Starts all workloads and schedules the scenario script and samplers.
     pub fn start(&mut self) {
+        self.started = true;
         self.script.sort_by_key(|(t, _)| *t);
         for (idx, (t, _)) in self.script.iter().enumerate() {
             self.q.post(*t, Ev::Script { idx });

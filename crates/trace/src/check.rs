@@ -68,6 +68,21 @@ pub enum ViolationKind {
     DuplicatePlacement,
     /// A VM departed without ever being placed, or from the wrong host.
     DepartWithoutPlacement,
+    /// A VM was placed or migrated onto a host that had failed and not
+    /// yet recovered.
+    PlacementOntoFailedHost,
+    /// A VM was migrated while not placed, or away from a host other
+    /// than the one it was placed on.
+    MigrationWithoutPlacement,
+    /// A migration's claimed source/destination occupancy disagrees with
+    /// the occupancy reconstructed from prior placements: the source
+    /// must lose exactly `vcpus` and the destination gain exactly
+    /// `vcpus`.
+    MigrationOccupancyMismatch,
+    /// HostFailed while already failed, HostRecovered while not failed,
+    /// or a recovery whose `down_ns` disagrees with the observed failure
+    /// time.
+    HostFailureStateMismatch,
 }
 
 impl ViolationKind {
@@ -96,6 +111,10 @@ impl ViolationKind {
             ViolationKind::PlacementWithoutAdmission => "placement-without-admission",
             ViolationKind::DuplicatePlacement => "duplicate-placement",
             ViolationKind::DepartWithoutPlacement => "depart-without-placement",
+            ViolationKind::PlacementOntoFailedHost => "placement-onto-failed-host",
+            ViolationKind::MigrationWithoutPlacement => "migration-without-placement",
+            ViolationKind::MigrationOccupancyMismatch => "migration-occupancy-mismatch",
+            ViolationKind::HostFailureStateMismatch => "host-failure-state-mismatch",
         }
     }
 }
@@ -151,6 +170,13 @@ pub struct CheckReport {
     /// VMs admitted but never placed by stream end (not a violation — an
     /// admission may be pending or have been rejected for lack of room).
     pub unplaced_admissions: usize,
+    /// VMs still placed on a failed host at stream end. The fleet's
+    /// evacuation liveness law is that every resident of a failed host
+    /// is migrated or departed before the run ends, so cluster runs
+    /// assert this is zero; it is informational (like
+    /// `unplaced_admissions`) because a raw stream may legitimately end
+    /// mid-evacuation.
+    pub stranded_vms: usize,
 }
 
 impl CheckReport {
@@ -180,6 +206,7 @@ impl CheckReport {
             pending_ivh: 0,
             still_throttled: 0,
             unplaced_admissions: 0,
+            stranded_vms: 0,
         };
         for r in reports {
             out.events += r.events;
@@ -190,6 +217,7 @@ impl CheckReport {
             out.pending_ivh += r.pending_ivh;
             out.still_throttled += r.still_throttled;
             out.unplaced_admissions += r.unplaced_admissions;
+            out.stranded_vms += r.stranded_vms;
         }
         out
     }
@@ -242,6 +270,11 @@ pub struct InvariantChecker {
     admitted: HashMap<u32, SimTime>,
     /// Fleet VMs currently placed: uid → host.
     placed: HashMap<u32, u16>,
+    /// Fleet hosts currently failed/draining: host → failure time.
+    failed_hosts: HashMap<u16, SimTime>,
+    /// Committed-vCPU occupancy per fleet host, reconstructed from the
+    /// `occupied` snapshots that placements and migrations carry.
+    host_occ: HashMap<u16, u64>,
     recent: std::collections::VecDeque<TraceEvent>,
     events: u64,
     violations: u64,
@@ -269,6 +302,8 @@ impl InvariantChecker {
             degraded: HashMap::new(),
             admitted: HashMap::new(),
             placed: HashMap::new(),
+            failed_hosts: HashMap::new(),
+            host_occ: HashMap::new(),
             recent: std::collections::VecDeque::with_capacity(CONTEXT + 1),
             events: 0,
             violations: 0,
@@ -300,6 +335,11 @@ impl InvariantChecker {
             pending_ivh: self.ivh_pending.len(),
             still_throttled: self.throttled.len(),
             unplaced_admissions: self.admitted.len(),
+            stranded_vms: self
+                .placed
+                .values()
+                .filter(|h| self.failed_hosts.contains_key(h))
+                .count(),
         }
     }
 
@@ -629,25 +669,140 @@ impl InvariantChecker {
                         format!("host {host} committed {occupied} vCPUs over cap {cap}"),
                     );
                 }
-                self.placed.insert(uid, host);
-            }
-            EventKind::VmDeparted { uid, host, .. } => match self.placed.remove(&uid) {
-                Some(on) if on == host => {}
-                Some(on) => {
+                if let Some(&since) = self.failed_hosts.get(&host) {
                     self.flag(
-                        ViolationKind::DepartWithoutPlacement,
+                        ViolationKind::PlacementOntoFailedHost,
                         ev,
-                        format!("vm {uid} departed host {host} but was placed on host {on}"),
+                        format!("vm {uid} placed on host {host} (failed since {since})"),
                     );
                 }
-                None => {
+                self.placed.insert(uid, host);
+                self.host_occ.insert(host, occupied);
+            }
+            EventKind::VmDeparted { uid, host, vcpus } => {
+                match self.placed.remove(&uid) {
+                    Some(on) if on == host => {}
+                    Some(on) => {
+                        self.flag(
+                            ViolationKind::DepartWithoutPlacement,
+                            ev,
+                            format!("vm {uid} departed host {host} but was placed on host {on}"),
+                        );
+                    }
+                    None => {
+                        self.flag(
+                            ViolationKind::DepartWithoutPlacement,
+                            ev,
+                            format!("vm {uid} departed host {host} without being placed"),
+                        );
+                    }
+                }
+                if let Some(occ) = self.host_occ.get_mut(&host) {
+                    *occ = occ.saturating_sub(u64::from(vcpus));
+                }
+            }
+            EventKind::HostFailed { host, kind, .. } => {
+                if let Some(&since) = self.failed_hosts.get(&host) {
                     self.flag(
-                        ViolationKind::DepartWithoutPlacement,
+                        ViolationKind::HostFailureStateMismatch,
                         ev,
-                        format!("vm {uid} departed host {host} without being placed"),
+                        format!("host {host} failed ({kind:?}) while already failed since {since}"),
                     );
+                }
+                self.failed_hosts.insert(host, ev.at);
+            }
+            EventKind::HostRecovered { host, down_ns } => match self.failed_hosts.remove(&host) {
+                None => self.flag(
+                    ViolationKind::HostFailureStateMismatch,
+                    ev,
+                    format!("host {host} recovered while not failed"),
+                ),
+                Some(since) => {
+                    let wall = ev.at.since(since);
+                    if down_ns != wall {
+                        self.flag(
+                            ViolationKind::HostFailureStateMismatch,
+                            ev,
+                            format!(
+                                "host {host} recovery claims {down_ns} ns down \
+                                 but failed {wall} ns ago"
+                            ),
+                        );
+                    }
                 }
             },
+            EventKind::VmMigrated {
+                uid,
+                from,
+                to,
+                vcpus,
+                from_occupied,
+                to_occupied,
+                cap,
+            } => {
+                match self.placed.get(&uid) {
+                    Some(&on) if on == from => {}
+                    Some(&on) => self.flag(
+                        ViolationKind::MigrationWithoutPlacement,
+                        ev,
+                        format!("vm {uid} migrated off host {from} but was placed on host {on}"),
+                    ),
+                    None => self.flag(
+                        ViolationKind::MigrationWithoutPlacement,
+                        ev,
+                        format!("vm {uid} migrated {from}->{to} without being placed"),
+                    ),
+                }
+                if let Some(&since) = self.failed_hosts.get(&to) {
+                    self.flag(
+                        ViolationKind::PlacementOntoFailedHost,
+                        ev,
+                        format!("vm {uid} migrated onto host {to} (failed since {since})"),
+                    );
+                }
+                // Conservation: the source loses exactly `vcpus`, the
+                // destination gains exactly `vcpus`. Unknown hosts (no
+                // prior occupancy snapshot) initialize without checking,
+                // like `HostCpu::Unknown`.
+                if let Some(&prev) = self.host_occ.get(&from) {
+                    let expect = prev.saturating_sub(u64::from(vcpus));
+                    if from_occupied != expect {
+                        self.flag(
+                            ViolationKind::MigrationOccupancyMismatch,
+                            ev,
+                            format!(
+                                "vm {uid} ({vcpus} vCPUs) left host {from} at {prev} \
+                                 committed, but the source claims {from_occupied} \
+                                 (expected {expect})"
+                            ),
+                        );
+                    }
+                }
+                if let Some(&prev) = self.host_occ.get(&to) {
+                    let expect = prev + u64::from(vcpus);
+                    if to_occupied != expect {
+                        self.flag(
+                            ViolationKind::MigrationOccupancyMismatch,
+                            ev,
+                            format!(
+                                "vm {uid} ({vcpus} vCPUs) landed on host {to} at {prev} \
+                                 committed, but the destination claims {to_occupied} \
+                                 (expected {expect})"
+                            ),
+                        );
+                    }
+                }
+                if to_occupied > cap {
+                    self.flag(
+                        ViolationKind::OvercommitCapExceeded,
+                        ev,
+                        format!("host {to} committed {to_occupied} vCPUs over cap {cap}"),
+                    );
+                }
+                self.placed.insert(uid, to);
+                self.host_occ.insert(from, from_occupied);
+                self.host_occ.insert(to, to_occupied);
+            }
             EventKind::TaskWake { .. }
             | EventKind::ReschedIpi { .. }
             | EventKind::ProbeSample { .. }
@@ -1083,6 +1238,154 @@ mod tests {
         assert_eq!(
             c.first().unwrap().kind,
             ViolationKind::DepartWithoutPlacement
+        );
+    }
+
+    #[test]
+    fn host_failure_migration_laws_checked() {
+        use crate::event::HostFailKind;
+        let admit = |at, uid| {
+            ev(
+                at,
+                EventKind::VmAdmitted {
+                    uid,
+                    vcpus: 2,
+                    prio: crate::PriorityClass::Standard,
+                },
+            )
+        };
+        let place = |at, uid, host, occupied| {
+            ev(
+                at,
+                EventKind::VmPlaced {
+                    uid,
+                    host,
+                    vcpus: 2,
+                    occupied,
+                    cap: 8,
+                },
+            )
+        };
+        let fail = |at, host| {
+            ev(
+                at,
+                EventKind::HostFailed {
+                    host,
+                    kind: HostFailKind::Crash,
+                    residents: 1,
+                },
+            )
+        };
+        let migrate = |at, uid, from, to, from_occ, to_occ| {
+            ev(
+                at,
+                EventKind::VmMigrated {
+                    uid,
+                    from,
+                    to,
+                    vcpus: 2,
+                    from_occupied: from_occ,
+                    to_occupied: to_occ,
+                    cap: 8,
+                },
+            )
+        };
+        // Place → fail → evacuate → recover, with truthful occupancy and
+        // down time: clean, and nothing left stranded.
+        let c = check(&[
+            admit(10, 7),
+            place(20, 7, 0, 2),
+            fail(100, 0),
+            migrate(110, 7, 0, 1, 0, 2),
+            ev(
+                400,
+                EventKind::HostRecovered {
+                    host: 0,
+                    down_ns: 300,
+                },
+            ),
+        ]);
+        let r = c.report();
+        assert!(r.ok(), "unexpected violation: {:?}", r.first);
+        assert_eq!(r.stranded_vms, 0);
+        // A resident still placed on the failed host at stream end is
+        // stranded (informational, not a violation).
+        let c = check(&[admit(10, 7), place(20, 7, 0, 2), fail(100, 0)]);
+        let r = c.report();
+        assert!(r.ok(), "unexpected violation: {:?}", r.first);
+        assert_eq!(r.stranded_vms, 1);
+        // Placement onto a failed host.
+        let c = check(&[fail(10, 0), admit(20, 7), place(30, 7, 0, 2)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::PlacementOntoFailedHost
+        );
+        // Migration onto a failed host.
+        let c = check(&[
+            admit(10, 7),
+            place(20, 7, 0, 2),
+            fail(30, 1),
+            fail(40, 0),
+            migrate(50, 7, 0, 1, 0, 2),
+        ]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::PlacementOntoFailedHost
+        );
+        // Migration of a VM that was never placed, and from the wrong host.
+        let c = check(&[migrate(10, 7, 0, 1, 0, 2)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::MigrationWithoutPlacement
+        );
+        let c = check(&[admit(10, 7), place(20, 7, 0, 2), migrate(30, 7, 2, 1, 0, 2)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::MigrationWithoutPlacement
+        );
+        // Occupancy not conserved: the source claims it lost nothing.
+        let c = check(&[admit(10, 7), place(20, 7, 0, 2), migrate(30, 7, 0, 1, 2, 2)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::MigrationOccupancyMismatch
+        );
+        // Destination over its overcommit cap.
+        let c = check(&[admit(10, 7), place(20, 7, 0, 2), migrate(30, 7, 0, 1, 0, 9)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::OvercommitCapExceeded
+        );
+        // Double failure, recovery without failure, recovery lying about
+        // its down time.
+        let c = check(&[fail(10, 0), fail(20, 0)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::HostFailureStateMismatch
+        );
+        let c = check(&[ev(
+            10,
+            EventKind::HostRecovered {
+                host: 0,
+                down_ns: 5,
+            },
+        )]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::HostFailureStateMismatch
+        );
+        let c = check(&[
+            fail(10, 0),
+            ev(
+                400,
+                EventKind::HostRecovered {
+                    host: 0,
+                    down_ns: 5,
+                },
+            ),
+        ]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::HostFailureStateMismatch
         );
     }
 

@@ -285,6 +285,30 @@ pub fn chrome_trace(ring: &RingBuffer) -> String {
                      \"cat\":\"fleet\",\"name\":\"depart VM{uid} from H{host}\""
                 ));
             }
+            EventKind::HostFailed {
+                host,
+                kind,
+                residents,
+            } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"fleet\",\"name\":\"H{host} {kind:?}\",\
+                     \"args\":{{\"residents\":{residents}}}"
+                ));
+            }
+            EventKind::HostRecovered { host, down_ns } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"fleet\",\"name\":\"H{host} recovered\",\
+                     \"args\":{{\"down_ns\":{down_ns}}}"
+                ));
+            }
+            EventKind::VmMigrated { uid, from, to, .. } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"fleet\",\"name\":\"migrate VM{uid} H{from}->H{to}\""
+                ));
+            }
             // High-volume accounting deltas stay out of the visual trace;
             // they feed the schedstat totals and the checker instead.
             EventKind::StealAccrue { .. }
@@ -343,7 +367,10 @@ fn vcpu_of(ev: &TraceEvent) -> Option<u16> {
         | EventKind::PeltDecay { .. }
         | EventKind::VmAdmitted { .. }
         | EventKind::VmPlaced { .. }
-        | EventKind::VmDeparted { .. } => None,
+        | EventKind::VmDeparted { .. }
+        | EventKind::HostFailed { .. }
+        | EventKind::HostRecovered { .. }
+        | EventKind::VmMigrated { .. } => None,
     }
 }
 

@@ -177,6 +177,40 @@ impl FaultClass {
     }
 }
 
+/// Why a fleet host stopped accepting and running VMs (fleet chaos mode).
+///
+/// Lives here (like [`FaultClass`]) because `trace` sits below `fleet`:
+/// the fleet chaos plan stamps every host failure with its kind so the
+/// checker and the replayed-day comparisons can distinguish an abrupt
+/// crash (guest probe state is lost) from an orderly maintenance drain
+/// (probe state can be handed off to the destination host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostFailKind {
+    /// Abrupt host loss: resident VMs are evacuated cold.
+    Crash,
+    /// Orderly maintenance drain: residents migrate with state handoff.
+    Drain,
+}
+
+impl HostFailKind {
+    /// Stable serialization name (fleet chaos plans store these).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HostFailKind::Crash => "Crash",
+            HostFailKind::Drain => "Drain",
+        }
+    }
+
+    /// Inverse of [`HostFailKind::name`].
+    pub fn from_name(name: &str) -> Option<HostFailKind> {
+        Some(match name {
+            "Crash" => HostFailKind::Crash,
+            "Drain" => HostFailKind::Drain,
+            _ => return None,
+        })
+    }
+}
+
 /// Why vSched's resilience layer entered degraded mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DegradeReason {
@@ -303,6 +337,33 @@ pub enum EventKind {
     },
     /// VM `uid` departed `host`, releasing its `vcpus` committed vCPUs.
     VmDeparted { uid: u32, host: u16, vcpus: u16 },
+    /// A fleet host failed (crash) or began draining for maintenance.
+    /// `residents` is the number of VMs resident at the instant of
+    /// failure — the checker holds the fleet to evacuating (or
+    /// departing) every one of them before the run ends.
+    HostFailed {
+        host: u16,
+        kind: HostFailKind,
+        residents: u16,
+    },
+    /// A failed host came back after `down_ns` and may accept placements
+    /// again.
+    HostRecovered { host: u16, down_ns: u64 },
+    /// VM `uid` was live-migrated off a failing/draining host.
+    /// `from_occupied`/`to_occupied` are the committed vCPU counts of the
+    /// source and destination *after* the move, and `cap` the
+    /// destination's overcommit cap, so the checker can verify occupancy
+    /// is conserved (source lost exactly `vcpus`, destination gained
+    /// exactly `vcpus`) and the destination stays within its cap.
+    VmMigrated {
+        uid: u32,
+        from: u16,
+        to: u16,
+        vcpus: u16,
+        from_occupied: u64,
+        to_occupied: u64,
+        cap: u64,
+    },
 }
 
 /// A stamped event: simulated time, owning VM, payload.
@@ -343,6 +404,9 @@ impl EventKind {
             EventKind::VmAdmitted { .. } => "vm_admitted",
             EventKind::VmPlaced { .. } => "vm_placed",
             EventKind::VmDeparted { .. } => "vm_departed",
+            EventKind::HostFailed { .. } => "host_failed",
+            EventKind::HostRecovered { .. } => "host_recovered",
+            EventKind::VmMigrated { .. } => "vm_migrated",
         }
     }
 }

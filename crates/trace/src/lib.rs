@@ -31,8 +31,8 @@ pub mod sink;
 pub use check::{CheckReport, InvariantChecker, Violation, ViolationKind};
 pub use chrome::{chrome_trace, validate_json};
 pub use event::{
-    DegradeReason, EventKind, FaultClass, IvhPhase, MigrateKind, PreemptReason, PriorityClass,
-    ProbeKind, SwitchReason, TraceEvent, PRIORITY_CLASSES,
+    DegradeReason, EventKind, FaultClass, HostFailKind, IvhPhase, MigrateKind, PreemptReason,
+    PriorityClass, ProbeKind, SwitchReason, TraceEvent, PRIORITY_CLASSES,
 };
 pub use latency::WakeLatency;
 pub use ring::RingBuffer;

@@ -94,6 +94,17 @@ impl Vcap {
         self.window_open
     }
 
+    /// Seeds a vCPU's capacity estimate before any probe window runs
+    /// (fleet live migration handing probe state from the source host's
+    /// instance to the destination's). The first `Ema::update` on an
+    /// uninitialized estimator adopts the sample exactly, so the
+    /// destination starts from the source's published capacity instead
+    /// of the nominal 1024 and converges from there.
+    pub fn seed_capacity(&mut self, v: VcpuId, cap: f64, core: f64) {
+        self.cap[v.0].update(cap);
+        self.core_cap[v.0] = core;
+    }
+
     /// The published capacity of a vCPU (1024 scale; 1024 until probed).
     pub fn capacity(&self, v: VcpuId) -> f64 {
         if self.cap[v.0].initialized() {

@@ -115,6 +115,32 @@ impl LatencyServer {
         )
     }
 
+    /// Creates the workload around an *existing* statistics handle, so a
+    /// tenant whose VM is live-migrated between hosts keeps accumulating
+    /// into the same histograms. Does not reset the handle; a series is
+    /// only attached if the config asks for one and none exists yet.
+    pub fn with_stats(
+        cfg: LatencyServerCfg,
+        rng: SimRng,
+        stats: Rc<RefCell<LatencyStats>>,
+    ) -> Self {
+        if let Some(w) = cfg.series_window_ns {
+            let mut s = stats.borrow_mut();
+            if s.series.is_none() {
+                s.series = Some(TimeSeries::new(w, 0));
+            }
+        }
+        Self {
+            cfg,
+            rng,
+            stats,
+            workers: Vec::new(),
+            best_effort: Vec::new(),
+            current: Vec::new(),
+            backlog: VecDeque::new(),
+        }
+    }
+
     fn worker_index(&self, t: TaskId) -> Option<usize> {
         self.workers.iter().position(|&w| w == t)
     }
