@@ -75,6 +75,20 @@ if ./target/release/fleettrace validate "$tmpdir/corrupt.trace.jsonl" \
     exit 1
 fi
 grep -q "line " "$tmpdir/corrupt_err.txt"
+# A trace that *parses* but is not the codec's canonical byte encoding
+# (here: one extra space) must fail the round-trip gate, and every
+# committed example must pass it.
+sed '2s/"op":"arrive"/"op": "arrive"/' "$tmpdir/day.trace.jsonl" \
+    > "$tmpdir/noncanon.trace.jsonl"
+if ./target/release/fleettrace validate "$tmpdir/noncanon.trace.jsonl" \
+    2> "$tmpdir/noncanon_err.txt"; then
+    echo "fleettrace validate accepted a non-canonical trace" >&2
+    exit 1
+fi
+grep -q "canonical encoding" "$tmpdir/noncanon_err.txt"
+for example in examples/*.trace.jsonl; do
+    ./target/release/fleettrace validate "$example" | grep -q "round-trip clean"
+done
 # 2) The committed example trace must replay end-to-end, law-clean, and
 #    the cluster-stepping pool must be invisible in the replay output:
 #    one host-stepping worker vs four, byte-identical stdout. This pins
@@ -139,6 +153,47 @@ grep -q "reproduced law 'fleet-synthetic-canary'" "$tmpdir/freplay_err.txt"
     --fleet-threads 4 > "$tmpdir/drain_step4.txt"
 diff "$tmpdir/drain_serial.txt" "$tmpdir/drain_step4.txt"
 grep -q "chaos seed" "$tmpdir/drain_serial.txt"
+# 5) So does the committed resize-storm chaos day (the chaos-mode example
+#    trace captured via the fleettrace codec).
+./target/release/fleettrace replay examples/sap_storm_chaos.trace.jsonl \
+    --policy probe-aware --mode vsched --chaos-seed 7 --migration handoff \
+    --fleet-threads 1 > "$tmpdir/storm_serial.txt"
+./target/release/fleettrace replay examples/sap_storm_chaos.trace.jsonl \
+    --policy probe-aware --mode vsched --chaos-seed 7 --migration handoff \
+    --fleet-threads 4 > "$tmpdir/storm_step4.txt"
+diff "$tmpdir/storm_serial.txt" "$tmpdir/storm_step4.txt"
+grep -q "chaos seed" "$tmpdir/storm_serial.txt"
+
+echo "== adversary-smoke: gamed-host determinism, seed sweep, shrink round-trip"
+# 1) Fixed seed: the adversary matrix (host policy x victim guest, a
+#    dodge and a pollute sub-run per cell) must be byte-identical across
+#    worker counts, like every other job.
+VSCHED_SCALE=smoke ./target/release/suite --filter adversary --jobs 1 --seed 42 \
+    --no-ckpt > "$tmpdir/adv_serial.txt" 2>/dev/null
+VSCHED_SCALE=smoke ./target/release/suite --filter adversary --jobs 4 --seed 42 \
+    --no-ckpt > "$tmpdir/adv_parallel.txt" 2>/dev/null
+diff "$tmpdir/adv_serial.txt" "$tmpdir/adv_parallel.txt"
+grep -q "steal" "$tmpdir/adv_serial.txt"
+# 2) Randomized seed: attack-archetype invariant sweeps on a fresh plan
+#    each run. The seed is printed so a CI failure replays locally with
+#    ADVERSARY_SEED=<seed> cargo test --release --test adversary.
+adversary_seed=$(date +%s%N)
+echo "   adversary-smoke randomized seed: $adversary_seed"
+if ! ADVERSARY_SEED="$adversary_seed" \
+    cargo test -q --release --test adversary invariants; then
+    echo "adversary-smoke FAILED with ADVERSARY_SEED=$adversary_seed (replay locally with that env var)" >&2
+    exit 1
+fi
+# 3) Shrink + replay the attack plan under the synthetic law (healthy
+#    code passes the real checker, so CI exercises the attack-plan ddmin
+#    pipeline with the canary law), mirroring the chaos and fleet gates.
+VSCHED_SHRINK_LAW=synthetic ./target/release/suite --shrink-adversary 3735928559 \
+    2> "$tmpdir/ashrink_err.txt"
+grep -q "repro written" "$tmpdir/ashrink_err.txt"
+VSCHED_SHRINK_LAW=synthetic ./target/release/suite \
+    --replay-adversary target/adversary_repro_3735928559.json \
+    2> "$tmpdir/areplay_err.txt"
+grep -q "reproduced law 'adversary-synthetic-canary'" "$tmpdir/areplay_err.txt"
 
 echo "== supervision-smoke: canary isolation, kill/resume, shrink/replay"
 # 1) Canary: two cells fail on purpose (panic + blown deadline). The suite

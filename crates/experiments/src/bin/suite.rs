@@ -26,8 +26,11 @@
 //!   `--shrink-fleet SEED` does the same for the fleet-chaos cell's
 //!   `FleetChaosPlan` (host crashes/drains/degradations), writing
 //!   `target/fleet_chaos_repro_<seed>.json`; `--replay-fleet FILE` re-runs
-//!   one. `VSCHED_SHRINK_LAW=synthetic` swaps the real checkers for the
-//!   synthetic canary laws (tests/CI).
+//!   one. `--shrink-adversary SEED` shrinks the adversary cell's
+//!   `AttackPlan` (scheduler-gaming guest actions), writing
+//!   `target/adversary_repro_<seed>.json`; `--replay-adversary FILE`
+//!   re-runs one. `VSCHED_SHRINK_LAW=synthetic` swaps the real checkers
+//!   for the synthetic canary laws (tests/CI).
 //! * `VSCHED_CANARY=1` appends the always-failing canary job (CI
 //!   supervision smoke).
 //! * `--list` prints every registered job id with its cell count and a
@@ -48,7 +51,8 @@ fn usage() -> ! {
         "usage: suite [--jobs N] [--filter SUBSTR[,SUBSTR...]] \
          [--scale smoke|quick|paper] [--seed N] [--retries N] [--deadline-ms N] \
          [--fleet-threads N] [--ckpt-dir PATH | --no-ckpt] [--resume] [--list] \
-         [--shrink SEED | --replay FILE | --shrink-fleet SEED | --replay-fleet FILE]\n\
+         [--shrink SEED | --replay FILE | --shrink-fleet SEED | --replay-fleet FILE \
+         | --shrink-adversary SEED | --replay-adversary FILE]\n\
          \n\
          --fleet-threads N   host-stepping workers for fleet/fleet-replay \
          cells (default: available parallelism; output is byte-identical \
@@ -181,6 +185,80 @@ fn replay_fleet_main(path: &str, opts: &SuiteOptions) -> ! {
     }
 }
 
+fn shrink_adversary_main(seed: u64, opts: &SuiteOptions) -> ! {
+    let horizon = opts.scale.secs(8, 30);
+    let plan = experiments::adversary::plan_for(None, horizon, seed);
+    eprintln!(
+        "# shrink-adversary: seed {seed} -> {} attack actions over {horizon}s horizon (law: {})",
+        plan.events.len(),
+        if use_synthetic_law() {
+            "synthetic"
+        } else {
+            "adversary checker"
+        },
+    );
+    let shrunk = if use_synthetic_law() {
+        shrink::shrink_attack_plan(&plan, shrink::adversary_synthetic_law)
+    } else {
+        shrink::shrink_attack_plan(&plan, |p| shrink::adversary_checker_law(p, seed))
+    };
+    match shrunk {
+        Ok(out) => {
+            let path = PathBuf::from(format!("target/adversary_repro_{seed}.json"));
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = checkpoint::atomic_write(&path, out.plan.to_json().as_bytes()) {
+                eprintln!("# shrink-adversary: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            eprintln!(
+                "# shrink-adversary: law '{}' holds at {} of {} attack actions \
+                 ({} oracle runs); repro written to {}",
+                out.law,
+                out.plan.events.len(),
+                out.original_actions,
+                out.oracle_runs,
+                path.display()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("# shrink-adversary: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn replay_adversary_main(path: &str, opts: &SuiteOptions) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("# replay-adversary: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let plan = workloads::AttackPlan::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("# replay-adversary: {path} is not an attack-plan repro: {e}");
+        std::process::exit(2);
+    });
+    let law = if use_synthetic_law() {
+        shrink::adversary_synthetic_law(&plan)
+    } else {
+        shrink::adversary_checker_law(&plan, opts.seed)
+    };
+    match law {
+        Some(l) => {
+            eprintln!(
+                "# replay-adversary: reproduced law '{l}' with {} attack action(s) from {path}",
+                plan.events.len()
+            );
+            std::process::exit(0);
+        }
+        None => {
+            eprintln!("# replay-adversary: plan from {path} passes every law; no reproduction");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn replay_main(path: &str, opts: &SuiteOptions) -> ! {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("# replay: cannot read {path}: {e}");
@@ -225,6 +303,8 @@ fn main() {
     let mut replay_file: Option<String> = None;
     let mut shrink_fleet_seed: Option<u64> = None;
     let mut replay_fleet_file: Option<String> = None;
+    let mut shrink_adversary_seed: Option<u64> = None;
+    let mut replay_adversary_file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -270,6 +350,14 @@ fn main() {
                     Some(value("--shrink-fleet").parse().unwrap_or_else(|_| usage()));
             }
             "--replay-fleet" => replay_fleet_file = Some(value("--replay-fleet")),
+            "--shrink-adversary" => {
+                shrink_adversary_seed = Some(
+                    value("--shrink-adversary")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
+            "--replay-adversary" => replay_adversary_file = Some(value("--replay-adversary")),
             "--list" => list = true,
             "--help" | "-h" => usage(),
             other => {
@@ -304,6 +392,12 @@ fn main() {
     }
     if let Some(path) = replay_fleet_file {
         replay_fleet_main(&path, &opts);
+    }
+    if let Some(seed) = shrink_adversary_seed {
+        shrink_adversary_main(seed, &opts);
+    }
+    if let Some(path) = replay_adversary_file {
+        replay_adversary_main(&path, &opts);
     }
 
     let res = match run_suite(&opts) {

@@ -11,6 +11,7 @@
 //! Durations honour the `VSCHED_SCALE` environment variable
 //! (`quick`/`paper`); see [`common::Scale`].
 
+pub mod adversary;
 pub mod chaos;
 pub mod checkpoint;
 pub mod common;

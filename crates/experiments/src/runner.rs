@@ -29,8 +29,8 @@ use crate::fig18_19::ProfileKind;
 use crate::profiles::{hpvm, rcvm};
 use crate::supervise::{self, CellFailure, FailureReport, SupervisePolicy};
 use crate::{
-    chaos, fig02, fig03, fig04, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18_19,
-    fig20, fig21, fleet_chaos, replay, table2, table3, table4,
+    adversary, chaos, fig02, fig03, fig04, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
+    fig18_19, fig20, fig21, fleet_chaos, replay, table2, table3, table4,
 };
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -720,6 +720,41 @@ fn job_chaos() -> Job {
     }
 }
 
+fn job_adversary() -> Job {
+    // One cell per (host policy, victim guest). Each cell runs its own
+    // dodge and pollute sub-runs, so the matrix shards six ways.
+    let mut cells = Vec::new();
+    for &policy in adversary::POLICIES.iter() {
+        for &guest in adversary::GUESTS.iter() {
+            cells.push(cell(
+                format!("{}/{}", policy.label(), guest.label()),
+                move |seed, scale: Scale| {
+                    adversary::run_cell(policy, guest, scale.secs(8, 30), seed)
+                },
+            ));
+        }
+    }
+    Job {
+        name: "adversary",
+        desc: "scheduler-gaming co-tenants vs domain partitioning and hardened probing",
+        cells,
+        reduce: Box::new(|parts, _| {
+            let mut it = parts.into_iter();
+            let mut rows = Vec::new();
+            for &policy in adversary::POLICIES.iter() {
+                for &guest in adversary::GUESTS.iter() {
+                    rows.push((
+                        policy,
+                        guest,
+                        got::<adversary::AdversaryOutcome>(it.next().unwrap()),
+                    ));
+                }
+            }
+            adversary::AdversaryMatrix { rows }.to_string()
+        }),
+    }
+}
+
 fn job_fleet() -> Job {
     // One cell per placement policy: each replays the identical churn
     // schedule under CFS guests and under vSched guests (same cell seed),
@@ -886,6 +921,7 @@ pub fn registry() -> Vec<Job> {
         job_table3(),
         job_table4(),
         job_chaos(),
+        job_adversary(),
         job_fleet(),
         job_fleet_replay(),
         job_fleet_chaos(),
@@ -1288,7 +1324,7 @@ mod tests {
     #[test]
     fn registry_covers_the_full_suite() {
         let names: Vec<&str> = registry().iter().map(|j| j.name).collect();
-        assert_eq!(names.len(), 22);
+        assert_eq!(names.len(), 23);
         for want in [
             "fig02",
             "fig15",
@@ -1297,6 +1333,7 @@ mod tests {
             "table2",
             "table4",
             "chaos",
+            "adversary",
             "fleet",
             "fleet-replay",
             "fleet-chaos",
@@ -1324,7 +1361,7 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.filter, "fig99");
-        assert_eq!(err.valid.len(), 22);
+        assert_eq!(err.valid.len(), 23);
         assert!(err.valid.contains(&"fig03"));
         let msg = err.to_string();
         assert!(msg.contains("fig99") && msg.contains("fig03") && msg.contains("table4"));

@@ -20,10 +20,12 @@
 //! synthetic laws without needing a genuine simulator bug on tap; the
 //! `suite --shrink` binary wires in the real chaos checker.
 
+use crate::adversary::{GuestMode, HostPolicy};
 use crate::chaos::{self, ChaosMode};
 use crate::fleet_chaos::ChaosGuests;
 use ::fleet::{FleetChaosPlan, HostOp};
 use hostsim::FaultPlan;
+use workloads::{AttackKind, AttackPlan};
 
 /// What a completed shrink reports.
 #[derive(Debug, Clone)]
@@ -152,6 +154,39 @@ pub fn shrink_fleet_plan(
     })
 }
 
+/// What a completed attack-plan shrink reports.
+#[derive(Debug, Clone)]
+pub struct AttackShrinkOutcome {
+    /// The minimized attack plan (same seed and spec, fewer actions).
+    pub plan: AttackPlan,
+    /// The checker law every kept candidate failed.
+    pub law: String,
+    /// Actions in the original plan.
+    pub original_actions: usize,
+    /// Oracle invocations spent.
+    pub oracle_runs: usize,
+}
+
+/// Adversary sibling of [`shrink_plan`]: delta-debugs an [`AttackPlan`]
+/// down to a 1-minimal attack-action subset still failing the same law.
+pub fn shrink_attack_plan(
+    plan: &AttackPlan,
+    mut law: impl FnMut(&AttackPlan) -> Option<String>,
+) -> Result<AttackShrinkOutcome, ShrinkError> {
+    let mut runs = 1usize;
+    let target = law(plan).ok_or(ShrinkError::PlanPasses)?;
+    let events = ddmin(plan.events.clone(), &target, |evs| {
+        runs += 1;
+        law(&plan.with_events(evs.to_vec()))
+    });
+    Ok(AttackShrinkOutcome {
+        plan: plan.with_events(events),
+        law: target,
+        original_actions: plan.events.len(),
+        oracle_runs: runs,
+    })
+}
+
 /// The production oracle: run the chaos cell's resilient-vSched
 /// configuration under `plan` and report which invariant law (if any) the
 /// streaming checker saw broken first.
@@ -211,6 +246,33 @@ pub fn fleet_synthetic_law(plan: &FleetChaosPlan) -> Option<String> {
     let crash = plan.events.iter().filter(|e| e.op == HostOp::Crash).count();
     let drain = plan.events.iter().filter(|e| e.op == HostOp::Drain).count();
     (crash >= 1 && drain >= 1).then(|| "fleet-synthetic-canary".to_string())
+}
+
+/// The adversary production oracle: run the attack through the richest
+/// cell — domain-partitioned host, hardened vSched guest — so the domain
+/// ownership/steal laws *and* the probe-rejection path are all live, and
+/// report which trace law (if any) the checker saw broken first.
+pub fn adversary_checker_law(plan: &AttackPlan, seed: u64) -> Option<String> {
+    crate::adversary::run_attack(HostPolicy::Domain, GuestMode::VschedHardened, plan, seed)
+        .first_law
+}
+
+/// Adversary sibling of [`synthetic_law`]: fails iff the plan still
+/// contains at least two `ProbeBurst` actions and at least one
+/// `DodgeRun` — so the minimal repro is exactly three actions. Selected
+/// by `VSCHED_SHRINK_LAW=synthetic`.
+pub fn adversary_synthetic_law(plan: &AttackPlan) -> Option<String> {
+    let bursts = plan
+        .events
+        .iter()
+        .filter(|e| e.kind == AttackKind::ProbeBurst)
+        .count();
+    let dodges = plan
+        .events
+        .iter()
+        .filter(|e| e.kind == AttackKind::DodgeRun)
+        .count();
+    (bursts >= 2 && dodges >= 1).then(|| "adversary-synthetic-canary".to_string())
 }
 
 #[cfg(test)]
@@ -318,6 +380,54 @@ mod tests {
             fleet_synthetic_law(&back).is_some(),
             "parsed repro still fails"
         );
+    }
+
+    fn attack_plan(seed: u64) -> AttackPlan {
+        crate::adversary::plan_for(None, 4, seed)
+    }
+
+    #[test]
+    fn attack_plans_shrink_to_a_one_minimal_burst_dodge_triple() {
+        let full = attack_plan(0xBAD);
+        assert!(
+            adversary_synthetic_law(&full).is_some(),
+            "seed must fail the adversary synthetic law to start ({} actions)",
+            full.events.len()
+        );
+        let out = shrink_attack_plan(&full, adversary_synthetic_law).unwrap();
+        assert_eq!(out.law, "adversary-synthetic-canary");
+        // The adversary synthetic law's minimum is two bursts plus a dodge.
+        assert_eq!(out.plan.events.len(), 3);
+        for skip in 0..out.plan.events.len() {
+            let mut fewer = out.plan.events.clone();
+            fewer.remove(skip);
+            assert!(
+                adversary_synthetic_law(&out.plan.with_events(fewer)).is_none(),
+                "not 1-minimal at index {skip}"
+            );
+        }
+    }
+
+    #[test]
+    fn shrunk_attack_plan_round_trips_through_the_repro_file_format() {
+        let full = attack_plan(0xBAD);
+        let out = shrink_attack_plan(&full, adversary_synthetic_law).unwrap();
+        let back = AttackPlan::from_json(&out.plan.to_json()).unwrap();
+        assert_eq!(back, out.plan);
+        assert!(
+            adversary_synthetic_law(&back).is_some(),
+            "parsed repro still fails"
+        );
+    }
+
+    #[test]
+    fn passing_attack_plan_reports_nothing_to_shrink() {
+        let spec = workloads::AttackSpec::for_vm(2, 2_000 * MS).only(AttackKind::ThrashPhase);
+        let p = AttackPlan::generate(5, &spec);
+        assert!(matches!(
+            shrink_attack_plan(&p, adversary_synthetic_law),
+            Err(ShrinkError::PlanPasses)
+        ));
     }
 
     #[test]

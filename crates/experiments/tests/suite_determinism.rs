@@ -31,8 +31,10 @@ fn parallel_output_is_byte_identical_to_serial() {
     // the "fleet" filter substring-matches both the stochastic "fleet"
     // job and the trace-driven "fleet-replay" job, so the replayed day
     // is held to the same byte-identity gate), run serially and at two
-    // parallel widths.
-    for filter in ["fig03", "fig11", "chaos", "fleet"] {
+    // parallel widths. The adversary matrix rides the same gate: attack
+    // plans, domain rotation, and probe hardening must replay identically
+    // at any worker count.
+    for filter in ["fig03", "fig11", "chaos", "adversary", "fleet"] {
         let serial = outputs(1, filter);
         for jobs in [2, 5] {
             let parallel = outputs(jobs, filter);

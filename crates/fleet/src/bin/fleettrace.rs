@@ -11,7 +11,9 @@
 //! `gen` defaults the seed to the profile's canonical day seed, so
 //! `fleettrace gen --profile X` always reproduces the same day the suite
 //! replays. `validate` exits nonzero with a line-precise error for any
-//! corrupt trace. `replay` runs the trace through a full cluster and
+//! corrupt trace, and additionally gates the byte-level round trip: a
+//! trace that parses but is not in the codec's canonical encoding is
+//! rejected too. `replay` runs the trace through a full cluster and
 //! exits nonzero if any trace law is violated; `--fleet-threads` bounds
 //! the cluster's host-stepping worker pool (default: available
 //! parallelism) and never changes the replay's output — only wall clock.
@@ -159,8 +161,21 @@ fn cmd_validate(args: &mut Vec<String>) -> Result<ExitCode, String> {
     }
     match FleetTrace::decode(&text) {
         Ok(t) => {
+            // Byte-level round-trip gate: a committed trace must be in the
+            // codec's canonical encoding, so decode -> encode reproduces
+            // the file exactly. Anything else (hand edits, field
+            // reordering, whitespace drift) is rejected even though it
+            // parses — replay provenance depends on the bytes.
+            if t.encode() != text {
+                eprintln!(
+                    "{path}: invalid trace: decodes but is not in canonical encoding \
+                     (re-encoding differs; regenerate with `fleettrace gen`)"
+                );
+                return Ok(ExitCode::FAILURE);
+            }
             println!(
-                "{path}: ok — profile {:?}, {} records, horizon {}ms, day_seed {:#x}",
+                "{path}: ok — profile {:?}, {} records, horizon {}ms, day_seed {:#x}, \
+                 round-trip clean",
                 t.profile,
                 t.events.len(),
                 t.horizon_ns / 1_000_000,

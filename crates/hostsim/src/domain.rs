@@ -1,0 +1,259 @@
+//! seL4-style static time-domain partitioning of host threads.
+//!
+//! A [`DomainSchedule`] divides host CPU time into a fixed rotation of
+//! per-tenant-class slices (the seL4 `ksDomSchedule` idea): while a
+//! slice is active, only vCPUs of that slice's [`PriorityClass`] may
+//! execute; everything else waits, regardless of demand or weight. This
+//! makes proportional-share gaming (tick-dodging, wake-preemption abuse)
+//! structurally impossible — an adversary cannot run outside its own
+//! domain, so the most it can "steal" is time inside its own entitlement.
+//!
+//! The schedule is validated up front ([`DomainSchedule::validate`]) and
+//! then immutable for the run; [`crate::machine::Machine`] rotates it
+//! round-robin, emitting `DomainSwitch`/`StealAccounted` trace events
+//! that the invariant checker holds to the slice-sum, cross-domain, and
+//! steal-conservation laws.
+
+use std::fmt;
+use trace::PriorityClass;
+
+/// One entry of a domain rotation: a tenant class and its slice length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainSlice {
+    /// Tenant class that owns the slice.
+    pub class: PriorityClass,
+    /// Slice length in nanoseconds.
+    pub slice_ns: u64,
+}
+
+impl DomainSlice {
+    /// Convenience constructor.
+    pub fn new(class: PriorityClass, slice_ns: u64) -> Self {
+        Self { class, slice_ns }
+    }
+}
+
+/// A static rotation of per-tenant-class time slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainSchedule {
+    /// The rotation, in order. Repeating a class is allowed (a class may
+    /// hold several slices per period).
+    pub slices: Vec<DomainSlice>,
+    /// Rotation period in nanoseconds; the slices must sum to exactly
+    /// this (the slice-sum trace law re-checks it at every wrap).
+    pub period_ns: u64,
+}
+
+impl DomainSchedule {
+    /// Builds a schedule whose period is the sum of its slices (the
+    /// common, always-consistent case).
+    pub fn new(slices: Vec<DomainSlice>) -> Self {
+        let period_ns = slices.iter().map(|s| s.slice_ns).sum();
+        Self { slices, period_ns }
+    }
+
+    /// Builds a schedule with an explicit period, which
+    /// [`DomainSchedule::validate`] may then reject — the error-path
+    /// constructor for tests and config loading.
+    pub fn with_period(slices: Vec<DomainSlice>, period_ns: u64) -> Self {
+        Self { slices, period_ns }
+    }
+
+    /// An even two-class split: half the period to `a`, half to `b`.
+    pub fn even_pair(a: PriorityClass, b: PriorityClass, period_ns: u64) -> Self {
+        let half = period_ns / 2;
+        Self::with_period(
+            vec![
+                DomainSlice::new(a, half),
+                DomainSlice::new(b, period_ns - half),
+            ],
+            period_ns,
+        )
+    }
+
+    /// Checks the schedule's internal consistency and that every tenant
+    /// class in `classes_in_use` owns at least one slice (a class with no
+    /// domain would silently never run).
+    pub fn validate(&self, classes_in_use: &[PriorityClass]) -> Result<(), DomainConfigError> {
+        if self.slices.is_empty() {
+            return Err(DomainConfigError::EmptySchedule);
+        }
+        for (index, s) in self.slices.iter().enumerate() {
+            if s.slice_ns == 0 {
+                return Err(DomainConfigError::ZeroLengthSlice {
+                    index,
+                    class: s.class,
+                });
+            }
+        }
+        let total_ns: u64 = self.slices.iter().map(|s| s.slice_ns).sum();
+        if total_ns > self.period_ns {
+            return Err(DomainConfigError::SlicesExceedPeriod {
+                total_ns,
+                period_ns: self.period_ns,
+            });
+        }
+        if total_ns < self.period_ns {
+            return Err(DomainConfigError::SlicesUnderfillPeriod {
+                total_ns,
+                period_ns: self.period_ns,
+            });
+        }
+        for &class in classes_in_use {
+            if !self.slices.iter().any(|s| s.class == class) {
+                return Err(DomainConfigError::MissingClass { class });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`DomainSchedule`] was rejected. Every variant names the exact
+/// offending field values so the message alone identifies the fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainConfigError {
+    /// The rotation has no slices at all.
+    EmptySchedule,
+    /// A slice has `slice_ns == 0`.
+    ZeroLengthSlice {
+        /// Position in the rotation.
+        index: usize,
+        /// Class the empty slice belongs to.
+        class: PriorityClass,
+    },
+    /// The slices sum to more than the period.
+    SlicesExceedPeriod {
+        /// Sum of all slice lengths.
+        total_ns: u64,
+        /// Declared period.
+        period_ns: u64,
+    },
+    /// The slices sum to less than the period (a gap nobody owns).
+    SlicesUnderfillPeriod {
+        /// Sum of all slice lengths.
+        total_ns: u64,
+        /// Declared period.
+        period_ns: u64,
+    },
+    /// A tenant class present on the machine has no slice.
+    MissingClass {
+        /// The classless tenant.
+        class: PriorityClass,
+    },
+}
+
+impl fmt::Display for DomainConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptySchedule => write!(f, "domain schedule has no slices"),
+            Self::ZeroLengthSlice { index, class } => {
+                write!(f, "slice {index} (class {}) has zero length", class.name())
+            }
+            Self::SlicesExceedPeriod {
+                total_ns,
+                period_ns,
+            } => write!(
+                f,
+                "slices sum to {total_ns} ns, exceeding the {period_ns} ns period"
+            ),
+            Self::SlicesUnderfillPeriod {
+                total_ns,
+                period_ns,
+            } => write!(
+                f,
+                "slices sum to {total_ns} ns, leaving {} ns of the {period_ns} ns \
+                 period unowned",
+                period_ns - total_ns
+            ),
+            Self::MissingClass { class } => write!(
+                f,
+                "tenant class {} is in use but owns no domain slice",
+                class.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DomainConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_constructor_is_always_consistent() {
+        let ds = DomainSchedule::new(vec![
+            DomainSlice::new(PriorityClass::Standard, 2_000_000),
+            DomainSlice::new(PriorityClass::Batch, 2_000_000),
+        ]);
+        assert_eq!(ds.period_ns, 4_000_000);
+        assert_eq!(
+            ds.validate(&[PriorityClass::Standard, PriorityClass::Batch]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn zero_length_slice_is_named() {
+        let ds = DomainSchedule::with_period(
+            vec![
+                DomainSlice::new(PriorityClass::Standard, 4_000_000),
+                DomainSlice::new(PriorityClass::Batch, 0),
+            ],
+            4_000_000,
+        );
+        let err = ds.validate(&[]).unwrap_err();
+        assert_eq!(
+            err,
+            DomainConfigError::ZeroLengthSlice {
+                index: 1,
+                class: PriorityClass::Batch
+            }
+        );
+        assert_eq!(err.to_string(), "slice 1 (class batch) has zero length");
+    }
+
+    #[test]
+    fn over_and_underfilled_periods_are_named() {
+        let over = DomainSchedule::with_period(
+            vec![DomainSlice::new(PriorityClass::Standard, 5_000_000)],
+            4_000_000,
+        );
+        assert_eq!(
+            over.validate(&[]).unwrap_err().to_string(),
+            "slices sum to 5000000 ns, exceeding the 4000000 ns period"
+        );
+        let under = DomainSchedule::with_period(
+            vec![DomainSlice::new(PriorityClass::Standard, 3_000_000)],
+            4_000_000,
+        );
+        assert_eq!(
+            under.validate(&[]).unwrap_err().to_string(),
+            "slices sum to 3000000 ns, leaving 1000000 ns of the 4000000 ns period unowned"
+        );
+    }
+
+    #[test]
+    fn class_without_a_slice_is_rejected() {
+        let ds = DomainSchedule::new(vec![DomainSlice::new(PriorityClass::Standard, 1_000_000)]);
+        let err = ds
+            .validate(&[PriorityClass::Standard, PriorityClass::Critical])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DomainConfigError::MissingClass {
+                class: PriorityClass::Critical
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "tenant class critical is in use but owns no domain slice"
+        );
+        assert_eq!(
+            DomainSchedule::with_period(vec![], 0)
+                .validate(&[])
+                .unwrap_err(),
+            DomainConfigError::EmptySchedule
+        );
+    }
+}

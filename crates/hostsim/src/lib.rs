@@ -20,12 +20,14 @@
 //! The [`machine::Machine`] owns the event loop; [`scenario`] provides the
 //! declarative builders experiments use.
 
+pub mod domain;
 pub mod faults;
 pub mod machine;
 pub mod scenario;
 pub mod topology;
 
+pub use domain::{DomainConfigError, DomainSchedule, DomainSlice};
 pub use faults::{ChaosSpec, FaultPlan, InjectedFault};
-pub use machine::{Ev, GVcpu, HostState, Machine, ScriptAction, Vm};
+pub use machine::{Ev, GVcpu, HostSched, HostState, Machine, ScriptAction, Vm};
 pub use scenario::{Pinning, ScenarioBuilder, VmSpec};
 pub use topology::{CachelineLatencies, HostSpec};

@@ -20,13 +20,14 @@
 //! reschedule that starts another VM's vCPU) is deferred through a
 //! zero-delay event.
 
+use crate::domain::{DomainConfigError, DomainSchedule};
 use crate::topology::HostSpec;
 use guestos::{
     CommDistance, GuestConfig, GuestOs, Platform, RunDelta, TaskId, TaskState, VcpuId, Workload,
 };
 use simcore::{EventQueue, Integrator, SimRng, SimTime};
 use std::collections::VecDeque;
-use trace::{EventKind, FaultClass, PreemptReason, SharedCollector, TraceSink};
+use trace::{EventKind, FaultClass, PreemptReason, PriorityClass, SharedCollector, TraceSink};
 
 /// Global vCPU index across all VMs.
 pub type GVcpu = usize;
@@ -136,6 +137,49 @@ pub struct HostLoad {
     pub dead: bool,
 }
 
+/// How the host arbitrates a thread among its runnable entities.
+///
+/// [`HostSched::Proportional`] is the original exact-settling weighted
+/// round-robin — the default, byte-identical to every prior run.
+/// [`HostSched::CreditSampled`] models a Xen-credit-style scheduler whose
+/// accounting is *sampled* at a periodic tick rather than settled exactly:
+/// whoever happens to be on-CPU at the tick eats the whole tick's charge,
+/// which is precisely the hole a tick-dodging adversary exploits
+/// ("Scheduler Vulnerabilities and Attacks in Cloud Computing").
+/// [`HostSched::Domain`] is the seL4-style static time-partition that
+/// closes the hole structurally.
+#[derive(Debug, Clone)]
+pub enum HostSched {
+    /// Exact-accounting weighted round-robin (the default).
+    Proportional,
+    /// Sampled-accounting credit scheduler: charge is attributed at each
+    /// tick to whichever entity is running at that instant, decays ×3/4
+    /// per tick, and the runqueue picks the least-charged entity, with
+    /// wake preemption when a waiter's charge undercuts the current's.
+    CreditSampled {
+        /// Accounting tick period.
+        tick_ns: u64,
+    },
+    /// Static per-tenant-class time slices rotated round-robin; only the
+    /// active slice's class may execute.
+    Domain(DomainSchedule),
+}
+
+/// Margin by which a queued entity's charge must undercut the current's
+/// before a credit-sampled wake preempts (hysteresis against thrash).
+const CREDIT_PREEMPT_MARGIN_NS: u64 = 200_000;
+
+/// Live rotation state of a [`HostSched::Domain`] machine.
+struct DomainState {
+    /// Index of the active slice.
+    active: usize,
+    /// Class of the active slice (denormalized for the eligibility check).
+    active_class: PriorityClass,
+    /// Per-vCPU `active_ns` at the instant the slice began, for exact
+    /// used/stolen deltas at the next rotation.
+    snapshot: Vec<u64>,
+}
+
 /// An entity schedulable on a hardware thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Entity {
@@ -229,6 +273,17 @@ pub enum Ev {
         /// Sampler index.
         id: usize,
     },
+    /// Credit-sampled accounting tick ([`HostSched::CreditSampled`]).
+    ChargeTick,
+    /// A wake enqueued a low-charge entity behind a busy thread; re-check
+    /// whether it should preempt (deferred so the preemption's guest
+    /// callbacks run from dispatch context, per the re-entrancy rule).
+    CreditKick {
+        /// Thread index.
+        th: usize,
+    },
+    /// The active domain slice ended ([`HostSched::Domain`]).
+    DomainRotate,
     /// End of the current run window.
     End,
 }
@@ -330,6 +385,16 @@ pub struct Machine {
     threads: Vec<HwThread>,
     thread_quantum: Vec<u64>,
     core_freq: Vec<f64>,
+    /// Host scheduling policy ([`Machine::set_host_sched`], pre-start).
+    sched: HostSched,
+    /// Tenant class per VM (defaults to Standard).
+    classes: Vec<PriorityClass>,
+    /// Credit-sampled charge per vCPU ([`HostSched::CreditSampled`]).
+    charge: Vec<u64>,
+    /// Credit-sampled charge per host load.
+    load_charge: Vec<u64>,
+    /// Rotation state while running under [`HostSched::Domain`].
+    domain: Option<DomainState>,
     /// All vCPUs, across VMs.
     pub vcpus: Vec<HostVcpu>,
     /// All VMs.
@@ -381,6 +446,11 @@ impl Machine {
                 .collect(),
             thread_quantum: vec![quantum; nr],
             core_freq: vec![1.0; cores],
+            sched: HostSched::Proportional,
+            classes: Vec::new(),
+            charge: Vec::new(),
+            load_charge: Vec::new(),
+            domain: None,
             vcpus: Vec::new(),
             vms: Vec::new(),
             loads: Vec::new(),
@@ -451,7 +521,9 @@ impl Machine {
                 delivered_work: 0.0,
                 trace_segments: Vec::new(),
             });
+            self.charge.push(0);
         }
+        self.classes.push(PriorityClass::Standard);
         let mut guest = GuestOs::new(guest_cfg, now);
         guest.kern.trace = self.trace.scoped(vm_idx as u16);
         self.vms.push(Vm {
@@ -468,6 +540,43 @@ impl Machine {
     /// Installs the workload of a VM.
     pub fn set_workload(&mut self, vm: usize, w: Box<dyn Workload>) {
         self.vms[vm].workload = Some(w);
+    }
+
+    /// Sets a VM's tenant class (domain-schedule eligibility). Defaults
+    /// to [`PriorityClass::Standard`]; set before [`Machine::start`].
+    pub fn set_vm_class(&mut self, vm: usize, class: PriorityClass) {
+        self.classes[vm] = class;
+    }
+
+    /// A VM's tenant class.
+    pub fn vm_class(&self, vm: usize) -> PriorityClass {
+        self.classes[vm]
+    }
+
+    /// Selects the host scheduling policy. Must be called before
+    /// [`Machine::start`]; a [`HostSched::Domain`] schedule is validated
+    /// against the tenant classes of the VMs added so far.
+    pub fn set_host_sched(&mut self, sched: HostSched) -> Result<(), DomainConfigError> {
+        assert!(
+            !self.started,
+            "host scheduling policy must be set before start()"
+        );
+        if let HostSched::Domain(ds) = &sched {
+            let mut in_use: Vec<PriorityClass> = Vec::new();
+            for &c in &self.classes {
+                if !in_use.contains(&c) {
+                    in_use.push(c);
+                }
+            }
+            ds.validate(&in_use)?;
+        }
+        self.sched = sched;
+        Ok(())
+    }
+
+    /// The host scheduling policy in force.
+    pub fn host_sched(&self) -> &HostSched {
+        &self.sched
     }
 
     /// Appends a scripted action at an absolute time. Before
@@ -497,6 +606,7 @@ impl Machine {
             thread,
             dead: false,
         });
+        self.load_charge.push(0);
         self.threads[thread].queue.push_back(Entity::Load(id));
         let now = self.q.now();
         self.q.post(now, Ev::ThreadResched { th: thread });
@@ -779,6 +889,50 @@ impl Machine {
         }
     }
 
+    fn entity_charge(&self, e: Entity) -> u64 {
+        match e {
+            Entity::Vcpu(gv) => self.charge[gv],
+            Entity::Load(id) => self.load_charge[id],
+        }
+    }
+
+    /// Whether an entity may run right now. Only a domain schedule ever
+    /// says no: vCPUs outside the active slice's class wait. Host loads
+    /// are classless (hypervisor work) and always eligible.
+    fn entity_eligible(&self, e: Entity) -> bool {
+        let Some(d) = &self.domain else { return true };
+        match e {
+            Entity::Vcpu(gv) => self.classes[self.vcpus[gv].vm] == d.active_class,
+            Entity::Load(_) => true,
+        }
+    }
+
+    /// Queue position of the entity the policy would run next on `th`,
+    /// or `None` if nothing there is runnable under the policy.
+    fn pickable(&self, th: usize) -> Option<usize> {
+        let q = &self.threads[th].queue;
+        match &self.sched {
+            HostSched::Proportional => {
+                if q.is_empty() {
+                    None
+                } else {
+                    Some(0)
+                }
+            }
+            HostSched::CreditSampled { .. } => {
+                let mut best: Option<(usize, u64)> = None;
+                for (pos, &e) in q.iter().enumerate() {
+                    let c = self.entity_charge(e);
+                    if best.map(|(_, bc)| c < bc).unwrap_or(true) {
+                        best = Some((pos, c));
+                    }
+                }
+                best.map(|(pos, _)| pos)
+            }
+            HostSched::Domain(_) => q.iter().position(|&e| self.entity_eligible(e)),
+        }
+    }
+
     /// Stops the current entity on a thread without picking a successor.
     /// vCPUs go back to Runnable (host preemption).
     fn stop_current(&mut self, th: usize) {
@@ -815,11 +969,16 @@ impl Machine {
         if self.threads[th].current.is_some() {
             return;
         }
-        // Work-steal a waiting vCPU if our queue is empty (floating vCPUs).
-        if self.threads[th].queue.is_empty() {
+        // Work-steal a waiting vCPU if we have nothing runnable of our
+        // own (floating vCPUs).
+        if self.pickable(th).is_none() {
             self.steal_waiting(th);
         }
-        let Some(next) = self.threads[th].queue.pop_front() else {
+        let Some(pos) = self.pickable(th) else {
+            self.refresh_thread_and_sibling(th);
+            return;
+        };
+        let Some(next) = self.threads[th].queue.remove(pos) else {
             self.refresh_thread_and_sibling(th);
             return;
         };
@@ -842,7 +1001,11 @@ impl Machine {
             for (pos, e) in other.queue.iter().enumerate() {
                 if let Entity::Vcpu(gv) = e {
                     let v = &self.vcpus[*gv];
-                    if !v.offline && v.affinity.contains(&th) && v.affinity.len() > 1 {
+                    if !v.offline
+                        && v.affinity.contains(&th)
+                        && v.affinity.len() > 1
+                        && self.entity_eligible(*e)
+                    {
                         let waited = now.since(v.state_since);
                         if best.map(|(_, _, w)| waited > w).unwrap_or(true) {
                             best = Some((ot, pos, waited));
@@ -931,8 +1094,8 @@ impl Machine {
                 return;
             }
         }
-        if self.threads[th].queue.is_empty() {
-            // Nothing waiting: extend the quantum in place.
+        if self.pickable(th).is_none() {
+            // Nothing the policy could run instead: extend in place.
             self.threads[th].quantum_gen += 1;
             let gen = self.threads[th].quantum_gen;
             let mut slice = self.thread_quantum[th] * self.entity_weight(cur) / 1024;
@@ -966,6 +1129,138 @@ impl Machine {
         self.enqueue_vcpu(gv);
     }
 
+    /// Credit-sampled accounting tick: whoever is on-CPU at this instant
+    /// is charged the whole tick (the sampling hole a tick-dodger games),
+    /// every charge decays ×3/4, and each thread re-checks whether a
+    /// less-charged waiter should take over.
+    fn charge_tick(&mut self) {
+        let HostSched::CreditSampled { tick_ns } = self.sched else {
+            return;
+        };
+        for th in 0..self.threads.len() {
+            match self.threads[th].current {
+                Some(Entity::Vcpu(gv)) => self.charge[gv] += tick_ns,
+                Some(Entity::Load(id)) => self.load_charge[id] += tick_ns,
+                None => {}
+            }
+        }
+        for c in &mut self.charge {
+            *c = *c * 3 / 4;
+        }
+        for c in &mut self.load_charge {
+            *c = *c * 3 / 4;
+        }
+        for th in 0..self.threads.len() {
+            self.credit_resort(th);
+        }
+        let now = self.q.now();
+        self.q.post(now.after(tick_ns), Ev::ChargeTick);
+    }
+
+    /// Preempts a thread's current entity if a queued one undercuts its
+    /// charge by more than the hysteresis margin (credit-sampled only).
+    fn credit_resort(&mut self, th: usize) {
+        if !matches!(self.sched, HostSched::CreditSampled { .. }) {
+            return;
+        }
+        let Some(cur) = self.threads[th].current else {
+            self.thread_resched(th);
+            return;
+        };
+        let cur_charge = self.entity_charge(cur);
+        let min_queued = self.threads[th]
+            .queue
+            .iter()
+            .map(|&e| self.entity_charge(e))
+            .min();
+        if let Some(mc) = min_queued {
+            if mc + CREDIT_PREEMPT_MARGIN_NS < cur_charge {
+                self.stop_current(th);
+                self.thread_resched(th);
+            }
+        }
+    }
+
+    /// Ends the active domain slice: settles execution time, accounts the
+    /// ended slice (used vs stolen vs entitled — the steal-conservation
+    /// law re-derives this), rotates to the next slice, and evicts any
+    /// vCPU the new domain does not admit.
+    fn domain_rotate(&mut self) {
+        let HostSched::Domain(ref ds) = self.sched else {
+            return;
+        };
+        let ds = ds.clone();
+        let now = self.q.now();
+        // Settle running vCPUs so active_ns deltas are exact at the
+        // boundary; everything off-CPU is already settled.
+        for th in 0..self.threads.len() {
+            if let Some(Entity::Vcpu(gv)) = self.threads[th].current {
+                self.settle_vcpu_state(gv);
+            }
+        }
+        let Some(mut d) = self.domain.take() else {
+            return;
+        };
+        let ended = ds.slices[d.active];
+        let mut used_ns = 0u64;
+        let mut stolen_ns = 0u64;
+        for gv in 0..self.vcpus.len() {
+            // VMs added mid-slice (fleet arrivals) have no snapshot entry:
+            // their execution this slice is zero by construction.
+            let before = d
+                .snapshot
+                .get(gv)
+                .copied()
+                .unwrap_or(self.vcpus[gv].active_ns);
+            let delta = self.vcpus[gv].active_ns.saturating_sub(before);
+            if self.classes[self.vcpus[gv].vm] == ended.class {
+                used_ns += delta;
+            } else {
+                stolen_ns += delta;
+            }
+        }
+        let threads = self.threads.len() as u16;
+        self.trace.emit_vm(
+            now,
+            0,
+            EventKind::StealAccounted {
+                index: d.active as u16,
+                class: ended.class,
+                threads,
+                slice_ns: ended.slice_ns,
+                entitled_ns: ended.slice_ns * threads as u64,
+                used_ns,
+                stolen_ns,
+            },
+        );
+        d.active = (d.active + 1) % ds.slices.len();
+        let next = ds.slices[d.active];
+        d.active_class = next.class;
+        d.snapshot = self.vcpus.iter().map(|v| v.active_ns).collect();
+        self.trace.emit_vm(
+            now,
+            0,
+            EventKind::DomainSwitch {
+                index: d.active as u16,
+                class: next.class,
+                slice_ns: next.slice_ns,
+                period_ns: ds.period_ns,
+            },
+        );
+        self.domain = Some(d);
+        for th in 0..self.threads.len() {
+            if let Some(e) = self.threads[th].current {
+                if !self.entity_eligible(e) {
+                    self.stop_current(th);
+                }
+            }
+        }
+        for th in 0..self.threads.len() {
+            self.thread_resched(th);
+        }
+        self.q.post(now.after(next.slice_ns), Ev::DomainRotate);
+    }
+
     /// Puts a runnable vCPU on the best allowed thread's queue.
     fn enqueue_vcpu(&mut self, gv: GVcpu) {
         if self.vcpus[gv].offline {
@@ -983,9 +1278,14 @@ impl Machine {
             }
         }
         self.threads[best].queue.push_back(Entity::Vcpu(gv));
+        let now = self.q.now();
         if self.threads[best].current.is_none() {
-            let now = self.q.now();
             self.q.post(now, Ev::ThreadResched { th: best });
+        } else if matches!(self.sched, HostSched::CreditSampled { .. }) {
+            // A freshly woken low-charge entity may deserve the CPU now;
+            // decided via a zero-delay event because the preemption's
+            // guest callbacks must not run from guest context.
+            self.q.post(now, Ev::CreditKick { th: best });
         }
     }
 
@@ -1100,6 +1400,37 @@ impl Machine {
     /// Starts all workloads and schedules the scenario script and samplers.
     pub fn start(&mut self) {
         self.started = true;
+        let now = self.q.now();
+        match self.sched.clone() {
+            HostSched::Proportional => {}
+            HostSched::CreditSampled { tick_ns } => {
+                self.q.post(now.after(tick_ns), Ev::ChargeTick);
+            }
+            HostSched::Domain(ds) => {
+                for vm in 0..self.vms.len() {
+                    let class = self.classes[vm];
+                    self.trace
+                        .emit_vm(now, vm as u16, EventKind::DomainAssigned { class });
+                }
+                let first = ds.slices[0];
+                self.trace.emit_vm(
+                    now,
+                    0,
+                    EventKind::DomainSwitch {
+                        index: 0,
+                        class: first.class,
+                        slice_ns: first.slice_ns,
+                        period_ns: ds.period_ns,
+                    },
+                );
+                self.domain = Some(DomainState {
+                    active: 0,
+                    active_class: first.class,
+                    snapshot: self.vcpus.iter().map(|v| v.active_ns).collect(),
+                });
+                self.q.post(now.after(first.slice_ns), Ev::DomainRotate);
+            }
+        }
         self.script.sort_by_key(|(t, _)| *t);
         for (idx, (t, _)) in self.script.iter().enumerate() {
             self.q.post(*t, Ev::Script { idx });
@@ -1219,6 +1550,9 @@ impl Machine {
                     self.q.post(now.after(interval), Ev::Sample { id });
                 }
             }
+            Ev::ChargeTick => self.charge_tick(),
+            Ev::CreditKick { th } => self.credit_resort(th),
+            Ev::DomainRotate => self.domain_rotate(),
             Ev::End => self.finished = true,
         }
     }

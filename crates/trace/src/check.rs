@@ -15,7 +15,7 @@
 //! The first violation is retained with the events leading up to it, so a
 //! failing figure run points straight at the broken transition.
 
-use crate::event::{EventKind, IvhPhase, PreemptReason, TraceEvent};
+use crate::event::{EventKind, IvhPhase, PreemptReason, PriorityClass, TraceEvent};
 use simcore::SimTime;
 use std::collections::HashMap;
 use std::fmt;
@@ -83,6 +83,17 @@ pub enum ViolationKind {
     /// or a recovery whose `down_ns` disagrees with the observed failure
     /// time.
     HostFailureStateMismatch,
+    /// A `DomainSwitch` announced a zero-length slice, a slice longer than
+    /// the period, or closed a rotation cycle whose slices do not sum to
+    /// the period.
+    DomainSliceSumMismatch,
+    /// A vCPU of one tenant class resumed while the domain scheduler had a
+    /// different class's slice active.
+    CrossDomainExecution,
+    /// A `StealAccounted` record does not conserve time: `entitled_ns`
+    /// disagrees with `slice_ns * threads`, or `used + stolen` exceeds the
+    /// entitlement.
+    StealConservationMismatch,
 }
 
 impl ViolationKind {
@@ -115,6 +126,9 @@ impl ViolationKind {
             ViolationKind::MigrationWithoutPlacement => "migration-without-placement",
             ViolationKind::MigrationOccupancyMismatch => "migration-occupancy-mismatch",
             ViolationKind::HostFailureStateMismatch => "host-failure-state-mismatch",
+            ViolationKind::DomainSliceSumMismatch => "domain-slice-sum-mismatch",
+            ViolationKind::CrossDomainExecution => "cross-domain-execution",
+            ViolationKind::StealConservationMismatch => "steal-conservation-mismatch",
         }
     }
 }
@@ -275,6 +289,13 @@ pub struct InvariantChecker {
     /// Committed-vCPU occupancy per fleet host, reconstructed from the
     /// `occupied` snapshots that placements and migrations carry.
     host_occ: HashMap<u16, u64>,
+    /// Tenant class each VM was bound to by `DomainAssigned`.
+    vm_class: HashMap<u16, PriorityClass>,
+    /// The domain slice currently active: `(index, class)`.
+    active_domain: Option<(u16, PriorityClass)>,
+    /// Slice lengths accumulated since the current rotation cycle began
+    /// (reset when a `DomainSwitch` wraps back to index 0).
+    domain_cycle_ns: u64,
     recent: std::collections::VecDeque<TraceEvent>,
     events: u64,
     violations: u64,
@@ -304,6 +325,9 @@ impl InvariantChecker {
             placed: HashMap::new(),
             failed_hosts: HashMap::new(),
             host_occ: HashMap::new(),
+            vm_class: HashMap::new(),
+            active_domain: None,
+            domain_cycle_ns: 0,
             recent: std::collections::VecDeque::with_capacity(CONTEXT + 1),
             events: 0,
             violations: 0,
@@ -448,6 +472,20 @@ impl InvariantChecker {
                 }
                 self.host.insert(key, HostCpu::Running);
                 self.throttled.remove(&key);
+                if let (Some((idx, active)), Some(&class)) =
+                    (self.active_domain, self.vm_class.get(&ev.vm))
+                {
+                    if class != active {
+                        self.flag(
+                            ViolationKind::CrossDomainExecution,
+                            ev,
+                            format!(
+                                "vcpu {vcpu} of class {class:?} resumed during slice {idx} \
+                                 of class {active:?}"
+                            ),
+                        );
+                    }
+                }
             }
             EventKind::VcpuPreempt { vcpu, reason } => {
                 let key = (ev.vm, vcpu);
@@ -803,11 +841,86 @@ impl InvariantChecker {
                 self.host_occ.insert(from, from_occupied);
                 self.host_occ.insert(to, to_occupied);
             }
+            EventKind::DomainAssigned { class } => {
+                self.vm_class.insert(ev.vm, class);
+            }
+            EventKind::DomainSwitch {
+                index,
+                class,
+                slice_ns,
+                period_ns,
+            } => {
+                if slice_ns == 0 {
+                    self.flag(
+                        ViolationKind::DomainSliceSumMismatch,
+                        ev,
+                        format!("slice {index} ({class:?}) has zero length"),
+                    );
+                }
+                if slice_ns > period_ns {
+                    self.flag(
+                        ViolationKind::DomainSliceSumMismatch,
+                        ev,
+                        format!(
+                            "slice {index} ({class:?}) is {slice_ns} ns, \
+                             longer than the {period_ns} ns period"
+                        ),
+                    );
+                }
+                if index == 0 {
+                    let cycle = self.domain_cycle_ns;
+                    if cycle > 0 && cycle != period_ns {
+                        self.flag(
+                            ViolationKind::DomainSliceSumMismatch,
+                            ev,
+                            format!(
+                                "previous rotation's slices sum to {cycle} ns, \
+                                 not the {period_ns} ns period"
+                            ),
+                        );
+                    }
+                    self.domain_cycle_ns = 0;
+                }
+                self.domain_cycle_ns += slice_ns;
+                self.active_domain = Some((index, class));
+            }
+            EventKind::StealAccounted {
+                index,
+                class,
+                threads,
+                slice_ns,
+                entitled_ns,
+                used_ns,
+                stolen_ns,
+            } => {
+                let expect = slice_ns * u64::from(threads);
+                if entitled_ns != expect {
+                    self.flag(
+                        ViolationKind::StealConservationMismatch,
+                        ev,
+                        format!(
+                            "slice {index} ({class:?}) claims {entitled_ns} ns entitled, \
+                             but {slice_ns} ns x {threads} threads = {expect} ns"
+                        ),
+                    );
+                }
+                if used_ns + stolen_ns > entitled_ns {
+                    self.flag(
+                        ViolationKind::StealConservationMismatch,
+                        ev,
+                        format!(
+                            "slice {index} ({class:?}) accounts used {used_ns} + \
+                             stolen {stolen_ns} ns over {entitled_ns} ns entitled"
+                        ),
+                    );
+                }
+            }
             EventKind::TaskWake { .. }
             | EventKind::ReschedIpi { .. }
             | EventKind::ProbeSample { .. }
             | EventKind::BvsSelect { .. }
             | EventKind::FaultInjected { .. }
+            | EventKind::ProbeRejected { .. }
             | EventKind::ProbeRetry { .. } => {}
         }
         self.recent.push_back(ev);
@@ -1418,6 +1531,129 @@ mod tests {
         assert_eq!(
             c.first().unwrap().kind,
             ViolationKind::IvhUnmatchedResolution
+        );
+    }
+
+    #[test]
+    fn domain_slice_sums_checked_over_rotation_cycles() {
+        let switch = |at, index, slice_ns, period_ns| {
+            ev(
+                at,
+                EventKind::DomainSwitch {
+                    index,
+                    class: if index == 0 {
+                        PriorityClass::Standard
+                    } else {
+                        PriorityClass::Batch
+                    },
+                    slice_ns,
+                    period_ns,
+                },
+            )
+        };
+        // Two full 2+2 ms rotations of a 4 ms period: clean.
+        let c = check(&[
+            switch(0, 0, 2_000_000, 4_000_000),
+            switch(2_000_000, 1, 2_000_000, 4_000_000),
+            switch(4_000_000, 0, 2_000_000, 4_000_000),
+            switch(6_000_000, 1, 2_000_000, 4_000_000),
+        ]);
+        assert!(c.report().ok(), "{:?}", c.first());
+        // Zero-length slice.
+        let c = check(&[switch(0, 0, 0, 4_000_000)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::DomainSliceSumMismatch
+        );
+        // Slice longer than the period.
+        let c = check(&[switch(0, 0, 5_000_000, 4_000_000)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::DomainSliceSumMismatch
+        );
+        // A cycle whose slices undershoot the period.
+        let c = check(&[
+            switch(0, 0, 2_000_000, 4_000_000),
+            switch(2_000_000, 1, 1_000_000, 4_000_000),
+            switch(3_000_000, 0, 2_000_000, 4_000_000),
+        ]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::DomainSliceSumMismatch
+        );
+    }
+
+    #[test]
+    fn cross_domain_execution_detected() {
+        let assigned = |at, vm, class| TraceEvent {
+            at: SimTime(at),
+            vm,
+            kind: EventKind::DomainAssigned { class },
+        };
+        let switch = |at, class| {
+            ev(
+                at,
+                EventKind::DomainSwitch {
+                    index: 0,
+                    class,
+                    slice_ns: 4_000_000,
+                    period_ns: 4_000_000,
+                },
+            )
+        };
+        let resume = |at, vm| TraceEvent {
+            at: SimTime(at),
+            vm,
+            kind: EventKind::VcpuResume { vcpu: 0, thread: 0 },
+        };
+        // Standard VM resuming in the Standard slice: clean.
+        let c = check(&[
+            assigned(0, 0, PriorityClass::Standard),
+            switch(0, PriorityClass::Standard),
+            resume(10, 0),
+        ]);
+        assert!(c.report().ok(), "{:?}", c.first());
+        // A Batch VM resuming in the Standard slice breaks the gate.
+        let c = check(&[
+            assigned(0, 1, PriorityClass::Batch),
+            switch(0, PriorityClass::Standard),
+            resume(10, 1),
+        ]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::CrossDomainExecution);
+        // Unassigned VMs (host loads, non-domain runs) are not gated.
+        let c = check(&[switch(0, PriorityClass::Standard), resume(10, 3)]);
+        assert!(c.report().ok(), "{:?}", c.first());
+    }
+
+    #[test]
+    fn steal_accounting_conservation_checked() {
+        let acct = |entitled, used, stolen| {
+            ev(
+                10,
+                EventKind::StealAccounted {
+                    index: 0,
+                    class: PriorityClass::Standard,
+                    threads: 4,
+                    slice_ns: 2_000_000,
+                    entitled_ns: entitled,
+                    used_ns: used,
+                    stolen_ns: stolen,
+                },
+            )
+        };
+        // entitled == slice * threads, used + stolen within it: clean.
+        assert!(check(&[acct(8_000_000, 7_000_000, 0)]).report().ok());
+        // Entitlement arithmetic wrong.
+        let c = check(&[acct(6_000_000, 1_000_000, 0)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::StealConservationMismatch
+        );
+        // used + stolen over the entitlement.
+        let c = check(&[acct(8_000_000, 7_000_000, 2_000_000)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::StealConservationMismatch
         );
     }
 

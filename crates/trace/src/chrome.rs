@@ -309,11 +309,38 @@ pub fn chrome_trace(ring: &RingBuffer) -> String {
                      \"cat\":\"fleet\",\"name\":\"migrate VM{uid} H{from}->H{to}\""
                 ));
             }
+            EventKind::DomainAssigned { class } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"domain\",\"name\":\"assign {}\"",
+                    class.name()
+                ));
+            }
+            EventKind::DomainSwitch {
+                index,
+                class,
+                slice_ns,
+                ..
+            } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"domain\",\"name\":\"slice {index} ({})\",\
+                     \"args\":{{\"slice_ns\":{slice_ns}}}",
+                    class.name()
+                ));
+            }
+            EventKind::ProbeRejected { vcpu, probe, .. } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"p\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"vsched\",\"name\":\"reject {probe:?} v{vcpu}\""
+                ));
+            }
             // High-volume accounting deltas stay out of the visual trace;
             // they feed the schedstat totals and the checker instead.
             EventKind::StealAccrue { .. }
             | EventKind::TaskCharge { .. }
             | EventKind::BandwidthSet { .. }
+            | EventKind::StealAccounted { .. }
             | EventKind::PeltDecay { .. } => {}
         }
     }
@@ -359,7 +386,9 @@ fn vcpu_of(ev: &TraceEvent) -> Option<u16> {
         EventKind::TaskMigrate { to, .. } => Some(to),
         EventKind::IvhPull { target, .. } => Some(target),
         EventKind::IvhAbandonedByWatchdog { target, .. } => Some(target),
-        EventKind::FaultInjected { vcpu, .. } | EventKind::BandwidthSet { vcpu, .. } => Some(vcpu),
+        EventKind::FaultInjected { vcpu, .. }
+        | EventKind::BandwidthSet { vcpu, .. }
+        | EventKind::ProbeRejected { vcpu, .. } => Some(vcpu),
         EventKind::BvsSelect { .. }
         | EventKind::ProbeRetry { .. }
         | EventKind::DegradedEnter { .. }
@@ -370,7 +399,10 @@ fn vcpu_of(ev: &TraceEvent) -> Option<u16> {
         | EventKind::VmDeparted { .. }
         | EventKind::HostFailed { .. }
         | EventKind::HostRecovered { .. }
-        | EventKind::VmMigrated { .. } => None,
+        | EventKind::VmMigrated { .. }
+        | EventKind::DomainAssigned { .. }
+        | EventKind::DomainSwitch { .. }
+        | EventKind::StealAccounted { .. } => None,
     }
 }
 

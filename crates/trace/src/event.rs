@@ -364,6 +364,43 @@ pub enum EventKind {
         to_occupied: u64,
         cap: u64,
     },
+    /// The domain scheduler bound the emitting VM (`TraceEvent::vm`) to a
+    /// tenant class; emitted once per VM when a domain schedule starts so
+    /// the checker can tie later `VcpuResume`s to a class.
+    DomainAssigned { class: PriorityClass },
+    /// The domain scheduler rotated to slice `index` of its period: only
+    /// vCPUs of `class` may execute until the next switch. Host-global
+    /// (`TraceEvent::vm` is 0).
+    DomainSwitch {
+        index: u16,
+        class: PriorityClass,
+        slice_ns: u64,
+        period_ns: u64,
+    },
+    /// Per-domain accounting for the slice that just ended: `entitled_ns`
+    /// is `slice_ns * threads`, `used_ns` the execution time of the active
+    /// class during the slice, and `stolen_ns` execution time taken by any
+    /// *other* class — zero when the domain gate holds. The checker asserts
+    /// conservation: `used_ns + stolen_ns <= entitled_ns` and
+    /// `entitled_ns == slice_ns * threads`.
+    StealAccounted {
+        index: u16,
+        class: PriorityClass,
+        threads: u16,
+        slice_ns: u64,
+        entitled_ns: u64,
+        used_ns: u64,
+        stolen_ns: u64,
+    },
+    /// Probe hardening rejected a sample for `vcpu` instead of feeding it
+    /// into the capacity EMA (`median` is the recent-sample median the
+    /// outlier test compared against, or the last accepted estimate).
+    ProbeRejected {
+        vcpu: u16,
+        probe: ProbeKind,
+        sample: f64,
+        median: f64,
+    },
 }
 
 /// A stamped event: simulated time, owning VM, payload.
@@ -407,6 +444,10 @@ impl EventKind {
             EventKind::HostFailed { .. } => "host_failed",
             EventKind::HostRecovered { .. } => "host_recovered",
             EventKind::VmMigrated { .. } => "vm_migrated",
+            EventKind::DomainAssigned { .. } => "domain_assigned",
+            EventKind::DomainSwitch { .. } => "domain_switch",
+            EventKind::StealAccounted { .. } => "steal_accounted",
+            EventKind::ProbeRejected { .. } => "probe_rejected",
         }
     }
 }

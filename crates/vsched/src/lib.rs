@@ -64,6 +64,11 @@ pub const TOKEN_VTOP_PERIOD: u64 = HOOK_TIMER_BASE + 3;
 pub const TOKEN_VTOP_CHECK: u64 = HOOK_TIMER_BASE + 4;
 /// Timer token: resilience watchdog (periodic while resilience is on).
 pub const TOKEN_RESIL_WATCHDOG: u64 = HOOK_TIMER_BASE + 6;
+/// Timer token: open a hardened-mode canary micro-probe (jittered offset
+/// inside each inter-window gap).
+pub const TOKEN_VCAP_CANARY_OPEN: u64 = HOOK_TIMER_BASE + 7;
+/// Timer token: close the canary micro-probe.
+pub const TOKEN_VCAP_CANARY_CLOSE: u64 = HOOK_TIMER_BASE + 8;
 
 /// Which vSched pieces are enabled.
 #[derive(Debug, Clone)]
@@ -87,6 +92,11 @@ pub struct VschedConfig {
     /// Resilience layer: confidence scoring, degraded mode, watchdog.
     /// `None` (the default) reproduces the paper's behavior exactly.
     pub resilience: Option<ResilCfg>,
+    /// Hardened probing: windowed median/MAD outlier rejection and
+    /// window-targeted interference detection on vcap samples, with an
+    /// interference-suspicion score feeding the resilience layer. Off by
+    /// default (the paper trusts its neighbours).
+    pub hardened_probes: bool,
     /// Tunables (Table 1 defaults).
     pub tunables: Tunables,
 }
@@ -104,6 +114,7 @@ impl VschedConfig {
             bvs_state_check: true,
             ivh_prewake: true,
             resilience: None,
+            hardened_probes: false,
             tunables: Tunables::paper(),
         }
     }
@@ -145,6 +156,12 @@ impl VschedConfig {
         self.resilience = Some(cfg);
         self
     }
+
+    /// Enables hardened probing (adversarial co-tenancy defence).
+    pub fn with_hardened_probes(mut self) -> Self {
+        self.hardened_probes = true;
+        self
+    }
 }
 
 /// The installed vSched instance: owns the probers and policies and
@@ -172,8 +189,10 @@ pub struct Vsched {
 
 impl Vsched {
     fn new(nr_vcpus: usize, tick_ns: u64, cfg: VschedConfig, now: SimTime) -> Self {
+        let mut vcap = Vcap::new(nr_vcpus, &cfg.tunables);
+        vcap.hardened = cfg.hardened_probes;
         Self {
-            vcap: Vcap::new(nr_vcpus, &cfg.tunables),
+            vcap,
             vact: Vact::new(nr_vcpus, tick_ns, &cfg.tunables, now),
             vtop: Vtop::new(nr_vcpus, cfg.tunables.clone()),
             ivh: Ivh::new(nr_vcpus, cfg.ivh_prewake),
@@ -396,9 +415,25 @@ impl SchedHooks for Vsched {
                     TOKEN_VCAP_OPEN,
                     now.after(self.cfg.tunables.vcap_light_every_ns),
                 );
+                if self.cfg.vcap && self.vcap.hardened {
+                    // The hardening baseline: one canary micro-probe per
+                    // inter-window gap, at a jittered offset the adversary
+                    // cannot predict from the window schedule.
+                    plat.set_timer(
+                        TOKEN_VCAP_CANARY_OPEN,
+                        now.after(self.vcap.canary_offset_ns()),
+                    );
+                }
             }
             TOKEN_VCAP_DEMOTE if self.cfg.vcap => {
                 self.vcap.demote_heavy(kern, plat);
+            }
+            TOKEN_VCAP_CANARY_OPEN if self.cfg.vcap && self.vcap.hardened => {
+                self.vcap.open_canary(kern, plat);
+                plat.set_timer(TOKEN_VCAP_CANARY_CLOSE, plat.now().after(vcap::CANARY_NS));
+            }
+            TOKEN_VCAP_CANARY_CLOSE if self.cfg.vcap => {
+                self.vcap.close_canary(kern, plat);
             }
             TOKEN_VCAP_CLOSE => {
                 if self.cfg.vcap && self.vcap.window_open() {
@@ -406,6 +441,13 @@ impl SchedHooks for Vsched {
                         Ok(()) => {
                             if let Some(r) = self.resil.as_mut() {
                                 r.observe_vcap(plat.now(), &self.vcap);
+                                if self.vcap.hardened {
+                                    r.observe_suspicion(
+                                        plat.now(),
+                                        ProbeKind::Vcap,
+                                        self.vcap.suspicion,
+                                    );
+                                }
                             }
                         }
                         Err(e) => self.probe_error(kern, plat, e),

@@ -174,6 +174,18 @@ impl Resilience {
         self.absorb(ProbeKind::Vcap, now, surprise);
     }
 
+    /// Feeds the vcap hardening layer's interference-suspicion score: a
+    /// gamed prober erodes trust in that prober even while individual
+    /// windows still close (their samples rejected), so sustained gaming
+    /// drives the VM into degraded mode instead of starving the EMAs
+    /// silently. Zero suspicion is a no-op — clean windows already feed
+    /// confidence through [`Resilience::observe_vcap`].
+    pub fn observe_suspicion(&mut self, now: SimTime, p: ProbeKind, suspicion: f64) {
+        if suspicion > 0.0 {
+            self.absorb(p, now, suspicion * self.cfg.surprise_full_scale);
+        }
+    }
+
     /// Feeds a closed vact window.
     pub fn observe_vact(&mut self, now: SimTime, vact: &Vact) {
         let lat = vact.median_latency_ns;

@@ -21,9 +21,29 @@ use crate::error::ProbeError;
 use crate::tunables::Tunables;
 use guestos::{CpuMask, Kernel, Platform, Policy, SpawnSpec, TaskId, TaskProgram, VcpuId};
 use metrics::Ema;
+use simcore::SimTime;
+use std::collections::VecDeque;
 
 /// High-priority weight used by heavy-phase probers (nice −20).
 const HEAVY_WEIGHT: u64 = 88761;
+
+/// Accepted samples remembered per vCPU for outlier rejection.
+const HISTORY_CAP: usize = 8;
+/// Outlier tests need at least this much history to be meaningful.
+const HISTORY_MIN: usize = 4;
+/// A window whose steal rate exceeds this multiple of the canary baseline
+/// (plus [`TARGETED_RATE_FLOOR`]) is treated as window-targeted
+/// interference. Honest contention presses on the vCPU around the clock,
+/// so window and canary rates agree; only an adversary synchronized to
+/// the probe schedule concentrates steal inside the windows.
+const TARGETED_RATE_RATIO: f64 = 4.0;
+/// Absolute steal-rate floor for the targeted test: keeps a nearly idle
+/// host (baseline rate ≈ 0) from flagging microscopic jitter.
+const TARGETED_RATE_FLOOR: f64 = 0.05;
+/// Length of a canary micro-probe (hardened mode): long enough for a
+/// meaningful steal reading, short enough to stay invisible (~0.5% of a
+/// vCPU at the 1 s window cadence).
+pub const CANARY_NS: u64 = 5_000_000;
 
 /// The capacity prober.
 pub struct Vcap {
@@ -55,6 +75,28 @@ pub struct Vcap {
     window_heavy: bool,
     light_count: u32,
     start_steal: Vec<u64>,
+    /// Hardened probing (adversarial co-tenancy): reject window-targeted
+    /// interference and statistical outliers before they reach the EMAs.
+    pub hardened: bool,
+    /// Accepted samples per vCPU, newest last (hardened mode only).
+    history: Vec<VecDeque<f64>>,
+    /// Baseline steal rate per vCPU, measured by canary micro-probes at
+    /// schedule-jittered offsets between windows. An idle guest accrues
+    /// no steal while its vCPUs have nothing to run, so the windows alone
+    /// carry no baseline — without the canaries every honest always-on
+    /// neighbour would look window-targeted.
+    canary_rate: Vec<Option<f64>>,
+    canary_start_steal: Vec<u64>,
+    canary_open: bool,
+    canary_opened_at: SimTime,
+    /// When the current window opened.
+    window_opened_at: SimTime,
+    /// Interference-suspicion score in `[0, 1]`: bumped per rejected
+    /// sample, decayed by clean windows. Fed to the resilience layer so a
+    /// gamed prober erodes confidence instead of publishing poison.
+    pub suspicion: f64,
+    /// Samples rejected by hardening over the run.
+    pub rejected_samples: u64,
     /// Probed core capacity per vCPU (EMA over heavy samples).
     pub core_cap: Vec<f64>,
     /// Published per-vCPU capacity estimates.
@@ -82,6 +124,15 @@ impl Vcap {
             window_heavy: false,
             light_count: 0,
             start_steal: vec![0; nr_vcpus],
+            hardened: false,
+            history: vec![VecDeque::new(); nr_vcpus],
+            canary_rate: vec![None; nr_vcpus],
+            canary_start_steal: vec![0; nr_vcpus],
+            canary_open: false,
+            canary_opened_at: SimTime::ZERO,
+            window_opened_at: SimTime::ZERO,
+            suspicion: 0.0,
+            rejected_samples: 0,
             core_cap: vec![1024.0; nr_vcpus],
             cap: vec![Ema::from_half_life(tun.vcap_ema_half_life); nr_vcpus],
             median_cap: 1024.0,
@@ -118,7 +169,14 @@ impl Vcap {
     /// the phase-appropriate priority and snapshots the counters.
     pub fn open_window(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
         debug_assert!(!self.window_open);
+        if self.canary_open {
+            // A forced re-probe window can land mid-canary: finish the
+            // canary first so the probers go through their regular
+            // park/wake cycle before the window re-arms them.
+            self.close_canary(kern, plat);
+        }
         self.window_open = true;
+        self.window_opened_at = plat.now();
         self.window_heavy =
             !self.suppress_heavy && self.light_count.is_multiple_of(self.heavy_every);
         self.window_rr = self
@@ -190,6 +248,7 @@ impl Vcap {
         debug_assert!(self.window_open);
         self.window_open = false;
         let mut sampled = 0usize;
+        let mut rejected_now = false;
         let window_rr = self.window_rr.take();
         for v in 0..self.nr_vcpus {
             if self.skip[v] || window_rr.is_some_and(|rr| rr != v) {
@@ -199,7 +258,8 @@ impl Vcap {
             // Park the light prober first: this settles its accounting
             // through the regular stop path.
             kern.block_task(plat, t);
-            let steal_delta = plat.steal_ns(VcpuId(v)).saturating_sub(self.start_steal[v]);
+            let steal_now = plat.steal_ns(VcpuId(v));
+            let steal_delta = steal_now.saturating_sub(self.start_steal[v]);
             let share = 1.0 - (steal_delta as f64 / self.period_ns as f64).clamp(0.0, 1.0);
             if self.window_heavy {
                 if let Some(h) = self.heavy_probers[v].take() {
@@ -216,6 +276,32 @@ impl Vcap {
                 }
             }
             let sample = self.core_cap[v] * share;
+            if self.hardened {
+                if let Some(median) = self.sample_rejected(v, sample, steal_delta) {
+                    // A poisoned reading must not move the EMA, must not be
+                    // published, and must not count toward `sampled` — an
+                    // all-rejected window surfaces as `NoSamples` and rides
+                    // the existing degraded-mode entry path.
+                    self.rejected_samples += 1;
+                    self.suspicion = (self.suspicion + 0.35).min(1.0);
+                    rejected_now = true;
+                    kern.trace.emit(
+                        plat.now(),
+                        trace::EventKind::ProbeRejected {
+                            vcpu: v as u16,
+                            probe: trace::ProbeKind::Vcap,
+                            sample,
+                            median,
+                        },
+                    );
+                    continue;
+                }
+                let h = &mut self.history[v];
+                h.push_back(sample);
+                if h.len() > HISTORY_CAP {
+                    h.pop_front();
+                }
+            }
             let ema = self.cap[v].update(sample);
             if !self.suppress_publish {
                 kern.vcpus[v].cap_override = Some(ema.max(1.0));
@@ -247,10 +333,117 @@ impl Vcap {
                 kern.asym_capacity = max / min.max(1.0) > 1.3;
             }
         }
+        if self.hardened && !rejected_now {
+            // Clean windows decay suspicion; only sustained gaming keeps it
+            // high enough to matter to the resilience layer.
+            self.suspicion *= 0.6;
+        }
         if sampled == 0 {
             return Err(ProbeError::NoSamples(trace::ProbeKind::Vcap));
         }
         Ok(())
+    }
+
+    /// Hardened-mode sample vetting. Returns `Some(history median)` when
+    /// the sample must be rejected, on either of two grounds:
+    ///
+    /// * **window-targeted interference** — the steal rate observed
+    ///   *inside* the probe window is far above the canary baseline.
+    ///   Honest neighbours contend around the clock (rates agree); only an
+    ///   adversary synchronized to the probe schedule concentrates its
+    ///   interference inside the measurement — and the jittered canaries
+    ///   are exactly what such an adversary cannot cover.
+    /// * **statistical outlier** — the sample sits outside a robust
+    ///   (median/MAD) band around the accepted history. Catches pollution
+    ///   that slips past the rate test once enough clean history exists.
+    fn sample_rejected(&self, v: usize, sample: f64, steal_delta: u64) -> Option<f64> {
+        let inside_rate = steal_delta as f64 / self.period_ns as f64;
+        let targeted = match self.canary_rate[v] {
+            Some(baseline) => inside_rate > TARGETED_RATE_RATIO * baseline + TARGETED_RATE_FLOOR,
+            // No canary has run yet: no baseline to compare against.
+            None => false,
+        };
+        let h = &self.history[v];
+        let med = if h.is_empty() {
+            self.capacity(VcpuId(v))
+        } else {
+            median_of(h.iter().copied())
+        };
+        let outlier = h.len() >= HISTORY_MIN && {
+            let mad = median_of(h.iter().map(|&x| (x - med).abs()));
+            (sample - med).abs() > (4.0 * mad).max(0.25 * med)
+        };
+        (targeted || outlier).then_some(med)
+    }
+
+    /// Where in the current inter-window gap the next canary lands,
+    /// relative to the window's open: deterministic but irregular
+    /// (SplitMix64 over the window counter), so an adversary synchronized
+    /// to the probe schedule cannot predict and cover it. The range
+    /// `[150 ms, 850 ms)` keeps the canary clear of the 100 ms window at
+    /// one end and the next 1 s open at the other.
+    pub fn canary_offset_ns(&self) -> u64 {
+        let mut x = (self.light_count as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        150_000_000 + x % 700_000_000
+    }
+
+    /// Opens a canary micro-probe: wakes the light probers for
+    /// [`CANARY_NS`] to measure the *baseline* steal rate that
+    /// [`Self::close_window`] compares the in-window rate against.
+    pub fn open_canary(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
+        if self.window_open || self.canary_open {
+            return;
+        }
+        self.canary_open = true;
+        self.canary_opened_at = plat.now();
+        for v in 0..self.nr_vcpus {
+            if self.skip[v] {
+                continue;
+            }
+            let t = match self.probers[v] {
+                Some(t) => t,
+                None => {
+                    let t = kern.spawn(plat.now(), Self::prober_spec(v, Policy::Idle));
+                    kern.task_mut(t).remaining = guestos::kernel::BUILTIN_SPIN_WORK;
+                    self.probers[v] = Some(t);
+                    t
+                }
+            };
+            self.canary_start_steal[v] = plat.steal_ns(VcpuId(v));
+            kern.wake_to(plat, t, VcpuId(v), None);
+        }
+    }
+
+    /// Closes the canary, parks the probers and folds the measured steal
+    /// rates into the per-vCPU baseline (equal-weight blend, so the
+    /// baseline tracks host churn within a few canaries).
+    pub fn close_canary(&mut self, kern: &mut Kernel, plat: &mut dyn Platform) {
+        if !self.canary_open {
+            return;
+        }
+        self.canary_open = false;
+        let dur = plat.now().since(self.canary_opened_at);
+        for v in 0..self.nr_vcpus {
+            if self.skip[v] {
+                continue;
+            }
+            let Some(t) = self.probers[v] else { continue };
+            kern.block_task(plat, t);
+            if dur == 0 {
+                continue;
+            }
+            let delta = plat
+                .steal_ns(VcpuId(v))
+                .saturating_sub(self.canary_start_steal[v]);
+            let rate = delta as f64 / dur as f64;
+            self.canary_rate[v] = Some(match self.canary_rate[v] {
+                Some(prev) => 0.5 * prev + 0.5 * rate,
+                None => rate,
+            });
+        }
     }
 
     /// Retires the heavy-phase probers once they have executed long enough
@@ -290,5 +483,17 @@ impl Vcap {
     /// Lifts a ban.
     pub fn unban_vcpu(&mut self, v: usize) {
         self.skip[v] = false;
+    }
+}
+
+/// Median of a small sample set. `total_cmp` keeps a hostile NaN from
+/// poisoning the sort (same reasoning as the capacity aggregates).
+fn median_of(values: impl Iterator<Item = f64>) -> f64 {
+    let mut xs: Vec<f64> = values.collect();
+    xs.sort_by(|a, b| a.total_cmp(b));
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs[(xs.len() - 1) / 2]
     }
 }

@@ -18,6 +18,7 @@
 //!
 //! [`suite::build`] maps each benchmark name to its instance.
 
+pub mod adversary;
 pub mod combinators;
 pub mod common;
 pub mod latency;
@@ -27,6 +28,7 @@ pub mod pipeline;
 pub mod stress;
 pub mod suite;
 
+pub use adversary::{Adversary, AttackAction, AttackKind, AttackPlan, AttackSpec, ATTACK_KINDS};
 pub use combinators::{DelayedWorkload, MultiWorkload};
 pub use common::{work_ms, work_us, LatencyStats, ThroughputStats};
 pub use latency::{LatencyServer, LatencyServerCfg};
