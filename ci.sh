@@ -195,6 +195,29 @@ VSCHED_SHRINK_LAW=synthetic ./target/release/suite \
     2> "$tmpdir/areplay_err.txt"
 grep -q "reproduced law 'adversary-synthetic-canary'" "$tmpdir/areplay_err.txt"
 
+echo "== vcache-smoke: cache-steering determinism + randomized occupancy sweep"
+# 1) Fixed seed: the vcache job (co-tenant LLC thrasher x guest config,
+#    cache-aware bvs steering) must be byte-identical across worker
+#    counts, and every cell must report its checker-law verdict.
+VSCHED_SCALE=smoke ./target/release/suite --filter vcache --jobs 1 --seed 42 \
+    --no-ckpt > "$tmpdir/vcache_serial.txt" 2>/dev/null
+VSCHED_SCALE=smoke ./target/release/suite --filter vcache --jobs 4 --seed 42 \
+    --no-ckpt > "$tmpdir/vcache_parallel.txt" 2>/dev/null
+diff "$tmpdir/vcache_serial.txt" "$tmpdir/vcache_parallel.txt"
+grep -q "cache picks" "$tmpdir/vcache_serial.txt"
+grep -q "violations" "$tmpdir/vcache_serial.txt"
+# 2) Randomized seed: LLC occupancy-model invariants (capacity, byte
+#    conservation, decay monotonicity) on a fresh schedule each run. The
+#    seed is printed so a CI failure replays locally with
+#    VCACHE_SEED=<seed> cargo test --release -p vsched-hostsim --test llc_propcheck.
+vcache_seed=$(date +%s%N)
+echo "   vcache-smoke randomized seed: $vcache_seed"
+if ! VCACHE_SEED="$vcache_seed" \
+    cargo test -q --release -p vsched-hostsim --test llc_propcheck; then
+    echo "vcache-smoke FAILED with VCACHE_SEED=$vcache_seed (replay locally with that env var)" >&2
+    exit 1
+fi
+
 echo "== supervision-smoke: canary isolation, kill/resume, shrink/replay"
 # 1) Canary: two cells fail on purpose (panic + blown deadline). The suite
 #    must exit 0, name both cells in the stderr failure report and the JSON

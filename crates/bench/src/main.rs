@@ -2,7 +2,7 @@
 //!
 //! Times the simulator's hot paths end to end — no criterion, no registry
 //! deps, runs anywhere tier-1 builds — and writes the results to
-//! `BENCH_vsched.json` at the repo root. Five micro benches plus the suite
+//! `BENCH_vsched.json` at the repo root. Six micro benches plus the suite
 //! wall clock:
 //!
 //! * `hostsim_dispatch` — events/sec through `Machine::run_until` on a
@@ -11,6 +11,9 @@
 //!   wakeup-heavy hackbench workload (the guest scheduler's inner loop).
 //! * `pelt_update` — ns per `Pelt::update` (the per-event decay math the
 //!   fixed-point table optimizes).
+//! * `llc_advance` — ns per `LlcModel::advance` on a contended two-socket
+//!   occupancy model (the lazy math behind `Machine::llc_pressure` and
+//!   the vcache probes).
 //! * `fleet_step_rate` — events/sec stepping a churned 16-host fleet
 //!   cluster in lockstep, pinned to one worker (the serial baseline the
 //!   sharded-stepping rows below measure against).
@@ -116,6 +119,45 @@ fn bench_pelt_update(iters: u64) -> Micro {
     Micro {
         name: "pelt_update",
         unit: "updates",
+        units: iters,
+        secs,
+    }
+}
+
+/// Raw LLC occupancy math: `LlcModel::advance` on a contended two-socket
+/// model whose sockets hold a mix of running and descheduled working
+/// sets, so every call exercises the fill, decay, and over-capacity
+/// eviction passes (the lazy path behind `Machine::llc_pressure` and
+/// every vcache probe slice).
+fn bench_llc_advance(iters: u64) -> Micro {
+    const MB: f64 = 1024.0 * 1024.0;
+    let mut llc = hostsim::llc::LlcModel::new(2, 32.0 * MB);
+    for _ in 0..6 {
+        llc.add_vm();
+    }
+    for vm in 0..6 {
+        llc.set_footprint(SimTime::ZERO, vm, (4 + vm) as f64 * 4.0 * MB);
+    }
+    // Footprints total 114 MB against 64 MB of LLC; one VM per socket
+    // stays descheduled so decay runs alongside fill and eviction.
+    for vm in 0..3 {
+        llc.on_sched(SimTime::ZERO, vm, 0);
+    }
+    for vm in 3..5 {
+        llc.on_sched(SimTime::ZERO, vm, 1);
+    }
+    let mut now = SimTime::ZERO;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        now = now.after(250_000 + (i % 7) * 50_000);
+        llc.advance(now, (i % 2) as usize);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    // Observable so the loop can't be dead-code-eliminated.
+    assert!(llc.pressure() > 0.0);
+    Micro {
+        name: "llc_advance",
+        unit: "advances",
         units: iters,
         secs,
     }
@@ -316,6 +358,7 @@ fn main() {
         bench_hostsim_dispatch(30),
         bench_guest_context_switch(30),
         bench_pelt_update(20_000_000),
+        bench_llc_advance(5_000_000),
         bench_fleet_step_rate(10),
         bench_figure_fig03(),
     ];

@@ -40,5 +40,6 @@ pub mod supervise;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod vcache;
 
 pub use common::{Mode, Scale};

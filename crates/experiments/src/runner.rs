@@ -30,7 +30,7 @@ use crate::profiles::{hpvm, rcvm};
 use crate::supervise::{self, CellFailure, FailureReport, SupervisePolicy};
 use crate::{
     adversary, chaos, fig02, fig03, fig04, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
-    fig18_19, fig20, fig21, fleet_chaos, replay, table2, table3, table4,
+    fig18_19, fig20, fig21, fleet_chaos, replay, table2, table3, table4, vcache,
 };
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -860,6 +860,38 @@ fn job_fleet_chaos() -> Job {
     }
 }
 
+fn job_vcache() -> Job {
+    let mut cells = Vec::new();
+    for &name in &vcache::BENCHES {
+        for &mode in &vcache::MODES {
+            cells.push(cell(format!("{name}/{mode}"), move |seed, scale| {
+                vcache::run_cell(name, mode, scale.secs(8, 40), seed)
+            }));
+        }
+    }
+    Job {
+        name: "vcache",
+        desc: "cache-aware bvs vs stock vSched under an LLC-thrashing neighbour",
+        cells,
+        reduce: Box::new(|parts, _| {
+            let mut it = parts.into_iter();
+            let rows = vcache::BENCHES
+                .iter()
+                .map(|&name| {
+                    (
+                        name,
+                        vcache::MODES
+                            .iter()
+                            .map(|_| got::<vcache::VcacheCell>(it.next().unwrap()))
+                            .collect(),
+                    )
+                })
+                .collect();
+            vcache::VcacheFig { rows }.to_string()
+        }),
+    }
+}
+
 /// The supervision canary: a job whose cells fail on purpose. Never in
 /// [`registry`] — `run_suite` appends it only when
 /// [`SuiteOptions::canary`] is set (the `VSCHED_CANARY` env gate in the
@@ -925,6 +957,7 @@ pub fn registry() -> Vec<Job> {
         job_fleet(),
         job_fleet_replay(),
         job_fleet_chaos(),
+        job_vcache(),
     ]
 }
 
@@ -1324,7 +1357,7 @@ mod tests {
     #[test]
     fn registry_covers_the_full_suite() {
         let names: Vec<&str> = registry().iter().map(|j| j.name).collect();
-        assert_eq!(names.len(), 23);
+        assert_eq!(names.len(), 24);
         for want in [
             "fig02",
             "fig15",
@@ -1337,6 +1370,7 @@ mod tests {
             "fleet",
             "fleet-replay",
             "fleet-chaos",
+            "vcache",
         ] {
             assert!(names.contains(&want), "missing {want}");
         }
@@ -1361,7 +1395,7 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.filter, "fig99");
-        assert_eq!(err.valid.len(), 23);
+        assert_eq!(err.valid.len(), 24);
         assert!(err.valid.contains(&"fig03"));
         let msg = err.to_string();
         assert!(msg.contains("fig99") && msg.contains("fig03") && msg.contains("table4"));

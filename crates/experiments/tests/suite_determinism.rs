@@ -33,8 +33,10 @@ fn parallel_output_is_byte_identical_to_serial() {
     // is held to the same byte-identity gate), run serially and at two
     // parallel widths. The adversary matrix rides the same gate: attack
     // plans, domain rotation, and probe hardening must replay identically
-    // at any worker count.
-    for filter in ["fig03", "fig11", "chaos", "adversary", "fleet"] {
+    // at any worker count. The vcache job adds the LLC occupancy model
+    // and the vcache prober timers to the gate: cache-aware placement
+    // must replay identically at any worker count.
+    for filter in ["fig03", "fig11", "chaos", "adversary", "fleet", "vcache"] {
         let serial = outputs(1, filter);
         for jobs in [2, 5] {
             let parallel = outputs(jobs, filter);

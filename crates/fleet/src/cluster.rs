@@ -476,6 +476,7 @@ impl Cluster {
                 committed: host.committed,
                 cap: self.spec.overcommit_cap,
                 probed_capacity: probed,
+                llc_pressure: host.m.llc_pressure(),
             });
         }
     }

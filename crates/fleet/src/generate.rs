@@ -65,10 +65,20 @@ pub struct Profile {
     pub drain_at_ns: u64,
     /// Length of the maintenance-drain window.
     pub drain_len_ns: u64,
+    /// Start of the flash-crowd window (meaningless with
+    /// `surge_len_ns == 0`). A burst of *extra* short-lived tenants
+    /// arrives on top of the baseline stream — the step-function demand
+    /// spike of a flash crowd — bypassing the steady-state admission
+    /// bound, which is precisely what makes the surge stress placement.
+    pub surge_at_ns: u64,
+    /// Length of the flash-crowd window.
+    pub surge_len_ns: u64,
+    /// Mean interarrival of the surge's extra tenants inside the window.
+    pub surge_arrival_mean_ns: u64,
 }
 
 /// The built-in profiles, in CLI listing order.
-pub const PROFILES: [Profile; 3] = [
+pub const PROFILES: [Profile; 4] = [
     Profile {
         name: "sap-diurnal",
         desc: "strong day/night arrival swing, heavy Pareto lifetime tail, rare storms",
@@ -89,6 +99,9 @@ pub const PROFILES: [Profile; 3] = [
         max_live_vms: 16,
         drain_at_ns: 0,
         drain_len_ns: 0,
+        surge_at_ns: 0,
+        surge_len_ns: 0,
+        surge_arrival_mean_ns: 0,
     },
     Profile {
         name: "sap-resize-storm",
@@ -110,6 +123,9 @@ pub const PROFILES: [Profile; 3] = [
         max_live_vms: 16,
         drain_at_ns: 0,
         drain_len_ns: 0,
+        surge_at_ns: 0,
+        surge_len_ns: 0,
+        surge_arrival_mean_ns: 0,
     },
     Profile {
         name: "sap-maintenance-drain",
@@ -131,6 +147,33 @@ pub const PROFILES: [Profile; 3] = [
         max_live_vms: 16,
         drain_at_ns: 1_500 * MS,
         drain_len_ns: 600 * MS,
+        surge_at_ns: 0,
+        surge_len_ns: 0,
+        surge_arrival_mean_ns: 0,
+    },
+    Profile {
+        name: "sap-flash-crowd",
+        desc: "mid-day step-function surge: a burst of extra short-lived tenants on top of calm baseline arrivals",
+        base_arrival_mean_ns: 200 * MS,
+        diurnal_amplitude: 0.2,
+        day_ns: 4_000 * MS,
+        pareto_frac: 0.15,
+        pareto_alpha: 1.8,
+        pareto_scale_ns: 400 * MS,
+        lognorm_mean_ns: 1_000 * MS,
+        lognorm_sigma: 0.6,
+        lifetime_max_ns: 5_000 * MS,
+        tier_weights: [2, 5, 3],
+        size_mix: &[(1, 5), (2, 3), (4, 2)],
+        storm_gap_mean_ns: 1_500 * MS,
+        storm_len_ns: 250 * MS,
+        storm_hit: 0.3,
+        max_live_vms: 16,
+        drain_at_ns: 0,
+        drain_len_ns: 0,
+        surge_at_ns: 1_600 * MS,
+        surge_len_ns: 500 * MS,
+        surge_arrival_mean_ns: 15 * MS,
     },
 ];
 
@@ -311,6 +354,59 @@ pub fn synthesize(profile: &Profile, horizon_ns: u64, seed: u64) -> FleetTrace {
         }
     }
 
+    // Flash-crowd pass: a step-function burst of *extra* tenants inside
+    // the surge window, drawn entirely from their own stream. The surge
+    // stream forks *after* the drain stream (and the drain stream itself
+    // only forks when a window exists), so profiles without a surge keep
+    // synthesizing byte-identical traces to pre-surge builds. Runs before
+    // the storm pass so storms can cap surge tenants too.
+    if profile.surge_len_ns > 0 && profile.surge_at_ns < horizon_ns {
+        let mut surge = root.fork(0xFC);
+        let surge_end = profile
+            .surge_at_ns
+            .saturating_add(profile.surge_len_ns)
+            .min(horizon_ns);
+        let mut at = profile.surge_at_ns;
+        loop {
+            at = at.saturating_add(surge.exp(profile.surge_arrival_mean_ns as f64).max(1.0) as u64);
+            if at >= surge_end {
+                break;
+            }
+            // Surge tenants are small and short-lived: the crowd wants
+            // capacity *now* and leaves soon after the event passes.
+            let mut pick = surge.range(0, total_weight);
+            let vcpus = profile
+                .size_mix
+                .iter()
+                .find(|&&(_, w)| {
+                    if pick < w {
+                        true
+                    } else {
+                        pick -= w;
+                        false
+                    }
+                })
+                .map(|&(v, _)| v)
+                .expect("weights cover the range");
+            let lifetime = (surge.lognormal(profile.lognorm_mean_ns as f64 / 2.0, 0.5) as u64)
+                .clamp(MIN_LIFETIME_NS, profile.lifetime_max_ns);
+            let prio = draw_tier(&mut surge, &profile.tier_weights);
+            events.push(LifecycleEvent {
+                at: SimTime::from_ns(at),
+                op: VmOp::Arrive { uid, vcpus, prio },
+            });
+            let depart_at = at + lifetime;
+            if depart_at < horizon_ns {
+                events.push(LifecycleEvent {
+                    at: SimTime::from_ns(depart_at),
+                    op: VmOp::Depart { uid },
+                });
+            }
+            intervals.push((uid, at, depart_at.min(horizon_ns)));
+            uid += 1;
+        }
+    }
+
     // Storm pass: bursty windows that cap a random subset of whatever is
     // live, then restore. Strict `<` guards keep each resize inside its
     // VM's live interval so the trace validates.
@@ -473,7 +569,9 @@ mod tests {
         // before the drain pass existed — the examples/ files are goldens.
         for (file, profile) in [
             ("sap_day.trace.jsonl", "sap-diurnal"),
+            ("sap_storm.trace.jsonl", "sap-resize-storm"),
             ("sap_drain.trace.jsonl", "sap-maintenance-drain"),
+            ("sap_flash.trace.jsonl", "sap-flash-crowd"),
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/");
             let committed = std::fs::read_to_string(format!("{path}{file}"))
@@ -486,6 +584,30 @@ mod tests {
                 "examples/{file} drifted from synthesize({profile})"
             );
         }
+    }
+
+    #[test]
+    fn flash_crowd_steps_arrival_intensity() {
+        let p = profile_by_name("sap-flash-crowd").unwrap();
+        let t = synthesize(p, 4_000 * MS, day_seed(p.name));
+        let surge_end = p.surge_at_ns + p.surge_len_ns;
+        // Arrival rate inside the surge window vs the same-length window
+        // right before it: the step must dominate, not merely nudge.
+        let (mut inside, mut before) = (0u64, 0u64);
+        for e in &t.events {
+            if let VmOp::Arrive { .. } = e.op {
+                let at = e.at.ns();
+                if at >= p.surge_at_ns && at < surge_end {
+                    inside += 1;
+                } else if at >= p.surge_at_ns - p.surge_len_ns && at < p.surge_at_ns {
+                    before += 1;
+                }
+            }
+        }
+        assert!(
+            inside >= before.max(1) * 3,
+            "surge window must out-arrive the calm window 3x ({inside} vs {before})"
+        );
     }
 
     #[test]

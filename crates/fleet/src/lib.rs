@@ -57,8 +57,8 @@ pub use cluster::{Cluster, GuestMode};
 pub use generate::{day_seed, profile_by_name, synthesize, Profile, PROFILES};
 pub use lifecycle::{generate, ChurnModel, FleetSpec, LifecycleEvent, VmOp};
 pub use placement::{
-    policy_by_name, FirstFit, HostView, PlacementPolicy, PlacementReq, ProbeAware, WorstFit,
-    POLICIES,
+    policy_by_name, CacheAware, FirstFit, HostView, PlacementPolicy, PlacementReq, ProbeAware,
+    WorstFit, POLICIES,
 };
 pub use replay::spec_for_trace;
 pub use slo::{SloSummary, TenantStats};

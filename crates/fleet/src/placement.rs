@@ -37,6 +37,10 @@ pub struct HostView {
     /// in vsched's 0..=1024 per-vCPU units. CFS guests (no probing)
     /// contribute their nominal `1024 * vcpus`.
     pub probed_capacity: f64,
+    /// Worst-socket LLC pressure in `[0, 1]` from the host's occupancy
+    /// model: how full the busiest last-level cache is. 0.0 when no guest
+    /// declares a working-set footprint.
+    pub llc_pressure: f64,
 }
 
 impl HostView {
@@ -121,8 +125,34 @@ impl PlacementPolicy for ProbeAware {
     }
 }
 
+/// Avoids cache-thrashed hosts: the fitting host with the lowest
+/// worst-socket LLC pressure, breaking pressure ties by the most probed
+/// headroom and then by lowest host index. Until any guest declares a
+/// working-set footprint every host reports pressure 0.0, so the policy
+/// degrades to probe-aware packing.
+#[derive(Debug, Default)]
+pub struct CacheAware;
+
+impl PlacementPolicy for CacheAware {
+    fn name(&self) -> &'static str {
+        "cache-aware"
+    }
+    fn place(&mut self, req: &PlacementReq, hosts: &[HostView]) -> Option<usize> {
+        hosts
+            .iter()
+            .filter(|h| h.fits(req))
+            .min_by(|a, b| {
+                a.llc_pressure
+                    .total_cmp(&b.llc_pressure)
+                    .then(b.probed_headroom().total_cmp(&a.probed_headroom()))
+                    .then(a.host.cmp(&b.host))
+            })
+            .map(|h| h.host)
+    }
+}
+
 /// Every registered policy name, in suite cell order.
-pub const POLICIES: [&str; 3] = ["first-fit", "worst-fit", "probe-aware"];
+pub const POLICIES: [&str; 4] = ["first-fit", "worst-fit", "probe-aware", "cache-aware"];
 
 /// Instantiates a policy by its [`POLICIES`] name.
 pub fn policy_by_name(name: &str) -> Option<Box<dyn PlacementPolicy>> {
@@ -130,6 +160,7 @@ pub fn policy_by_name(name: &str) -> Option<Box<dyn PlacementPolicy>> {
         "first-fit" => Some(Box::new(FirstFit)),
         "worst-fit" => Some(Box::new(WorstFit)),
         "probe-aware" => Some(Box::new(ProbeAware)),
+        "cache-aware" => Some(Box::new(CacheAware)),
         _ => None,
     }
 }
@@ -145,6 +176,7 @@ mod tests {
             committed,
             cap: 6,
             probed_capacity: probed,
+            llc_pressure: 0.0,
         }
     }
 
@@ -180,6 +212,36 @@ mod tests {
         // Equal probing falls back to lowest index.
         let hosts = [view(0, 2, 2048.0), view(1, 2, 2048.0)];
         assert_eq!(ProbeAware.place(&req(1), &hosts), Some(0));
+    }
+
+    fn view_llc(host: usize, committed: u64, probed: f64, llc: f64) -> HostView {
+        HostView {
+            llc_pressure: llc,
+            ..view(host, committed, probed)
+        }
+    }
+
+    #[test]
+    fn cache_aware_avoids_thrashed_hosts() {
+        // Host 0 has more free slots and probed headroom, but its LLC is
+        // nearly full; host 1's cache is quiet.
+        let hosts = [view_llc(0, 1, 1000.0, 0.9), view_llc(1, 4, 3000.0, 0.1)];
+        assert_eq!(CacheAware.place(&req(1), &hosts), Some(1));
+        // A full host is never chosen, however quiet its cache.
+        let hosts = [view_llc(0, 6, 0.0, 0.0), view_llc(1, 4, 3000.0, 0.8)];
+        assert_eq!(CacheAware.place(&req(1), &hosts), Some(1));
+        assert_eq!(CacheAware.place(&req(3), &hosts), None);
+    }
+
+    #[test]
+    fn cache_aware_ties_break_by_probed_headroom_then_index() {
+        // Equal pressure: the probed-emptier host wins.
+        let hosts = [view_llc(0, 2, 3000.0, 0.4), view_llc(1, 2, 1000.0, 0.4)];
+        assert_eq!(CacheAware.place(&req(1), &hosts), Some(1));
+        // Fully tied: lowest index wins (and with all pressures at 0.0 the
+        // policy degrades to probe-aware packing).
+        let hosts = [view_llc(0, 2, 2048.0, 0.0), view_llc(1, 2, 2048.0, 0.0)];
+        assert_eq!(CacheAware.place(&req(1), &hosts), Some(0));
     }
 
     #[test]

@@ -106,6 +106,19 @@ pub trait Platform {
     /// spins). The measurement includes realistic noise.
     fn cacheline_latency_ns(&mut self, a: VcpuId, b: VcpuId) -> Option<f64>;
 
+    /// Performs one timed pointer-chase micro-probe on the vCPU `v` as
+    /// `vcache`'s prober would observe it *if the vCPU is currently
+    /// active*: returns the mean per-access latency in nanoseconds (LLC
+    /// hit when the socket's cache is quiet, drifting toward a miss/DRAM
+    /// latency as neighbours thrash it), or `None` when the vCPU is off
+    /// core. The measurement includes realistic noise. The default is
+    /// `None` — platforms without an LLC occupancy model give the prober
+    /// nothing to see.
+    fn llc_probe_ns(&mut self, v: VcpuId) -> Option<f64> {
+        let _ = v;
+        None
+    }
+
     /// Arms a one-shot timer that will be delivered back into this VM
     /// (routed to the workload or to vSched by token range).
     fn set_timer(&mut self, token: u64, at: SimTime);

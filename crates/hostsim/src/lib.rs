@@ -22,6 +22,7 @@
 
 pub mod domain;
 pub mod faults;
+pub mod llc;
 pub mod machine;
 pub mod scenario;
 pub mod topology;

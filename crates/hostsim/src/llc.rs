@@ -1,0 +1,384 @@
+//! Per-socket LLC occupancy model.
+//!
+//! Extends the analytic cache-line machinery (refill penalties, the
+//! Figure 10b latency matrix) into an *occupancy* abstraction: each VM
+//! carries a working-set footprint, and the model tracks how many bytes of
+//! each socket's last-level cache that VM currently holds.
+//!
+//! * While any of the VM's vCPUs runs on a socket, its occupancy there
+//!   grows exponentially toward the footprint (time constant
+//!   [`TAU_FILL_NS`]) — streaming the working set in.
+//! * While the VM is fully descheduled on a socket, occupancy decays
+//!   exponentially (time constant [`TAU_DECAY_NS`]) — the same
+//!   cache-warmth story the refill penalty models, now with a size.
+//! * When the sum of occupancies exceeds the socket's LLC capacity,
+//!   neighbours evict each other *proportionally to their pressure*: every
+//!   VM's occupancy is scaled down by the same factor, so a 48 MB thrasher
+//!   displaces far more victim bytes than a 4 MB one.
+//!
+//! The model is **inert by default**: until some VM is given a non-zero
+//! footprint via [`LlcModel::set_footprint`], [`LlcModel::active`] is
+//! false, no state advances, and every efficiency is exactly 1.0 — existing
+//! scenarios are byte-identical.
+//!
+//! Cumulative per-socket inserted/evicted/decayed counters are exposed for
+//! `LlcOccupancySample` trace events; by construction
+//! `occupied == inserted - evicted - decayed`, which the trace checker
+//! enforces as a conservation law.
+
+use simcore::SimTime;
+
+/// Fill time constant: a running working set streams into the LLC with
+/// ~5 ms characteristic time (tens of GB/s over tens of MB).
+pub const TAU_FILL_NS: f64 = 5.0e6;
+
+/// Decay time constant while descheduled: neighbour traffic takes ~50 ms to
+/// wash out a resident working set (paper §2.1 pollution, given a size).
+pub const TAU_DECAY_NS: f64 = 50.0e6;
+
+/// Throughput efficiency when a cache-sensitive VM holds none of its
+/// working set: every access misses to DRAM, costing ~40% of throughput.
+pub const MISS_FLOOR: f64 = 0.6;
+
+/// Per-VM occupancy state.
+#[derive(Debug, Clone)]
+struct VmCache {
+    /// Working-set footprint in bytes (0 = cache-insensitive, modelled out).
+    footprint: f64,
+    /// Bytes resident per socket.
+    occ: Vec<f64>,
+    /// Number of this VM's vCPUs currently running per socket.
+    running: Vec<u32>,
+}
+
+/// Per-socket bookkeeping.
+#[derive(Debug, Clone)]
+struct SocketState {
+    /// Last time this socket's occupancies were advanced.
+    last: SimTime,
+    /// Cumulative bytes inserted (working sets streaming in).
+    inserted: f64,
+    /// Cumulative bytes evicted by neighbour pressure.
+    evicted: f64,
+    /// Cumulative bytes lost to decay while descheduled.
+    decayed: f64,
+}
+
+/// Snapshot of one socket's occupancy, for trace emission.
+#[derive(Debug, Clone, Copy)]
+pub struct LlcSnapshot {
+    /// Total bytes currently resident across all VMs.
+    pub occupied: f64,
+    /// Cumulative bytes inserted since simulation start.
+    pub inserted: f64,
+    /// Cumulative bytes evicted since simulation start.
+    pub evicted: f64,
+    /// Cumulative bytes decayed since simulation start.
+    pub decayed: f64,
+}
+
+/// Per-socket LLC occupancy model for one host.
+#[derive(Debug, Clone)]
+pub struct LlcModel {
+    /// LLC capacity per socket, bytes.
+    llc_bytes: f64,
+    vms: Vec<VmCache>,
+    sockets: Vec<SocketState>,
+    /// Number of VMs with a non-zero footprint; 0 ⇒ the model is inert.
+    sensitive: usize,
+}
+
+impl LlcModel {
+    /// A model for `sockets` sockets of `llc_bytes` each, no VMs yet.
+    pub fn new(sockets: usize, llc_bytes: f64) -> Self {
+        assert!(sockets > 0, "degenerate host");
+        assert!(llc_bytes > 0.0, "LLC must have capacity");
+        Self {
+            llc_bytes,
+            vms: Vec::new(),
+            sockets: vec![
+                SocketState {
+                    last: SimTime::ZERO,
+                    inserted: 0.0,
+                    evicted: 0.0,
+                    decayed: 0.0,
+                };
+                sockets
+            ],
+            sensitive: 0,
+        }
+    }
+
+    /// Registers the next VM (footprint 0 until told otherwise).
+    pub fn add_vm(&mut self) {
+        let n = self.sockets.len();
+        self.vms.push(VmCache {
+            footprint: 0.0,
+            occ: vec![0.0; n],
+            running: vec![0; n],
+        });
+    }
+
+    /// True once any VM has a non-zero footprint. While false the model
+    /// must not be advanced and all efficiencies are 1.0.
+    pub fn active(&self) -> bool {
+        self.sensitive > 0
+    }
+
+    /// Sets a VM's working-set footprint. Shrinking below current
+    /// occupancy evicts the excess immediately.
+    pub fn set_footprint(&mut self, now: SimTime, vm: usize, bytes: f64) {
+        assert!(bytes >= 0.0, "footprint must be non-negative");
+        if self.active() {
+            for s in 0..self.sockets.len() {
+                self.advance(now, s);
+            }
+        }
+        let was = self.vms[vm].footprint > 0.0;
+        self.vms[vm].footprint = bytes;
+        match (was, bytes > 0.0) {
+            (false, true) => self.sensitive += 1,
+            (true, false) => self.sensitive -= 1,
+            _ => {}
+        }
+        for s in 0..self.sockets.len() {
+            let occ = self.vms[vm].occ[s];
+            if occ > bytes {
+                let cut = occ - bytes;
+                self.vms[vm].occ[s] = bytes;
+                self.sockets[s].evicted += cut;
+            }
+        }
+    }
+
+    /// A VM's vCPU started running on `socket`.
+    pub fn on_sched(&mut self, now: SimTime, vm: usize, socket: usize) {
+        self.advance(now, socket);
+        self.vms[vm].running[socket] += 1;
+    }
+
+    /// A VM's vCPU stopped running on `socket`.
+    pub fn on_desched(&mut self, now: SimTime, vm: usize, socket: usize) {
+        self.advance(now, socket);
+        let r = &mut self.vms[vm].running[socket];
+        debug_assert!(*r > 0, "desched without matching sched");
+        *r = r.saturating_sub(1);
+    }
+
+    /// Advances one socket's occupancies to `now` (lazy evaluation).
+    ///
+    /// Growth first, then decay, then proportional eviction if the socket
+    /// is over capacity — so a burst of insertion by a thrasher squeezes
+    /// every resident working set in the same pass.
+    pub fn advance(&mut self, now: SimTime, socket: usize) {
+        let st = &mut self.sockets[socket];
+        let dt = now.since(st.last) as f64;
+        if dt <= 0.0 {
+            st.last = now;
+            return;
+        }
+        st.last = now;
+        let fill = 1.0 - (-dt / TAU_FILL_NS).exp();
+        let decay = 1.0 - (-dt / TAU_DECAY_NS).exp();
+        let mut total = 0.0;
+        for v in &mut self.vms {
+            if v.footprint <= 0.0 {
+                continue;
+            }
+            if v.running[socket] > 0 {
+                let delta = (v.footprint - v.occ[socket]).max(0.0) * fill;
+                v.occ[socket] += delta;
+                st.inserted += delta;
+            } else if v.occ[socket] > 0.0 {
+                let d = v.occ[socket] * decay;
+                v.occ[socket] -= d;
+                st.decayed += d;
+            }
+            total += v.occ[socket];
+        }
+        if total > self.llc_bytes {
+            let scale = self.llc_bytes / total;
+            for v in &mut self.vms {
+                let cut = v.occ[socket] * (1.0 - scale);
+                v.occ[socket] -= cut;
+                st.evicted += cut;
+            }
+        }
+    }
+
+    /// Throughput efficiency factor for a VM running on `socket`, in
+    /// `[MISS_FLOOR, 1.0]`. 1.0 for footprint-0 VMs (cache-insensitive).
+    ///
+    /// Callers must [`advance`](Self::advance) the socket first.
+    pub fn efficiency(&self, vm: usize, socket: usize) -> f64 {
+        let v = &self.vms[vm];
+        if v.footprint <= 0.0 {
+            return 1.0;
+        }
+        let resident = (v.occ[socket] / v.footprint).clamp(0.0, 1.0);
+        MISS_FLOOR + (1.0 - MISS_FLOOR) * resident
+    }
+
+    /// Miss pressure a probe observes on `socket`: the fraction of LLC
+    /// capacity held by *other* VMs than `vm`, clamped to `[0, 1]`.
+    ///
+    /// Callers must [`advance`](Self::advance) the socket first.
+    pub fn contention(&self, vm: usize, socket: usize) -> f64 {
+        let mut other = 0.0;
+        for (i, v) in self.vms.iter().enumerate() {
+            if i != vm {
+                other += v.occ[socket];
+            }
+        }
+        (other / self.llc_bytes).clamp(0.0, 1.0)
+    }
+
+    /// Snapshot of one socket for trace emission. Callers must
+    /// [`advance`](Self::advance) the socket first.
+    pub fn snapshot(&self, socket: usize) -> LlcSnapshot {
+        let occupied: f64 = self.vms.iter().map(|v| v.occ[socket]).sum();
+        let st = &self.sockets[socket];
+        LlcSnapshot {
+            occupied,
+            inserted: st.inserted,
+            evicted: st.evicted,
+            decayed: st.decayed,
+        }
+    }
+
+    /// LLC capacity per socket, bytes.
+    pub fn llc_bytes(&self) -> f64 {
+        self.llc_bytes
+    }
+
+    /// Worst-socket pressure for fleet placement: max over sockets of
+    /// total occupancy over capacity, in `[0, 1]`.
+    pub fn pressure(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for s in 0..self.sockets.len() {
+            let total: f64 = self.vms.iter().map(|v| v.occ[s]).sum();
+            worst = worst.max(total / self.llc_bytes);
+        }
+        worst.clamp(0.0, 1.0)
+    }
+
+    /// A VM's resident bytes on one socket (test/diagnostic accessor).
+    pub fn occupancy(&self, vm: usize, socket: usize) -> f64 {
+        self.vms[vm].occ[socket]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1024.0 * 1024.0;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO.after(ms * 1_000_000)
+    }
+
+    #[test]
+    fn inert_until_a_footprint_is_set() {
+        let mut m = LlcModel::new(2, 27.5 * MB);
+        m.add_vm();
+        assert!(!m.active());
+        assert_eq!(m.efficiency(0, 0), 1.0);
+        m.set_footprint(at(0), 0, 16.0 * MB);
+        assert!(m.active());
+        m.set_footprint(at(0), 0, 0.0);
+        assert!(!m.active());
+    }
+
+    #[test]
+    fn occupancy_fills_toward_footprint_while_running() {
+        let mut m = LlcModel::new(1, 27.5 * MB);
+        m.add_vm();
+        m.set_footprint(at(0), 0, 16.0 * MB);
+        m.on_sched(at(0), 0, 0);
+        let mut prev = 0.0;
+        for ms in [1, 5, 10, 50, 200] {
+            m.advance(at(ms), 0);
+            let occ = m.occupancy(0, 0);
+            assert!(occ > prev, "fill must be monotone");
+            assert!(occ <= 16.0 * MB + 1.0, "never above footprint");
+            prev = occ;
+        }
+        assert!(prev > 15.9 * MB, "200 ms is many fill time constants");
+        assert!(m.efficiency(0, 0) > 0.99);
+    }
+
+    #[test]
+    fn occupancy_decays_while_descheduled() {
+        let mut m = LlcModel::new(1, 27.5 * MB);
+        m.add_vm();
+        m.set_footprint(at(0), 0, 16.0 * MB);
+        m.on_sched(at(0), 0, 0);
+        m.on_desched(at(100), 0, 0);
+        let mut prev = m.occupancy(0, 0);
+        for ms in [110, 150, 250, 500] {
+            m.advance(at(ms), 0);
+            let occ = m.occupancy(0, 0);
+            assert!(occ < prev, "decay must be monotone");
+            assert!(occ >= 0.0);
+            prev = occ;
+        }
+        assert!(m.efficiency(0, 0) < 0.75, "cold cache approaches the floor");
+    }
+
+    #[test]
+    fn oversubscription_evicts_proportionally_and_conserves() {
+        let mut m = LlcModel::new(1, 27.5 * MB);
+        m.add_vm();
+        m.add_vm();
+        m.set_footprint(at(0), 0, 16.0 * MB);
+        m.set_footprint(at(0), 1, 48.0 * MB);
+        m.on_sched(at(0), 0, 0);
+        m.on_sched(at(0), 1, 0);
+        for ms in 1..=300 {
+            m.advance(at(ms), 0);
+            let snap = m.snapshot(0);
+            assert!(
+                snap.occupied <= 27.5 * MB + 1.0,
+                "occupancy must never exceed the LLC"
+            );
+            let balance = snap.inserted - snap.evicted - snap.decayed;
+            assert!(
+                (snap.occupied - balance).abs() <= (1e-6 * snap.inserted).max(1.0),
+                "conservation: occupied == inserted - evicted - decayed"
+            );
+        }
+        // The thrasher's 48 MB footprint squeezes the victim well below its
+        // 16 MB working set: proportional eviction favours the big one.
+        let victim = m.occupancy(0, 0);
+        let thrasher = m.occupancy(1, 0);
+        assert!(thrasher > 2.0 * victim);
+        assert!(m.efficiency(0, 0) < 0.9, "victim pays a miss penalty");
+    }
+
+    #[test]
+    fn shrinking_a_footprint_evicts_the_excess() {
+        let mut m = LlcModel::new(1, 27.5 * MB);
+        m.add_vm();
+        m.set_footprint(at(0), 0, 16.0 * MB);
+        m.on_sched(at(0), 0, 0);
+        m.advance(at(100), 0);
+        m.set_footprint(at(100), 0, 4.0 * MB);
+        assert!(m.occupancy(0, 0) <= 4.0 * MB);
+        let snap = m.snapshot(0);
+        let balance = snap.inserted - snap.evicted - snap.decayed;
+        assert!((snap.occupied - balance).abs() <= 1.0);
+    }
+
+    #[test]
+    fn contention_reflects_neighbour_bytes_only() {
+        let mut m = LlcModel::new(1, 27.5 * MB);
+        m.add_vm();
+        m.add_vm();
+        m.set_footprint(at(0), 1, 20.0 * MB);
+        m.on_sched(at(0), 1, 0);
+        m.advance(at(200), 0);
+        assert!(m.contention(0, 0) > 0.6, "vm0 sees vm1's bytes");
+        assert!(m.contention(1, 0) < 0.05, "vm1 does not see itself");
+    }
+}

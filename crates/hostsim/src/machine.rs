@@ -21,6 +21,7 @@
 //! zero-delay event.
 
 use crate::domain::{DomainConfigError, DomainSchedule};
+use crate::llc::LlcModel;
 use crate::topology::HostSpec;
 use guestos::{
     CommDistance, GuestConfig, GuestOs, Platform, RunDelta, TaskId, TaskState, VcpuId, Workload,
@@ -284,6 +285,11 @@ pub enum Ev {
     },
     /// The active domain slice ended ([`HostSched::Domain`]).
     DomainRotate,
+    /// Periodic LLC occupancy sample: advance the occupancy model, emit
+    /// per-socket samples, and refresh running vCPU rates so the miss
+    /// penalty tracks occupancy with bounded staleness. Armed only while
+    /// the model is active (some VM has a non-zero footprint).
+    LlcSample,
     /// End of the current run window.
     End,
 }
@@ -374,6 +380,10 @@ pub enum ScriptAction {
 
 type Sampler = (u64, Option<Box<dyn FnMut(&Machine)>>);
 
+/// Period of the [`Ev::LlcSample`] occupancy bookkeeping event (10 ms —
+/// two fill time constants, so published occupancy is never badly stale).
+const LLC_SAMPLE_NS: u64 = 10_000_000;
+
 /// The simulated physical machine and everything on it.
 pub struct Machine {
     /// Physical description.
@@ -395,6 +405,12 @@ pub struct Machine {
     load_charge: Vec<u64>,
     /// Rotation state while running under [`HostSched::Domain`].
     domain: Option<DomainState>,
+    /// Per-socket LLC occupancy model ([`crate::llc`]). Inert (and
+    /// byte-identical to its absence) until some VM is given a working-set
+    /// footprint via [`Machine::set_vm_footprint`].
+    llc: LlcModel,
+    /// Whether the periodic [`Ev::LlcSample`] event has been armed.
+    llc_armed: bool,
     /// All vCPUs, across VMs.
     pub vcpus: Vec<HostVcpu>,
     /// All VMs.
@@ -432,6 +448,7 @@ impl Machine {
         let nr = spec.nr_threads();
         let cores = spec.nr_cores();
         let quantum = spec.quantum_ns;
+        let llc = LlcModel::new(spec.sockets, spec.llc_bytes);
         Self {
             spec,
             q: EventQueue::with_capacity(256),
@@ -451,6 +468,8 @@ impl Machine {
             charge: Vec::new(),
             load_charge: Vec::new(),
             domain: None,
+            llc,
+            llc_armed: false,
             vcpus: Vec::new(),
             vms: Vec::new(),
             loads: Vec::new(),
@@ -524,6 +543,7 @@ impl Machine {
             self.charge.push(0);
         }
         self.classes.push(PriorityClass::Standard);
+        self.llc.add_vm();
         let mut guest = GuestOs::new(guest_cfg, now);
         guest.kern.trace = self.trace.scoped(vm_idx as u16);
         self.vms.push(Vm {
@@ -546,6 +566,37 @@ impl Machine {
     /// to [`PriorityClass::Standard`]; set before [`Machine::start`].
     pub fn set_vm_class(&mut self, vm: usize, class: PriorityClass) {
         self.classes[vm] = class;
+    }
+
+    /// Sets a VM's working-set footprint in bytes, activating the
+    /// per-socket LLC occupancy model ([`crate::llc`]). Footprint 0 (the
+    /// default) means cache-insensitive: the VM neither occupies modelled
+    /// cache nor pays a miss penalty — and while *every* VM is at 0 the
+    /// model is inert and runs are byte-identical to builds without it.
+    pub fn set_vm_footprint(&mut self, vm: usize, bytes: f64) {
+        let now = self.q.now();
+        self.llc.set_footprint(now, vm, bytes);
+        if self.llc.active() && self.started && !self.llc_armed {
+            self.llc_armed = true;
+            self.q.post(now.after(LLC_SAMPLE_NS), Ev::LlcSample);
+        }
+    }
+
+    /// Worst-socket LLC pressure in `[0, 1]` — the fleet placement signal.
+    /// Advances the occupancy model to the current time first.
+    pub fn llc_pressure(&mut self) -> f64 {
+        if self.llc.active() {
+            let now = self.q.now();
+            for s in 0..self.spec.sockets {
+                self.llc.advance(now, s);
+            }
+        }
+        self.llc.pressure()
+    }
+
+    /// Read access to the LLC occupancy model (tests, diagnostics).
+    pub fn llc(&self) -> &LlcModel {
+        &self.llc
     }
 
     /// A VM's tenant class.
@@ -815,6 +866,29 @@ impl Machine {
                 _ => {}
             }
         }
+        // LLC occupancy: sched/desched transitions move the VM's running
+        // count on the affected socket(s); advance happens inside the
+        // model before counts change so the elapsed interval is charged
+        // under the old regime.
+        if self.llc.active() {
+            let vm = self.vcpus[gv].vm;
+            let old_th = match old {
+                HostState::Running(t) => Some(t),
+                _ => None,
+            };
+            let new_th = match st {
+                HostState::Running(t) => Some(t),
+                _ => None,
+            };
+            if old_th != new_th {
+                if let Some(t) = old_th {
+                    self.llc.on_desched(now, vm, self.spec.socket_of(t));
+                }
+                if let Some(t) = new_th {
+                    self.llc.on_sched(now, vm, self.spec.socket_of(t));
+                }
+            }
+        }
         self.vcpus[gv].state = st;
         // Cache pollution: a resume after a long enough inactive period
         // costs a cache-sensitive task a refill's worth of extra work
@@ -848,12 +922,28 @@ impl Machine {
             vmref.cycles.set_rate(now, vmref.cycles_rate);
             self.vcpus[gv].cap_contrib = cap;
         }
+        // LLC miss penalty: a cache-sensitive VM whose working set is not
+        // resident on its socket accrues work slower, exactly like a bad
+        // communication-locality factor (the paper's follow-up extends the
+        // abstraction premise from cycles to cache this way).
+        let llc_eff = if self.llc.active() {
+            match self.vcpus[gv].state {
+                HostState::Running(th) => {
+                    let s = self.spec.socket_of(th);
+                    self.llc.advance(now, s);
+                    self.llc.efficiency(vm, s)
+                }
+                _ => 1.0,
+            }
+        } else {
+            1.0
+        };
         // Task work accrual.
         let mut arm: Option<(u64, u64)> = None;
         {
             let v = &mut self.vcpus[gv];
             if let Some(run) = v.run.as_mut() {
-                run.work.set_rate(now, cap * run.factor);
+                run.work.set_rate(now, cap * run.factor * llc_eff);
                 run.active.set_rate(now, if cap > 0.0 { 1.0 } else { 0.0 });
                 v.burst_gen += 1;
                 if run.target < 1.0e15 {
@@ -1439,9 +1529,49 @@ impl Machine {
             let interval = self.samplers[id].0;
             self.q.post(SimTime::from_ns(interval), Ev::Sample { id });
         }
+        if self.llc.active() && !self.llc_armed {
+            self.llc_armed = true;
+            self.q.post(now.after(LLC_SAMPLE_NS), Ev::LlcSample);
+        }
         for vm in 0..self.vms.len() {
             self.with_vm_and_workload(vm, |g, w, p| w.start(g, p));
         }
+    }
+
+    /// Periodic LLC bookkeeping while the occupancy model is active:
+    /// advance every socket, publish `LlcOccupancySample` events, and
+    /// refresh running vCPU rates so the miss penalty tracks occupancy
+    /// with bounded staleness.
+    fn llc_sample(&mut self) {
+        if !self.llc.active() {
+            self.llc_armed = false;
+            return;
+        }
+        let now = self.q.now();
+        for s in 0..self.spec.sockets {
+            self.llc.advance(now, s);
+            if self.trace.is_on() {
+                let snap = self.llc.snapshot(s);
+                self.trace.emit_vm(
+                    now,
+                    0,
+                    EventKind::LlcOccupancySample {
+                        socket: s as u16,
+                        occupied_bytes: snap.occupied,
+                        llc_bytes: self.llc.llc_bytes(),
+                        inserted_bytes: snap.inserted,
+                        evicted_bytes: snap.evicted,
+                        decayed_bytes: snap.decayed,
+                    },
+                );
+            }
+        }
+        for gv in 0..self.vcpus.len() {
+            if matches!(self.vcpus[gv].state, HostState::Running(_)) {
+                self.refresh_vcpu_rate(gv);
+            }
+        }
+        self.q.post(now.after(LLC_SAMPLE_NS), Ev::LlcSample);
     }
 
     /// Runs the simulation until `until` (inclusive), settling accounting
@@ -1553,6 +1683,7 @@ impl Machine {
             Ev::ChargeTick => self.charge_tick(),
             Ev::CreditKick { th } => self.credit_resort(th),
             Ev::DomainRotate => self.domain_rotate(),
+            Ev::LlcSample => self.llc_sample(),
             Ev::End => self.finished = true,
         }
     }
@@ -1988,6 +2119,29 @@ impl Platform for Ctx<'_> {
         let jitter = 1.0 + noise * (2.0 * self.m.rng.f64() - 1.0);
         // Chaos probe noise stacks on the spec's measurement noise.
         let chaos = 1.0 + self.m.probe_jitter((ga as u64) << 16 | gb as u64);
+        Some(base * jitter * chaos)
+    }
+
+    fn llc_probe_ns(&mut self, v: VcpuId) -> Option<f64> {
+        let gv = self.gv(v);
+        let th = match self.m.vcpus[gv].state {
+            HostState::Running(t) => t,
+            _ => return None,
+        };
+        let s = self.m.spec.socket_of(th);
+        let now = self.m.q.now();
+        self.m.llc.advance(now, s);
+        // Thrash drives the mean pointer-chase latency from an LLC hit
+        // toward a cross-socket/DRAM-ish line fill, linearly in the
+        // fraction of the socket held by *other* VMs.
+        let pressure = self.m.llc.contention(self.vm, s);
+        let hit = self.m.spec.cacheline.llc_ns;
+        let miss = self.m.spec.cacheline.cross_ns;
+        let base = hit + (miss - hit) * pressure;
+        let noise = self.m.spec.cacheline.noise;
+        let jitter = 1.0 + noise * (2.0 * self.m.rng.f64() - 1.0);
+        // Chaos probe noise stacks, keyed apart from vtop's pair probes.
+        let chaos = 1.0 + self.m.probe_jitter(0xCAC4E_u64 ^ ((gv as u64) << 20));
         Some(base * jitter * chaos)
     }
 

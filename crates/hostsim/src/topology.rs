@@ -49,6 +49,9 @@ pub struct HostSpec {
     pub smt_contention: f64,
     /// Cache-line latency model.
     pub cacheline: CachelineLatencies,
+    /// Last-level cache capacity per socket, in bytes (Xeon Gold 6138:
+    /// 27.5 MB of L3). Bounds the occupancy model in [`crate::llc`].
+    pub llc_bytes: f64,
 }
 
 impl HostSpec {
@@ -63,6 +66,7 @@ impl HostSpec {
             quantum_ns: 4_000_000,
             smt_contention: 0.62,
             cacheline: CachelineLatencies::default(),
+            llc_bytes: 27.5 * 1024.0 * 1024.0,
         }
     }
 

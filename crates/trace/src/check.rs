@@ -94,7 +94,23 @@ pub enum ViolationKind {
     /// disagrees with `slice_ns * threads`, or `used + stolen` exceeds the
     /// entitlement.
     StealConservationMismatch,
+    /// An `LlcOccupancySample` reported more occupied bytes than the
+    /// socket's LLC holds.
+    LlcOccupancyOverflow,
+    /// An `LlcOccupancySample` breaks conservation: its cumulative
+    /// inserted/evicted/decayed counters moved backwards, or
+    /// `occupied != inserted - evicted - decayed` beyond float slack.
+    LlcConservationMismatch,
+    /// A `CacheAwarePick` chose a vCPU whose LLC-domain pressure exceeds
+    /// the best published estimate by more than the preference margin —
+    /// the pick is not justified by the estimates it claims to act on.
+    CacheAwarePickUnjustified,
 }
+
+/// How far above the best published LLC-domain pressure a cache-aware
+/// pick may land and still count as justified. Must match the bvs
+/// preference margin (`Tunables::vcache_pick_margin`).
+pub const CACHE_PICK_MARGIN: f64 = 0.15;
 
 impl ViolationKind {
     /// Stable machine-readable law identifier. The chaos-seed shrinker
@@ -129,6 +145,9 @@ impl ViolationKind {
             ViolationKind::DomainSliceSumMismatch => "domain-slice-sum-mismatch",
             ViolationKind::CrossDomainExecution => "cross-domain-execution",
             ViolationKind::StealConservationMismatch => "steal-conservation-mismatch",
+            ViolationKind::LlcOccupancyOverflow => "llc-occupancy-overflow",
+            ViolationKind::LlcConservationMismatch => "llc-conservation-mismatch",
+            ViolationKind::CacheAwarePickUnjustified => "cache-aware-pick-unjustified",
         }
     }
 }
@@ -291,6 +310,9 @@ pub struct InvariantChecker {
     host_occ: HashMap<u16, u64>,
     /// Tenant class each VM was bound to by `DomainAssigned`.
     vm_class: HashMap<u16, PriorityClass>,
+    /// Last cumulative (inserted, evicted, decayed) LLC counters per
+    /// `(vm, socket)`, for the monotonicity half of conservation.
+    llc_cumulative: HashMap<(u16, u16), (f64, f64, f64)>,
     /// The domain slice currently active: `(index, class)`.
     active_domain: Option<(u16, PriorityClass)>,
     /// Slice lengths accumulated since the current rotation cycle began
@@ -326,6 +348,7 @@ impl InvariantChecker {
             failed_hosts: HashMap::new(),
             host_occ: HashMap::new(),
             vm_class: HashMap::new(),
+            llc_cumulative: HashMap::new(),
             active_domain: None,
             domain_cycle_ns: 0,
             recent: std::collections::VecDeque::with_capacity(CONTEXT + 1),
@@ -915,12 +938,88 @@ impl InvariantChecker {
                     );
                 }
             }
+            EventKind::LlcOccupancySample {
+                socket,
+                occupied_bytes,
+                llc_bytes,
+                inserted_bytes,
+                evicted_bytes,
+                decayed_bytes,
+            } => {
+                // Relative slack covers float accumulation over a long
+                // run; the absolute byte covers tiny caches.
+                let slack = 1.0 + 1e-6 * llc_bytes.abs();
+                if occupied_bytes > llc_bytes + slack {
+                    self.flag(
+                        ViolationKind::LlcOccupancyOverflow,
+                        ev,
+                        format!(
+                            "socket {socket} holds {occupied_bytes:.0} bytes \
+                             in a {llc_bytes:.0}-byte LLC"
+                        ),
+                    );
+                }
+                let key = (ev.vm, socket);
+                if let Some(&(pi, pe, pd)) = self.llc_cumulative.get(&key) {
+                    let eps = 1.0;
+                    if inserted_bytes < pi - eps
+                        || evicted_bytes < pe - eps
+                        || decayed_bytes < pd - eps
+                    {
+                        self.flag(
+                            ViolationKind::LlcConservationMismatch,
+                            ev,
+                            format!(
+                                "socket {socket} cumulative counters moved backwards: \
+                                 inserted {pi:.0}->{inserted_bytes:.0}, \
+                                 evicted {pe:.0}->{evicted_bytes:.0}, \
+                                 decayed {pd:.0}->{decayed_bytes:.0}"
+                            ),
+                        );
+                    }
+                }
+                self.llc_cumulative
+                    .insert(key, (inserted_bytes, evicted_bytes, decayed_bytes));
+                let balance = inserted_bytes - evicted_bytes - decayed_bytes;
+                let tol = (1e-6 * inserted_bytes.abs()).max(1.0);
+                if (occupied_bytes - balance).abs() > tol {
+                    self.flag(
+                        ViolationKind::LlcConservationMismatch,
+                        ev,
+                        format!(
+                            "socket {socket} occupies {occupied_bytes:.0} bytes but \
+                             inserted {inserted_bytes:.0} - evicted {evicted_bytes:.0} \
+                             - decayed {decayed_bytes:.0} = {balance:.0}"
+                        ),
+                    );
+                }
+            }
+            EventKind::CacheAwarePick {
+                task,
+                chosen,
+                domain,
+                pressure,
+                best_pressure,
+            } => {
+                if pressure > best_pressure + CACHE_PICK_MARGIN + 1e-9 {
+                    self.flag(
+                        ViolationKind::CacheAwarePickUnjustified,
+                        ev,
+                        format!(
+                            "task {task} placed on vcpu {chosen} in domain {domain} at \
+                             pressure {pressure:.3}, but the best domain sat at \
+                             {best_pressure:.3} (margin {CACHE_PICK_MARGIN})"
+                        ),
+                    );
+                }
+            }
             EventKind::TaskWake { .. }
             | EventKind::ReschedIpi { .. }
             | EventKind::ProbeSample { .. }
             | EventKind::BvsSelect { .. }
             | EventKind::FaultInjected { .. }
             | EventKind::ProbeRejected { .. }
+            | EventKind::CacheProbe { .. }
             | EventKind::ProbeRetry { .. } => {}
         }
         self.recent.push_back(ev);
@@ -1654,6 +1753,72 @@ mod tests {
         assert_eq!(
             c.first().unwrap().kind,
             ViolationKind::StealConservationMismatch
+        );
+    }
+
+    #[test]
+    fn llc_occupancy_laws_checked() {
+        let sample = |at, occupied: f64, inserted: f64, evicted: f64, decayed: f64| {
+            ev(
+                at,
+                EventKind::LlcOccupancySample {
+                    socket: 0,
+                    occupied_bytes: occupied,
+                    llc_bytes: 1_000_000.0,
+                    inserted_bytes: inserted,
+                    evicted_bytes: evicted,
+                    decayed_bytes: decayed,
+                },
+            )
+        };
+        // Fill, evict, decay — balanced and under capacity: clean.
+        let c = check(&[
+            sample(10, 400_000.0, 400_000.0, 0.0, 0.0),
+            sample(20, 900_000.0, 1_100_000.0, 150_000.0, 50_000.0),
+        ]);
+        assert!(c.report().ok(), "{:?}", c.first());
+        // Occupancy over the socket's LLC size.
+        let c = check(&[sample(10, 1_200_000.0, 1_200_000.0, 0.0, 0.0)]);
+        assert_eq!(c.first().unwrap().kind, ViolationKind::LlcOccupancyOverflow);
+        // Balance broken: occupied disagrees with the counters.
+        let c = check(&[sample(10, 300_000.0, 400_000.0, 0.0, 0.0)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::LlcConservationMismatch
+        );
+        // Cumulative counters moving backwards.
+        let c = check(&[
+            sample(10, 200_000.0, 300_000.0, 100_000.0, 0.0),
+            sample(20, 250_000.0, 250_000.0, 0.0, 0.0),
+        ]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::LlcConservationMismatch
+        );
+    }
+
+    #[test]
+    fn cache_aware_pick_must_be_justified() {
+        let pick = |pressure: f64, best: f64| {
+            ev(
+                10,
+                EventKind::CacheAwarePick {
+                    task: 3,
+                    chosen: 1,
+                    domain: 0,
+                    pressure,
+                    best_pressure: best,
+                },
+            )
+        };
+        // Inside the preference margin: clean.
+        assert!(check(&[pick(0.2, 0.1)]).report().ok());
+        assert!(check(&[pick(0.0, 0.0)]).report().ok());
+        // Picked a domain far above the best published estimate.
+        let c = check(&[pick(0.9, 0.1)]);
+        assert_eq!(
+            c.first().unwrap().kind,
+            ViolationKind::CacheAwarePickUnjustified
         );
     }
 

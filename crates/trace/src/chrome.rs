@@ -335,6 +335,43 @@ pub fn chrome_trace(ring: &RingBuffer) -> String {
                      \"cat\":\"vsched\",\"name\":\"reject {probe:?} v{vcpu}\""
                 ));
             }
+            EventKind::CacheProbe {
+                vcpu,
+                domain,
+                pressure,
+                ..
+            } => {
+                w.event(format!(
+                    "\"ph\":\"C\",\"ts\":{t},\"pid\":{vm},\
+                     \"name\":\"vcache d{domain} v{vcpu}\",\"args\":{{\"pressure\":{}}}",
+                    json_f64(pressure)
+                ));
+            }
+            EventKind::LlcOccupancySample {
+                socket,
+                occupied_bytes,
+                ..
+            } => {
+                w.event(format!(
+                    "\"ph\":\"C\",\"ts\":{t},\"pid\":{vm},\
+                     \"name\":\"llc s{socket}\",\"args\":{{\"occupied_bytes\":{}}}",
+                    json_f64(occupied_bytes)
+                ));
+            }
+            EventKind::CacheAwarePick {
+                task,
+                chosen,
+                domain,
+                pressure,
+                ..
+            } => {
+                w.event(format!(
+                    "\"ph\":\"i\",\"s\":\"p\",\"ts\":{t},\"pid\":{vm},\
+                     \"cat\":\"vsched\",\"name\":\"cache-aware T{task} -> v{chosen}\",\
+                     \"args\":{{\"domain\":{domain},\"pressure\":{}}}",
+                    json_f64(pressure)
+                ));
+            }
             // High-volume accounting deltas stay out of the visual trace;
             // they feed the schedstat totals and the checker instead.
             EventKind::StealAccrue { .. }
@@ -388,8 +425,11 @@ fn vcpu_of(ev: &TraceEvent) -> Option<u16> {
         EventKind::IvhAbandonedByWatchdog { target, .. } => Some(target),
         EventKind::FaultInjected { vcpu, .. }
         | EventKind::BandwidthSet { vcpu, .. }
-        | EventKind::ProbeRejected { vcpu, .. } => Some(vcpu),
+        | EventKind::ProbeRejected { vcpu, .. }
+        | EventKind::CacheProbe { vcpu, .. } => Some(vcpu),
+        EventKind::CacheAwarePick { chosen, .. } => Some(chosen),
         EventKind::BvsSelect { .. }
+        | EventKind::LlcOccupancySample { .. }
         | EventKind::ProbeRetry { .. }
         | EventKind::DegradedEnter { .. }
         | EventKind::DegradedExit { .. }

@@ -72,6 +72,8 @@ pub enum ProbeKind {
     Vact,
     /// vtop: probed inter-vCPU latency.
     Vtop,
+    /// vcache: timed pointer-chase LLC thrash estimate.
+    Vcache,
 }
 
 /// Tenant priority class of a fleet VM.
@@ -401,6 +403,43 @@ pub enum EventKind {
         sample: f64,
         median: f64,
     },
+    /// The vcache prober timed one pointer-chase micro-probe on `vcpu` and
+    /// accepted it into LLC-domain `domain`'s estimate. `pressure` is the
+    /// normalized miss ratio in `[0, 1]` derived from `latency_ns`.
+    CacheProbe {
+        vcpu: u16,
+        domain: u16,
+        latency_ns: f64,
+        pressure: f64,
+    },
+    /// Periodic per-socket LLC occupancy snapshot from the host model.
+    /// `occupied_bytes` is the live total across resident VMs and
+    /// `llc_bytes` the socket's capacity, so the checker can assert
+    /// occupancy never exceeds the cache. The cumulative counters
+    /// (`inserted_bytes` filled by active VMs, `evicted_bytes` removed by
+    /// neighbour pressure, `decayed_bytes` lost to descheduled decay) are
+    /// monotone and satisfy conservation:
+    /// `occupied == inserted - evicted - decayed` within float slack.
+    LlcOccupancySample {
+        socket: u16,
+        occupied_bytes: f64,
+        llc_bytes: f64,
+        inserted_bytes: f64,
+        evicted_bytes: f64,
+        decayed_bytes: f64,
+    },
+    /// Cache-aware bvs placed `task` on `chosen`, whose LLC domain
+    /// `domain` had estimated `pressure`; `best_pressure` is the lowest
+    /// published estimate over all candidate domains at decision time.
+    /// The checker asserts the pick is justified: `pressure` within the
+    /// preference margin of `best_pressure`.
+    CacheAwarePick {
+        task: u32,
+        chosen: u16,
+        domain: u16,
+        pressure: f64,
+        best_pressure: f64,
+    },
 }
 
 /// A stamped event: simulated time, owning VM, payload.
@@ -448,6 +487,9 @@ impl EventKind {
             EventKind::DomainSwitch { .. } => "domain_switch",
             EventKind::StealAccounted { .. } => "steal_accounted",
             EventKind::ProbeRejected { .. } => "probe_rejected",
+            EventKind::CacheProbe { .. } => "cache_probe",
+            EventKind::LlcOccupancySample { .. } => "llc_occupancy_sample",
+            EventKind::CacheAwarePick { .. } => "cache_aware_pick",
         }
     }
 }

@@ -34,6 +34,7 @@ pub mod resilience;
 pub mod rwc;
 pub mod tunables;
 pub mod vact;
+pub mod vcache;
 pub mod vcap;
 pub mod vtop;
 
@@ -44,6 +45,7 @@ pub use resilience::{ResilAction, ResilCfg, Resilience};
 pub use rwc::Rwc;
 pub use tunables::Tunables;
 pub use vact::{ActState, Vact};
+pub use vcache::Vcache;
 pub use vcap::Vcap;
 pub use vtop::{PairClass, Vtop};
 
@@ -69,6 +71,10 @@ pub const TOKEN_RESIL_WATCHDOG: u64 = HOOK_TIMER_BASE + 6;
 pub const TOKEN_VCAP_CANARY_OPEN: u64 = HOOK_TIMER_BASE + 7;
 /// Timer token: close the canary micro-probe.
 pub const TOKEN_VCAP_CANARY_CLOSE: u64 = HOOK_TIMER_BASE + 8;
+/// Timer token: open a vcache sampling window (periodic).
+pub const TOKEN_VCACHE_PERIOD: u64 = HOOK_TIMER_BASE + 9;
+/// Timer token: take the next vcache sample (or close the window).
+pub const TOKEN_VCACHE_SAMPLE: u64 = HOOK_TIMER_BASE + 10;
 
 /// Which vSched pieces are enabled.
 #[derive(Debug, Clone)]
@@ -93,10 +99,16 @@ pub struct VschedConfig {
     /// `None` (the default) reproduces the paper's behavior exactly.
     pub resilience: Option<ResilCfg>,
     /// Hardened probing: windowed median/MAD outlier rejection and
-    /// window-targeted interference detection on vcap samples, with an
-    /// interference-suspicion score feeding the resilience layer. Off by
-    /// default (the paper trusts its neighbours).
+    /// window-targeted interference detection on vcap samples (and vtop
+    /// validation latencies), with an interference-suspicion score feeding
+    /// the resilience layer. Off by default (the paper trusts its
+    /// neighbours).
     pub hardened_probes: bool,
+    /// LLC thrash prober + cache-aware bvs (the follow-up paper's cache
+    /// abstraction). Off by default: the original paper has no cache
+    /// dimension, and every pre-vcache configuration must stay
+    /// byte-identical.
+    pub vcache: bool,
     /// Tunables (Table 1 defaults).
     pub tunables: Tunables,
 }
@@ -115,7 +127,17 @@ impl VschedConfig {
             ivh_prewake: true,
             resilience: None,
             hardened_probes: false,
+            vcache: false,
             tunables: Tunables::paper(),
+        }
+    }
+
+    /// Full vSched plus the LLC abstraction: the vcache prober runs and
+    /// bvs prefers vCPUs on sockets whose cache is not thrashed.
+    pub fn cache_aware() -> Self {
+        Self {
+            vcache: true,
+            ..Self::full()
         }
     }
 
@@ -175,6 +197,8 @@ pub struct Vsched {
     pub vact: Vact,
     /// Topology prober.
     pub vtop: Vtop,
+    /// LLC thrash prober.
+    pub vcache: Vcache,
     /// Harvesting engine.
     pub ivh: Ivh,
     /// Work-conservation policy.
@@ -191,14 +215,21 @@ impl Vsched {
     fn new(nr_vcpus: usize, tick_ns: u64, cfg: VschedConfig, now: SimTime) -> Self {
         let mut vcap = Vcap::new(nr_vcpus, &cfg.tunables);
         vcap.hardened = cfg.hardened_probes;
+        let mut vtop = Vtop::new(nr_vcpus, cfg.tunables.clone());
+        vtop.hardened = cfg.hardened_probes;
+        let mut resil = cfg.resilience.clone().map(|rc| Resilience::new(rc, now));
+        if let Some(r) = resil.as_mut() {
+            r.set_vcache_enabled(cfg.vcache);
+        }
         Self {
             vcap,
             vact: Vact::new(nr_vcpus, tick_ns, &cfg.tunables, now),
-            vtop: Vtop::new(nr_vcpus, cfg.tunables.clone()),
+            vtop,
+            vcache: Vcache::new(nr_vcpus, &cfg.tunables),
             ivh: Ivh::new(nr_vcpus, cfg.ivh_prewake),
             rwc: Rwc::new(nr_vcpus),
             bvs_stats: BvsStats::default(),
-            resil: cfg.resilience.clone().map(|rc| Resilience::new(rc, now)),
+            resil,
             vtop_check_armed: false,
             vtop_ran_once: false,
             cfg,
@@ -218,6 +249,12 @@ impl Vsched {
             return;
         };
         kern.install_topology(&topo);
+        if self.cfg.vcache {
+            // LLC domains follow the probed socket partition; a changed
+            // partition resets the pressure estimates (they described
+            // sockets that no longer exist).
+            self.vcache.set_domains(&topo);
+        }
         if self.cfg.rwc {
             let groups = self.vtop.stacked_groups();
             match self.rwc.update_stacking(kern, plat, &groups) {
@@ -321,6 +358,15 @@ impl Vsched {
                     }
                 }
             }
+            ProbeKind::Vcache => {
+                if self.cfg.vcache && !self.vcache.window_open() {
+                    self.vcache.open_window();
+                    plat.set_timer(
+                        TOKEN_VCACHE_SAMPLE,
+                        now.after(self.cfg.tunables.vcache_sample_gap_ns),
+                    );
+                }
+            }
         }
     }
 }
@@ -347,6 +393,7 @@ impl SchedHooks for Vsched {
             plat,
             &self.vact,
             &self.vcap,
+            self.cfg.vcache.then_some(&self.vcache),
             &self.cfg.tunables,
             &mut self.bvs_stats,
             task,
@@ -505,6 +552,42 @@ impl SchedHooks for Vsched {
                     self.arm_vtop_check(plat);
                 }
             }
+            TOKEN_VCACHE_PERIOD => {
+                let now = plat.now();
+                if self.cfg.vcache && !self.vcache.window_open() {
+                    self.vcache.open_window();
+                    plat.set_timer(
+                        TOKEN_VCACHE_SAMPLE,
+                        now.after(self.cfg.tunables.vcache_sample_gap_ns),
+                    );
+                }
+                plat.set_timer(
+                    TOKEN_VCACHE_PERIOD,
+                    now.after(self.cfg.tunables.vcache_period_ns),
+                );
+            }
+            TOKEN_VCACHE_SAMPLE if self.cfg.vcache && self.vcache.window_open() => {
+                if self.vcache.sample_step(kern, plat) {
+                    plat.set_timer(
+                        TOKEN_VCACHE_SAMPLE,
+                        plat.now().after(self.cfg.tunables.vcache_sample_gap_ns),
+                    );
+                } else {
+                    match self.vcache.close_window(kern, plat) {
+                        Ok(()) => {
+                            if let Some(r) = self.resil.as_mut() {
+                                r.observe_vcache(plat.now(), &self.vcache);
+                                r.observe_suspicion(
+                                    plat.now(),
+                                    ProbeKind::Vcache,
+                                    self.vcache.suspicion,
+                                );
+                            }
+                        }
+                        Err(e) => self.probe_error(kern, plat, e),
+                    }
+                }
+            }
             TOKEN_RESIL_WATCHDOG => {
                 let now = plat.now();
                 let Some(timeout) = self.resil.as_ref().map(|r| r.cfg.pull_timeout_ns) else {
@@ -517,6 +600,9 @@ impl SchedHooks for Vsched {
                 let action = match self.resil.as_mut() {
                     Some(r) => {
                         r.observe_vtop(now, self.vtop.validations, self.vtop.validation_failures);
+                        if self.vtop.hardened {
+                            r.observe_suspicion(now, ProbeKind::Vtop, self.vtop.suspicion);
+                        }
                         r.on_watchdog(kern, now)
                     }
                     None => ResilAction::None,
@@ -561,6 +647,12 @@ pub fn install(guest: &mut GuestOs, plat: &mut dyn Platform, cfg: VschedConfig) 
     }
     if vs.cfg.vtop {
         plat.set_timer(TOKEN_VTOP_PERIOD, now.after(50_000_000));
+    }
+    if vs.cfg.vcache {
+        // First window after the first vtop pass has had a chance to
+        // install real LLC domains (single-domain estimates are still
+        // sound, just coarser).
+        plat.set_timer(TOKEN_VCACHE_PERIOD, now.after(30_000_000));
     }
     guest.install_hooks(Box::new(vs));
 }

@@ -77,14 +77,22 @@ impl Default for ResilCfg {
     }
 }
 
-/// Index of a prober in the confidence arrays.
-const PROBERS: [ProbeKind; 3] = [ProbeKind::Vcap, ProbeKind::Vact, ProbeKind::Vtop];
+/// Index of a prober in the confidence arrays. The vcache slot is scored
+/// only when the configuration runs the vcache prober (see
+/// [`Resilience::set_vcache_enabled`]).
+const PROBERS: [ProbeKind; 4] = [
+    ProbeKind::Vcap,
+    ProbeKind::Vact,
+    ProbeKind::Vtop,
+    ProbeKind::Vcache,
+];
 
 fn idx(p: ProbeKind) -> usize {
     match p {
         ProbeKind::Vcap | ProbeKind::VcapCore => 0,
         ProbeKind::Vact => 1,
         ProbeKind::Vtop => 2,
+        ProbeKind::Vcache => 3,
     }
 }
 
@@ -107,10 +115,15 @@ pub enum ResilAction {
 pub struct Resilience {
     /// Configuration.
     pub cfg: ResilCfg,
-    conf: [f64; 3],
-    last_seen: [SimTime; 3],
+    conf: [f64; 4],
+    last_seen: [SimTime; 4],
+    /// Whether the vcache slot participates in scoring. Off by default:
+    /// a configuration without the vcache prober must not be dragged into
+    /// degraded mode by a slot nothing ever feeds.
+    vcache_enabled: bool,
     prev_mean_cap: Option<f64>,
     prev_median_lat: Option<u64>,
+    prev_mean_pressure: Option<f64>,
     prev_validations: u64,
     prev_failures: u64,
     degraded_since: Option<SimTime>,
@@ -128,10 +141,12 @@ impl Resilience {
     pub fn new(cfg: ResilCfg, now: SimTime) -> Self {
         Self {
             cfg,
-            conf: [1.0; 3],
-            last_seen: [now; 3],
+            conf: [1.0; 4],
+            last_seen: [now; 4],
+            vcache_enabled: false,
             prev_mean_cap: None,
             prev_median_lat: None,
+            prev_mean_pressure: None,
             prev_validations: 0,
             prev_failures: 0,
             degraded_since: None,
@@ -146,6 +161,22 @@ impl Resilience {
     /// Whether vSched is currently degraded (bvs/ivh/rwc suppressed).
     pub fn degraded(&self) -> bool {
         self.degraded_since.is_some()
+    }
+
+    /// Enables scoring of the vcache slot (call when the configuration
+    /// runs the vcache prober).
+    pub fn set_vcache_enabled(&mut self, on: bool) {
+        self.vcache_enabled = on;
+    }
+
+    /// How many slots participate in scoring: the vcache slot only when
+    /// its prober runs.
+    fn nr_scored(&self) -> usize {
+        if self.vcache_enabled {
+            PROBERS.len()
+        } else {
+            PROBERS.len() - 1
+        }
     }
 
     /// Current confidence of a prober.
@@ -203,6 +234,20 @@ impl Resilience {
         self.absorb(ProbeKind::Vact, now, surprise);
     }
 
+    /// Feeds a closed vcache window. Pressure is already normalized to
+    /// `[0, 1]`, so the absolute swing of the mean estimate *is* the
+    /// surprise — a socket whose thrash level jumps half the scale between
+    /// windows is exactly the abstraction-churn signal the layer scores.
+    pub fn observe_vcache(&mut self, now: SimTime, vcache: &crate::vcache::Vcache) {
+        let mean = vcache.mean_pressure();
+        let surprise = match self.prev_mean_pressure {
+            Some(prev) => (mean - prev).abs(),
+            None => 0.0,
+        };
+        self.prev_mean_pressure = Some(mean);
+        self.absorb(ProbeKind::Vcache, now, surprise);
+    }
+
     /// Feeds vtop progress: validation passes restore trust, detected
     /// mismatches spend it.
     pub fn observe_vtop(&mut self, now: SimTime, validations: u64, failures: u64) {
@@ -224,10 +269,11 @@ impl Resilience {
         self.last_seen[i] = now;
     }
 
-    /// The prober currently trusted least.
+    /// The prober currently trusted least (among the scored slots).
     fn worst(&self) -> (ProbeKind, f64) {
+        let n = self.nr_scored();
         let mut worst = (PROBERS[0], self.conf[0]);
-        for (p, &c) in PROBERS.iter().zip(&self.conf).skip(1) {
+        for (p, &c) in PROBERS.iter().zip(&self.conf).take(n).skip(1) {
             if c < worst.1 {
                 worst = (*p, c);
             }
@@ -244,7 +290,7 @@ impl Resilience {
         // probing on purpose — decaying then would trap the VM degraded
         // once the bounded retries run out.
         if self.degraded_since.is_none() {
-            for i in 0..PROBERS.len() {
+            for i in 0..self.nr_scored() {
                 if now.since(self.last_seen[i]) > self.cfg.staleness_ns {
                     // Quiet probers drift toward distrust, slowly:
                     // confidence halves roughly every staleness interval
@@ -411,6 +457,63 @@ mod tests {
         for w in retries.windows(2) {
             assert!(w[1].0.since(w[0].0) >= base, "backoff too fast");
         }
+    }
+
+    #[test]
+    fn unfed_vcache_slot_is_inert_unless_enabled() {
+        let cfg = ResilCfg {
+            staleness_ns: 100 * MS,
+            ..ResilCfg::default()
+        };
+        // Disabled (the default): the never-fed vcache slot must not
+        // decay a healthy VM into degraded mode. Keep the three original
+        // probers fresh and walk far past staleness.
+        let mut r = Resilience::new(cfg.clone(), t(0));
+        let mut k = kern();
+        let vcap = Vcap::new(2, &crate::tunables::Tunables::paper());
+        let mut now = SimTime::from_ms(10);
+        for _ in 0..200 {
+            r.observe_vcap(now, &vcap);
+            r.last_seen[idx(ProbeKind::Vact)] = now;
+            r.last_seen[idx(ProbeKind::Vtop)] = now;
+            assert_eq!(r.on_watchdog(&mut k, now), ResilAction::None);
+            now = now.after(10 * MS);
+        }
+        // Enabled but silent: the stale vcache slot degrades like any
+        // other quiet prober.
+        let mut r = Resilience::new(cfg, t(0));
+        r.set_vcache_enabled(true);
+        let mut now = SimTime::from_ms(10);
+        let mut entered = false;
+        for _ in 0..2_000 {
+            r.observe_vcap(now, &vcap);
+            r.last_seen[idx(ProbeKind::Vact)] = now;
+            r.last_seen[idx(ProbeKind::Vtop)] = now;
+            if r.on_watchdog(&mut k, now) == ResilAction::EnteredDegraded {
+                entered = true;
+                break;
+            }
+            now = now.after(10 * MS);
+        }
+        assert!(entered, "silent vcache never degraded: {:?}", r.conf);
+    }
+
+    #[test]
+    fn vcache_pressure_swings_spend_trust() {
+        let mut r = Resilience::new(ResilCfg::default(), t(0));
+        r.set_vcache_enabled(true);
+        let mut k = kern();
+        let mut vc = crate::vcache::Vcache::new(2, &crate::tunables::Tunables::paper());
+        let mut entered = false;
+        for i in 0..12u64 {
+            vc.pressure[0] = Some(if i % 2 == 0 { 0.95 } else { 0.05 });
+            r.observe_vcache(t(100 * (i + 1)), &vc);
+            if r.on_watchdog(&mut k, t(100 * (i + 1) + 5)) == ResilAction::EnteredDegraded {
+                entered = true;
+                break;
+            }
+        }
+        assert!(entered, "pressure oscillation never degraded: {:?}", r.conf);
     }
 
     #[test]

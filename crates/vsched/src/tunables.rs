@@ -59,6 +59,26 @@ pub struct Tunables {
     pub vtop_spin_attempt_ns: f64,
     /// vtop: maximum timeout extensions before concluding.
     pub vtop_max_extensions: u8,
+
+    // ------ vcache (the follow-up paper's LLC abstraction) ------
+    /// vcache probing period.
+    pub vcache_period_ns: u64,
+    /// Timed pointer-chase samples taken per window (per LLC domain).
+    pub vcache_samples: u32,
+    /// Gap between successive samples inside a window.
+    pub vcache_sample_gap_ns: u64,
+    /// Latency anchor for an LLC hit on a quiet socket (ns).
+    pub vcache_hit_ns: f64,
+    /// Latency anchor for a fully thrashed socket — a DRAM-ish line
+    /// fill (ns).
+    pub vcache_miss_ns: f64,
+    /// Domain pressure estimates older than this are ignored by
+    /// cache-aware bvs (stale abstraction must not steer placement).
+    pub vcache_staleness_ns: u64,
+    /// Cache-aware bvs accepts a candidate whose domain pressure is
+    /// within this margin of the best published pressure. Must match the
+    /// trace checker's `CACHE_PICK_MARGIN` law.
+    pub vcache_pick_margin: f64,
 }
 
 impl Tunables {
@@ -85,6 +105,13 @@ impl Tunables {
             vtop_socket_threshold_ns: 80.0,
             vtop_spin_attempt_ns: 1_000.0,
             vtop_max_extensions: 3,
+            vcache_period_ns: 500 * MS,
+            vcache_samples: 8,
+            vcache_sample_gap_ns: MS,
+            vcache_hit_ns: 48.0,
+            vcache_miss_ns: 113.0,
+            vcache_staleness_ns: 2 * SEC,
+            vcache_pick_margin: 0.15,
         }
     }
 }

@@ -488,7 +488,7 @@ impl Vcap {
 
 /// Median of a small sample set. `total_cmp` keeps a hostile NaN from
 /// poisoning the sort (same reasoning as the capacity aggregates).
-fn median_of(values: impl Iterator<Item = f64>) -> f64 {
+pub(crate) fn median_of(values: impl Iterator<Item = f64>) -> f64 {
     let mut xs: Vec<f64> = values.collect();
     xs.sort_by(|a, b| a.total_cmp(b));
     if xs.is_empty() {

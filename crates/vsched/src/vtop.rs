@@ -22,11 +22,18 @@
 
 use crate::error::ProbeError;
 use crate::tunables::Tunables;
+use crate::vcap::median_of;
 use guestos::{
     CpuMask, Kernel, PerceivedTopology, Platform, Policy, SpawnSpec, TaskId, TaskProgram, VcpuId,
 };
 use simcore::SimTime;
-use trace::ProbeKind;
+use std::collections::VecDeque;
+use trace::{EventKind, ProbeKind};
+
+/// Accepted validation latencies remembered per pair class (hardened mode).
+const HISTORY_CAP: usize = 8;
+/// Outlier tests need at least this much history to be meaningful.
+const HISTORY_MIN: usize = 4;
 
 /// Classified distance between a vCPU pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +168,8 @@ struct Validation {
     started: SimTime,
     stage: ValStage,
     mismatch: bool,
+    /// Hardened mode rejected at least one sample this pass.
+    rejected: bool,
     /// Expected class per in-flight session (parallel with `sessions`).
     expectations: Vec<(usize, usize, PairClass)>,
     socket_checks: Vec<(usize, usize, bool)>, // (a, b, expect_cross)
@@ -194,7 +203,29 @@ pub struct Vtop {
     pub validations: u64,
     /// Validation passes that detected a topology change.
     pub validation_failures: u64,
+    /// Median/MAD vetting of validation latencies + suspicion scoring
+    /// (PR 9's vcap hardening discipline). Off by default — the paper
+    /// trusts its neighbours.
+    pub hardened: bool,
+    /// Accepted validation latencies per finite pair class
+    /// (Smt / SameSocket / CrossSocket), newest last.
+    history: [VecDeque<f64>; 3],
+    /// Interference-suspicion score in `[0, 1]` (vcap semantics: +0.35
+    /// per rejection, ×0.6 per clean validation pass).
+    pub suspicion: f64,
+    /// Validation latencies rejected by vetting over the run.
+    pub rejected_samples: u64,
     installed: Option<PerceivedTopology>,
+}
+
+/// History slot of a finite pair class (stacked pairs have no latency).
+fn class_slot(c: PairClass) -> Option<usize> {
+    match c {
+        PairClass::Smt => Some(0),
+        PairClass::SameSocket => Some(1),
+        PairClass::CrossSocket => Some(2),
+        PairClass::Stacked => None,
+    }
 }
 
 impl Vtop {
@@ -212,6 +243,10 @@ impl Vtop {
             full_probes: 0,
             validations: 0,
             validation_failures: 0,
+            hardened: false,
+            history: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            suspicion: 0.0,
+            rejected_samples: 0,
             installed: None,
         }
     }
@@ -392,6 +427,7 @@ impl Vtop {
             started: plat.now(),
             stage: ValStage::Pairs,
             mismatch: false,
+            rejected: false,
             expectations: expectations.clone(),
             socket_checks,
             check_idx: 0,
@@ -459,7 +495,7 @@ impl Vtop {
                 }
                 Phase::Validate(val) => {
                     for s in &finished {
-                        self.validate_step(val, s)?;
+                        self.validate_step(kern, plat.now(), val, s)?;
                     }
                     if self.sessions.is_empty() {
                         if val.stage == ValStage::Pairs {
@@ -474,6 +510,11 @@ impl Vtop {
                                 self.validations += 1;
                                 self.last_validate_ns = Some(plat.now().since(val.started));
                                 let mismatch = val.mismatch;
+                                if self.hardened && !val.rejected {
+                                    // A clean pass bleeds suspicion off
+                                    // (vcap's clean-window discipline).
+                                    self.suspicion *= 0.6;
+                                }
                                 self.phase = Phase::Idle;
                                 if mismatch {
                                     self.validation_failures += 1;
@@ -656,7 +697,13 @@ impl Vtop {
         Ok(())
     }
 
-    fn validate_step(&mut self, val: &mut Validation, s: &Session) -> Result<(), ProbeError> {
+    fn validate_step(
+        &mut self,
+        kern: &mut Kernel,
+        now: SimTime,
+        val: &mut Validation,
+        s: &Session,
+    ) -> Result<(), ProbeError> {
         let Some(class) = s.outcome else {
             return Err(ProbeError::Inconsistent(
                 ProbeKind::Vtop,
@@ -671,7 +718,24 @@ impl Vtop {
                     .find(|(a, b, _)| (*a == s.a && *b == s.b) || (*a == s.b && *b == s.a))
                 {
                     if class != expect {
-                        val.mismatch = true;
+                        if self.hardened && self.reject_latency(kern, now, s, class) {
+                            // Vetted out: an interference spike inflated
+                            // the latency past a class boundary. Suspicion
+                            // rises; the topology is NOT re-probed.
+                            val.rejected = true;
+                        } else {
+                            val.mismatch = true;
+                        }
+                    } else if self.hardened {
+                        if let Some(slot) = class_slot(class) {
+                            if s.latency.is_finite() {
+                                let h = &mut self.history[slot];
+                                h.push_back(s.latency);
+                                if h.len() > HISTORY_CAP {
+                                    h.pop_front();
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -690,6 +754,50 @@ impl Vtop {
             }
         }
         Ok(())
+    }
+
+    /// Hardened-mode vetting of a mismatching validation latency: a
+    /// genuine topology change produces a latency that fits the measured
+    /// class's own historical band (the pair really does sit at that
+    /// distance now), while an interference spike lands *outside* every
+    /// band — the transfer was slowed by a noisy neighbour, not moved by
+    /// the hypervisor. Returns true when the sample was rejected.
+    fn reject_latency(
+        &mut self,
+        kern: &mut Kernel,
+        now: SimTime,
+        s: &Session,
+        measured: PairClass,
+    ) -> bool {
+        let Some(slot) = class_slot(measured) else {
+            // Stacked has no latency to vet: zero overlap is not a
+            // plausible interference artifact.
+            return false;
+        };
+        if !s.latency.is_finite() {
+            return false;
+        }
+        let h = &self.history[slot];
+        if h.len() < HISTORY_MIN {
+            return false;
+        }
+        let med = median_of(h.iter().copied());
+        let mad = median_of(h.iter().map(|&x| (x - med).abs()));
+        if (s.latency - med).abs() <= (4.0 * mad).max(0.25 * med) {
+            return false;
+        }
+        self.rejected_samples += 1;
+        self.suspicion = (self.suspicion + 0.35).min(1.0);
+        kern.trace.emit(
+            now,
+            EventKind::ProbeRejected {
+                vcpu: s.a as u16,
+                probe: ProbeKind::Vtop,
+                sample: s.latency,
+                median: med,
+            },
+        );
+        true
     }
 
     /// Current stacked groups from the probed topology (for rwc).

@@ -89,7 +89,7 @@ fn bvs_skips_non_latency_sensitive_tasks() {
     let t = kern.spawn(SimTime::ZERO, SpawnSpec::normal(4));
     let mut stats = BvsStats::default();
     let pick = bvs::select(
-        &mut kern, &mut plat, &vact, &vcap, &tun, &mut stats, t, true,
+        &mut kern, &mut plat, &vact, &vcap, None, &tun, &mut stats, t, true,
     );
     assert_eq!(pick, None, "plain tasks fall through to CFS");
 }
@@ -101,7 +101,7 @@ fn bvs_skips_large_tasks() {
     // Fresh tasks start with PELT at half charge (512 > small threshold).
     let mut stats = BvsStats::default();
     let pick = bvs::select(
-        &mut kern, &mut plat, &vact, &vcap, &tun, &mut stats, t, true,
+        &mut kern, &mut plat, &vact, &vcap, None, &tun, &mut stats, t, true,
     );
     assert_eq!(pick, None, "large tasks are not bvs material");
 }
@@ -122,7 +122,7 @@ fn bvs_prefers_low_latency_idle_vcpu() {
     plat.now = SimTime::from_secs(1);
     let mut stats = BvsStats::default();
     let pick = bvs::select(
-        &mut kern, &mut plat, &vact, &vcap, &tun, &mut stats, t, true,
+        &mut kern, &mut plat, &vact, &vcap, None, &tun, &mut stats, t, true,
     )
     .expect("bvs places the task");
     assert!(
@@ -249,7 +249,7 @@ fn bvs_first_fit_starts_from_prev_vcpu() {
     plat.now = SimTime::from_secs(1);
     let mut stats = BvsStats::default();
     let pick = bvs::select(
-        &mut kern, &mut plat, &vact, &vcap, &tun, &mut stats, t, true,
+        &mut kern, &mut plat, &vact, &vcap, None, &tun, &mut stats, t, true,
     )
     .expect("all vCPUs acceptable");
     assert_eq!(pick, VcpuId(2), "first fit begins at the previous vCPU");
@@ -275,7 +275,7 @@ fn bvs_capacity_gate_skips_weak_vcpus() {
     plat.now = SimTime::from_secs(1);
     let mut stats = BvsStats::default();
     let pick = bvs::select(
-        &mut kern, &mut plat, &vact, &vcap, &tun, &mut stats, t, true,
+        &mut kern, &mut plat, &vact, &vcap, None, &tun, &mut stats, t, true,
     )
     .expect("strong vCPUs exist");
     assert!(
@@ -301,7 +301,7 @@ fn bvs_respects_cgroup_bans() {
     plat.now = SimTime::from_secs(1);
     let mut stats = BvsStats::default();
     let pick = bvs::select(
-        &mut kern, &mut plat, &vact, &vcap, &tun, &mut stats, t, true,
+        &mut kern, &mut plat, &vact, &vcap, None, &tun, &mut stats, t, true,
     )
     .expect("one placeable vCPU remains");
     assert_eq!(pick, VcpuId(3), "bvs honours the rwc cgroup state");
@@ -328,7 +328,7 @@ fn bvs_without_state_check_uses_latency_alone() {
     plat.now = SimTime::from_secs(1);
     let mut stats = BvsStats::default();
     let pick = bvs::select(
-        &mut kern, &mut plat, &vact, &vcap, &tun, &mut stats, t, false,
+        &mut kern, &mut plat, &vact, &vcap, None, &tun, &mut stats, t, false,
     );
     assert_eq!(pick, Some(VcpuId(1)), "latency-only ablation places here");
     assert_eq!(stats.blue_path, 0, "no state check, no blue path");

@@ -42,6 +42,13 @@ pub struct LatencyServerCfg {
     pub comm_group: Option<u32>,
     /// Record a live completions-per-window series (Figures 16/17).
     pub series_window_ns: Option<u64>,
+    /// Closed-loop drive (wrk/ab style): `(connections, think_ns)`. Each
+    /// connection issues its next request one exponential think time after
+    /// the previous response, so the completion rate is capacity-bound —
+    /// slower service (e.g. an evicted LLC) costs throughput directly —
+    /// while per-worker utilization stays low. `None` keeps the open-loop
+    /// Poisson stream.
+    pub closed_loop: Option<(usize, f64)>,
 }
 
 impl LatencyServerCfg {
@@ -56,7 +63,15 @@ impl LatencyServerCfg {
             best_effort: false,
             comm_group: None,
             series_window_ns: None,
+            closed_loop: None,
         }
+    }
+
+    /// Switches to closed-loop drive with the given connection count and
+    /// mean think time (ns); `interarrival_ns` is ignored in this mode.
+    pub fn with_closed_loop(mut self, connections: usize, think_ns: f64) -> Self {
+        self.closed_loop = Some((connections, think_ns));
+        self
     }
 
     /// Enables per-vCPU best-effort spinners.
@@ -92,6 +107,9 @@ pub struct LatencyServer {
     best_effort: Vec<TaskId>,
     current: Vec<Option<InFlight>>,
     backlog: VecDeque<SimTime>,
+    /// Rotating wake cursor (closed-loop mode): spreads request wakeups
+    /// across the worker pool so no single worker absorbs all the load.
+    rr: usize,
 }
 
 impl LatencyServer {
@@ -110,6 +128,7 @@ impl LatencyServer {
                 best_effort: Vec::new(),
                 current: Vec::new(),
                 backlog: VecDeque::new(),
+                rr: 0,
             },
             stats,
         )
@@ -138,6 +157,7 @@ impl LatencyServer {
             best_effort: Vec::new(),
             current: Vec::new(),
             backlog: VecDeque::new(),
+            rr: 0,
         }
     }
 
@@ -157,7 +177,16 @@ impl LatencyServer {
         plat.set_timer(ARRIVAL, at);
     }
 
-    fn complete(&mut self, now: SimTime, w: usize) {
+    /// Schedules one connection's next request a think time from now.
+    /// Timer events with the same token coexist, so each connection simply
+    /// posts its own `ARRIVAL`.
+    fn schedule_think(&mut self, plat: &mut dyn Platform, think_ns: f64) {
+        let dt = self.rng.exp(think_ns).max(1.0) as u64;
+        let at = plat.now().after(dt);
+        plat.set_timer(ARRIVAL, at);
+    }
+
+    fn complete(&mut self, plat: &mut dyn Platform, now: SimTime, w: usize) {
         let Some(fl) = self.current[w].take() else {
             return;
         };
@@ -171,6 +200,11 @@ impl LatencyServer {
         s.completed += 1;
         if let Some(series) = s.series.as_mut() {
             series.tick(now.ns());
+        }
+        drop(s);
+        // Closed loop: the connection thinks, then issues the next request.
+        if let Some((_, think_ns)) = self.cfg.closed_loop {
+            self.schedule_think(plat, think_ns);
         }
     }
 }
@@ -194,7 +228,14 @@ impl Workload for LatencyServer {
                 guest.wake_task(plat, t, None);
             }
         }
-        self.schedule_arrival(plat);
+        match self.cfg.closed_loop {
+            Some((connections, think_ns)) => {
+                for _ in 0..connections {
+                    self.schedule_think(plat, think_ns);
+                }
+            }
+            None => self.schedule_arrival(plat),
+        }
     }
 
     fn on_timer(&mut self, guest: &mut GuestOs, plat: &mut dyn Platform, token: u64) {
@@ -204,15 +245,30 @@ impl Workload for LatencyServer {
         let now = plat.now();
         self.backlog.push_back(now);
         // Wake one idle worker; it pulls the request when it actually runs,
-        // so the measured queue time includes the runqueue latency.
-        let idle = (0..self.workers.len()).find(|&w| {
+        // so the measured queue time includes the runqueue latency. Closed
+        // loop rotates the search start so the load spreads over the pool;
+        // open loop keeps the original first-fit.
+        let n = self.workers.len();
+        let start = if self.cfg.closed_loop.is_some() {
+            self.rr % n.max(1)
+        } else {
+            0
+        };
+        let idle = (0..n).map(|i| (start + i) % n.max(1)).find(|&w| {
             self.current[w].is_none()
                 && matches!(guest.kern.task(self.workers[w]).state, TaskState::Blocked)
         });
         if let Some(w) = idle {
+            if self.cfg.closed_loop.is_some() {
+                self.rr = w + 1;
+            }
             guest.wake_task(plat, self.workers[w], None);
         }
-        self.schedule_arrival(plat);
+        // Open loop: the Poisson stream re-arms itself. (Closed loop re-arms
+        // per connection, on completion.)
+        if self.cfg.closed_loop.is_none() {
+            self.schedule_arrival(plat);
+        }
     }
 
     fn next_action(
@@ -227,7 +283,7 @@ impl Workload for LatencyServer {
             return TaskAction::Compute { work: 1.0e18 };
         };
         if self.current[w].is_some() {
-            self.complete(now, w);
+            self.complete(plat, now, w);
         }
         match self.backlog.pop_front() {
             Some(arrived) => {

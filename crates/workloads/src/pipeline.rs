@@ -28,6 +28,16 @@ pub struct PipelineCfg {
     pub items: u64,
     /// Communication group for all workers (stages exchange data).
     pub comm_group: Option<u32>,
+    /// Tag workers latency-sensitive so bvs places their wakeups (the
+    /// items are small and the stages block on each other constantly).
+    pub latency_sensitive: bool,
+    /// Closed-loop in-flight window: at most this many items circulate at
+    /// once, and a completed item immediately re-enters stage 0. Throughput
+    /// becomes bound by the per-item critical path (service plus wake
+    /// latency) instead of stage saturation, so workers stay small under
+    /// PELT while slower service still costs completions. `None` keeps the
+    /// batch behaviour (all items enqueued upfront).
+    pub window: Option<u64>,
 }
 
 impl PipelineCfg {
@@ -40,12 +50,27 @@ impl PipelineCfg {
                 .collect(),
             items,
             comm_group: None,
+            latency_sensitive: false,
+            window: None,
         }
+    }
+
+    /// Limits the in-flight items to a closed-loop window (completed items
+    /// recycle into stage 0).
+    pub fn with_window(mut self, n: u64) -> Self {
+        self.window = Some(n);
+        self
     }
 
     /// Tags all workers with a communication group.
     pub fn with_comm_group(mut self, g: u32) -> Self {
         self.comm_group = Some(g);
+        self
+    }
+
+    /// Tags all workers latency-sensitive (bvs places their wakeups).
+    pub fn with_latency_sensitive(mut self) -> Self {
+        self.latency_sensitive = true;
         self
     }
 }
@@ -61,6 +86,9 @@ pub struct Pipeline {
     queues: Vec<u64>,
     /// Whether a worker is currently processing an item.
     busy: Vec<Vec<bool>>,
+    /// Per-stage rotating wake cursor (window mode): spreads wakeups over
+    /// the stage's workers so no single worker accumulates all the load.
+    rr: Vec<usize>,
     finished: bool,
     exited: u64,
 }
@@ -71,10 +99,11 @@ impl Pipeline {
         let stats = ThroughputStats::handle();
         let queues = {
             let mut q = vec![0u64; cfg.stages.len()];
-            q[0] = cfg.items;
+            q[0] = cfg.window.map_or(cfg.items, |w| w.min(cfg.items));
             q
         };
         let busy = cfg.stages.iter().map(|s| vec![false; s.workers]).collect();
+        let rr = vec![0usize; cfg.stages.len()];
         (
             Self {
                 cfg,
@@ -83,6 +112,7 @@ impl Pipeline {
                 workers: Vec::new(),
                 queues,
                 busy,
+                rr,
                 finished: false,
                 exited: 0,
             },
@@ -108,6 +138,35 @@ impl Pipeline {
     fn drained(&self) -> bool {
         self.stats.borrow().completed >= self.cfg.items
     }
+
+    /// Wakes one blocked worker of `stage`. Batch mode takes the first
+    /// blocked worker (the original behaviour); window mode rotates a
+    /// per-stage cursor so wakeups spread across the pool.
+    fn wake_stage(
+        &mut self,
+        guest: &mut GuestOs,
+        plat: &mut dyn Platform,
+        stage: usize,
+        waker: Option<guestos::VcpuId>,
+    ) {
+        let pool = &self.workers[stage];
+        let n = pool.len();
+        let start = if self.cfg.window.is_some() {
+            self.rr[stage] % n.max(1)
+        } else {
+            0
+        };
+        let blocked = (0..n)
+            .map(|i| (start + i) % n)
+            .find(|&i| matches!(guest.kern.task(pool[i]).state, TaskState::Blocked));
+        if let Some(i) = blocked {
+            let t = pool[i];
+            if self.cfg.window.is_some() {
+                self.rr[stage] = i + 1;
+            }
+            guest.wake_task(plat, t, waker);
+        }
+    }
 }
 
 impl Workload for Pipeline {
@@ -119,6 +178,9 @@ impl Workload for Pipeline {
                 let mut spec = SpawnSpec::normal(nr);
                 if let Some(g) = self.cfg.comm_group {
                     spec = spec.comm_group(g);
+                }
+                if self.cfg.latency_sensitive {
+                    spec = spec.latency_sensitive();
                 }
                 let t = guest.spawn(plat, spec);
                 tasks.push(t);
@@ -146,19 +208,21 @@ impl Workload for Pipeline {
                 self.queues[s + 1] += 1;
                 // Wake one blocked downstream worker.
                 let waker = guest.kern.task(t).state.vcpu();
-                if let Some(&idle) = self.workers[s + 1]
-                    .iter()
-                    .find(|&&x| matches!(guest.kern.task(x).state, TaskState::Blocked))
-                {
-                    guest.wake_task(plat, idle, waker);
-                }
+                self.wake_stage(guest, plat, s + 1, waker);
             } else {
                 let mut st = self.stats.borrow_mut();
                 st.completed += 1;
                 st.work_done += self.cfg.stages[s].work;
-                if st.completed >= self.cfg.items {
-                    st.finished_at = Some(plat.now());
-                    drop(st);
+                let done = st.completed >= self.cfg.items;
+                drop(st);
+                // Window mode: the completed item re-enters stage 0.
+                if self.cfg.window.is_some() && !done {
+                    self.queues[0] += 1;
+                    let waker = guest.kern.task(t).state.vcpu();
+                    self.wake_stage(guest, plat, 0, waker);
+                }
+                if done {
+                    self.stats.borrow_mut().finished_at = Some(plat.now());
                     self.finished = true;
                     // Wake everyone so they can exit.
                     let all: Vec<TaskId> = self.workers.iter().flatten().copied().collect();
